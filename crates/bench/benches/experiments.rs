@@ -1,0 +1,33 @@
+//! Scaled-down end-to-end benchmarks: one Criterion target per paper
+//! experiment, each running the same harness as `acc-bench <id>` at quick
+//! scale. These keep the full reproduction pipeline exercised by
+//! `cargo bench` and give a wall-clock budget for each figure.
+
+use acc_bench::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    // Pre-train once so the per-experiment numbers measure the experiment,
+    // not the shared model warm-up.
+    let _ = acc_bench::common::pretrained_model(Scale::QUICK);
+
+    let mut g = c.benchmark_group("experiments_quick");
+    g.sample_size(10);
+    // The heavyweight sweeps are exercised by a representative subset so a
+    // `cargo bench` run stays in minutes; `acc-bench all` runs everything.
+    let subset = ["fig1", "fig7", "fig8", "fig15", "fig17", "resources"];
+    for (id, _, f) in experiments() {
+        if !subset.contains(&id) {
+            continue;
+        }
+        g.bench_function(id, |b| b.iter(|| f(Scale::QUICK)));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_experiments
+}
+criterion_main!(benches);

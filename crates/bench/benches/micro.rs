@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the building blocks: event-loop throughput, the
+//! switch forwarding path, MLP inference/training and the DCQCN state
+//! machine. These bound the simulator's capacity and (for the MLP) map to
+//! the paper's §6 per-switch compute budget.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netsim::prelude::*;
+use rl::{DdqnAgent, DdqnConfig, Mlp, Transition};
+use transport::{CcKind, FctCollector, Message, StackConfig};
+
+/// Two hosts blasting through one switch: measures end-to-end simulator
+/// event throughput (events/sec reported via elements).
+fn bench_sim_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.throughput(Throughput::Elements(1));
+    g.sample_size(20);
+    g.bench_function("two_host_transfer_1MB", |b| {
+        b.iter_batched(
+            || {
+                let topo =
+                    TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+                let mut cfg = SimConfig::default();
+                cfg.control_interval = None;
+                let mut sim = Simulator::new(topo, cfg);
+                let fct = FctCollector::new_shared();
+                let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+                transport::schedule_message(
+                    &mut sim,
+                    hosts[0],
+                    SimTime::ZERO,
+                    Message::new(hosts[1], 1_000_000, CcKind::Dcqcn),
+                );
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_ms(10));
+                assert!(sim.core().events_processed > 3000);
+                sim.core().events_processed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("incast_8to1_events", |b| {
+        b.iter_batched(
+            || {
+                let topo =
+                    TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+                let mut sim = Simulator::new(topo, SimConfig::default());
+                let fct = FctCollector::new_shared();
+                let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+                for s in 0..8 {
+                    transport::schedule_message(
+                        &mut sim,
+                        hosts[s],
+                        SimTime::ZERO,
+                        Message::new(hosts[8], 200_000, CcKind::Dcqcn),
+                    );
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_ms(5));
+                sim.core().events_processed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// The NN the switch CPU runs: one inference and one DDQN minibatch.
+fn bench_rl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rl");
+    let net = Mlp::new(&[12, 40, 40, 20], 1);
+    let x = vec![0.3f32; 12];
+    g.bench_function("mlp_inference_12x40x40x20", |b| b.iter(|| net.forward(&x)));
+
+    let mut agent = DdqnAgent::new(12, 20, DdqnConfig::default(), 1);
+    for i in 0..512 {
+        agent.observe(Transition {
+            state: vec![(i % 7) as f32 * 0.1; 12],
+            action: i % 20,
+            reward: (i % 3) as f32,
+            next_state: vec![(i % 5) as f32 * 0.1; 12],
+            done: false,
+        });
+    }
+    g.bench_function("ddqn_train_step_batch32", |b| b.iter(|| agent.train_step()));
+    g.bench_function("ddqn_select_action", |b| {
+        b.iter(|| agent.best_action(&x))
+    });
+    g.finish();
+}
+
+/// The DCQCN reaction-point state machine.
+fn bench_dcqcn(c: &mut Criterion) {
+    use transport::dcqcn::{DcqcnConfig, DcqcnState};
+    let cfg = DcqcnConfig::default();
+    let mut g = c.benchmark_group("dcqcn");
+    g.bench_function("cnp_and_recover_cycle", |b| {
+        b.iter(|| {
+            let mut s = DcqcnState::new(25e9, SimTime::ZERO);
+            s.on_cnp(&cfg, SimTime::from_us(10));
+            for k in 0..8 {
+                s.timer_stage = k;
+                s.increase_event(&cfg, 25e9);
+            }
+            s.rate_c
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_forwarding, bench_rl, bench_dcqcn);
+criterion_main!(benches);

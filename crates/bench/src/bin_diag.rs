@@ -1,0 +1,30 @@
+use netsim::prelude::*;
+use netsim::ids::PRIO_RDMA;
+use transport::{CcKind, FctCollector, Message, StackConfig};
+use acc_core::static_ecn::{install_static, StaticEcnPolicy};
+use netsim::queues::EcnConfig;
+
+fn main() {
+    let topo = TopologySpec::single_switch(16, 25_000_000_000, SimTime::from_ns(500)).build();
+    let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, simcfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    install_static(&mut sim, StaticEcnPolicy::Fixed(EcnConfig::new(20*1024, 20*1024, 1.0)));
+    for s in 0..8 {
+        for _ in 0..32 {
+            transport::schedule_message(&mut sim, hosts[s], SimTime::ZERO,
+                Message::new(hosts[15], 1_000_000_000, CcKind::Dcqcn));
+        }
+    }
+    for ms in [1u64, 2, 4, 6, 8] {
+        sim.run_until(SimTime::from_ms(ms));
+        let sw = sim.core().topo.switches()[0];
+        let q = sim.core().queue(sw, PortId(15), PRIO_RDMA);
+        println!("t={}ms q={}KB marked={}/{} pauses={} drops={}",
+            ms, q.bytes()/1024, q.telem.tx_marked_pkts, q.telem.tx_pkts,
+            sim.core().total_pfc_pauses, sim.core().total_drops);
+        // host0 backlog
+        println!("   host0 rdma backlog = {} B", sim.core().queue(hosts[0], PortId(0), PRIO_RDMA).bytes());
+    }
+}

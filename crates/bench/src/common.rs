@@ -1,0 +1,395 @@
+//! Shared harness machinery: control policies, the offline-pretrained model
+//! cache, FCT scenario runner, queue sampling, and result output.
+
+use acc_core::controller::{self, AccConfig};
+use acc_core::static_ecn::{install_static, StaticEcnPolicy};
+use acc_core::trainer;
+use acc_core::ActionSpace;
+use netsim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rl::Mlp;
+use serde_json::{json, Value};
+use std::sync::OnceLock;
+use transport::{FctCollector, FctStats, SharedFct, StackConfig};
+use workloads::gen::{self, Arrival, PoissonGen};
+use workloads::SizeDist;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Shrink durations/topologies for a fast smoke run.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Full (paper-index) scale.
+    pub const FULL: Scale = Scale { quick: false };
+    /// Quick smoke scale.
+    pub const QUICK: Scale = Scale { quick: true };
+
+    /// Pick between a full and a quick value.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// The control policies the experiments compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// DCTCP-style single threshold.
+    Secn0,
+    /// DCQCN-paper static setting.
+    Secn1,
+    /// Cloud-provider static setting (bandwidth-scaled).
+    Secn2,
+    /// Device-vendor default static setting.
+    Vendor,
+    /// ACC: offline-pretrained model + small online fine-tuning budget.
+    Acc,
+    /// ACC without pre-training ("aggressive version", Fig. 16).
+    AccFresh,
+    /// ACC with the pretrained model frozen (inference only).
+    AccFrozen,
+}
+
+impl Policy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Secn0 => "SECN0",
+            Policy::Secn1 => "SECN1",
+            Policy::Secn2 => "SECN2",
+            Policy::Vendor => "Vendor",
+            Policy::Acc => "ACC",
+            Policy::AccFresh => "ACC-fresh",
+            Policy::AccFrozen => "ACC-frozen",
+        }
+    }
+}
+
+/// The base ACC configuration used throughout the harness.
+pub fn acc_config(seed: u64) -> AccConfig {
+    let mut cfg = AccConfig::default();
+    cfg.ddqn.min_replay = 64;
+    cfg.ddqn.batch_size = 32;
+    cfg.ddqn.eps_decay_steps = 3_000.0;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Install `policy` on all switches of `sim`.
+pub fn install_policy(sim: &mut Simulator, policy: Policy, scale: Scale) {
+    let space = ActionSpace::templates();
+    match policy {
+        Policy::Secn0 => install_static(sim, StaticEcnPolicy::Secn0),
+        Policy::Secn1 => install_static(sim, StaticEcnPolicy::Secn1),
+        Policy::Secn2 => install_static(sim, StaticEcnPolicy::Secn2),
+        Policy::Vendor => install_static(sim, StaticEcnPolicy::Vendor),
+        Policy::Acc => {
+            let model = pretrained_model(scale);
+            let cfg = trainer::online_config(&acc_config(11), 0.08, 500.0);
+            controller::install_acc_with_model(sim, &cfg, &space, &model);
+        }
+        Policy::AccFresh => {
+            let cfg = acc_config(13);
+            controller::install_acc(sim, &cfg, &space);
+        }
+        Policy::AccFrozen => {
+            let model = pretrained_model(scale);
+            let cfg = trainer::frozen_config(&acc_config(17));
+            controller::install_acc_with_model(sim, &cfg, &space, &model);
+        }
+    }
+}
+
+/// The offline-pretrained ACC model (§4.3), trained once per process (and
+/// cached on disk under `target/`) on a spread of incast and realistic
+/// traffic over the testbed-scale Clos.
+pub fn pretrained_model(scale: Scale) -> Mlp {
+    static FULL: OnceLock<Mlp> = OnceLock::new();
+    static QUICK: OnceLock<Mlp> = OnceLock::new();
+    let cell = if scale.quick { &QUICK } else { &FULL };
+    cell.get_or_init(|| {
+        let path = format!(
+            "target/acc_pretrained_{}.json",
+            if scale.quick { "quick" } else { "full" }
+        );
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(m) = serde_json::from_str::<Mlp>(&text) {
+                if m.input_dim() == 12 && m.output_dim() == ActionSpace::templates().len() {
+                    eprintln!("[pretrain] loaded cached model from {path}");
+                    return m;
+                }
+            }
+        }
+        eprintln!("[pretrain] training offline model ({scale:?}) ...");
+        let m = train_offline(scale);
+        if let Ok(text) = serde_json::to_string(&m) {
+            let _ = std::fs::write(&path, text);
+        }
+        m
+    })
+    .clone()
+}
+
+/// Offline training: segments of random incast plus Poisson WebSearch /
+/// DataMining at varying load, with one agent shared by all switches.
+fn train_offline(scale: Scale) -> Mlp {
+    let topo = TopologySpec::paper_testbed().build();
+    let simcfg = SimConfig::default()
+        .with_seed(99)
+        .with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, simcfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+
+    let mut cfg = acc_config(7);
+    cfg.ddqn.eps_decay_steps = scale.pick(60_000.0, 12_000.0);
+    cfg.trains_per_tick = 4;
+    let space = ActionSpace::templates();
+    let _agent = trainer::install_shared_training(&mut sim, &cfg, &space);
+
+    // The paper's offline traffic mix (§4.3): PerfTest-style incast with
+    // random fan-in / flow counts / message sizes, plus realistic traces at
+    // loads 10..90%. Sustained-incast segments (long flows) are included so
+    // the model sees the steady marking/queue tradeoff, and quiet segments
+    // so it learns the idle regime.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let seg = SimTime::from_ms(5);
+    let segments = scale.pick(64, 16);
+    let ws = SizeDist::web_search();
+    let dm = SizeDist::data_mining();
+    for i in 0..segments {
+        let start = seg.mul(i as u64);
+        match i % 5 {
+            0 => {
+                let arr = gen::random_incast(
+                    &hosts,
+                    16,
+                    32,
+                    transport::CcKind::Dcqcn,
+                    start,
+                    &mut rng,
+                );
+                gen::apply_arrivals(&mut sim, &arr);
+            }
+            1 => {
+                // Sustained incast: fan-in of long flows lasting the segment.
+                let n = 2 + (rng.gen::<f64>() * 10.0) as usize;
+                let flows = 1 + (rng.gen::<f64>() * 8.0) as usize;
+                let recv = hosts[rng.gen_range(0..hosts.len())];
+                let senders: Vec<NodeId> = hosts
+                    .iter()
+                    .copied()
+                    .filter(|&h| h != recv)
+                    .take(n)
+                    .collect();
+                let bytes = (seg.as_secs_f64() * 25e9 / 8.0
+                    / (n * flows) as f64) as u64;
+                let arr = gen::incast_wave(
+                    &senders,
+                    recv,
+                    flows,
+                    bytes.max(100_000),
+                    transport::CcKind::Dcqcn,
+                    start,
+                );
+                gen::apply_arrivals(&mut sim, &arr);
+            }
+            2 => {
+                let load = 0.1 + rng.gen::<f64>() * 0.8;
+                let g = PoissonGen::new(ws.clone(), load, transport::CcKind::Dcqcn, i as u64);
+                let arr = g.generate(&hosts, 25_000_000_000, start, seg);
+                gen::apply_arrivals(&mut sim, &arr);
+            }
+            3 => {
+                let load = 0.1 + rng.gen::<f64>() * 0.8;
+                let g = PoissonGen::new(dm.clone(), load, transport::CcKind::Dcqcn, i as u64);
+                let arr = g.generate(&hosts, 25_000_000_000, start, seg);
+                gen::apply_arrivals(&mut sim, &arr);
+            }
+            _ => {
+                // Quiet segment: teaches that an empty network is fine under
+                // any action (and exercises the idle optimisation).
+                let load = 0.05;
+                let g = PoissonGen::new(dm.clone(), load, transport::CcKind::Dcqcn, i as u64);
+                let arr = g.generate(&hosts, 25_000_000_000, start, seg);
+                gen::apply_arrivals(&mut sim, &arr);
+            }
+        }
+        sim.run_until(start + seg);
+    }
+    let sw = sim.core().topo.switches()[0];
+    trainer::extract_model(&mut sim, sw)
+}
+
+/// FCT summaries sliced the way the paper slices them.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FctBuckets {
+    /// All flows.
+    pub overall: FctStats,
+    /// Mice: (0, 100 KB].
+    pub mice: FctStats,
+    /// Medium: (100 KB, 10 MB).
+    pub medium: FctStats,
+    /// Elephants: [10 MB, inf).
+    pub elephant: FctStats,
+    /// Flows that did not finish before the horizon.
+    pub unfinished: usize,
+}
+
+/// Summarise `fct` over flows that started at/after `from`.
+pub fn buckets(fct: &SharedFct, from: SimTime) -> FctBuckets {
+    let f = fct.borrow();
+    let started = |r: &&transport::FlowRecord| r.start >= from;
+    FctBuckets {
+        overall: f.stats(|r| r.start >= from),
+        mice: f.stats(|r| r.start >= from && r.bytes <= 100_000),
+        medium: f.stats(|r| r.start >= from && r.bytes > 100_000 && r.bytes < 10_000_000),
+        elephant: f.stats(|r| r.start >= from && r.bytes >= 10_000_000),
+        unfinished: f.unfinished().filter(started).count(),
+    }
+}
+
+/// A built scenario ready to run.
+pub struct Scenario {
+    /// The simulator (stacks installed, policy installed, traffic queued).
+    pub sim: Simulator,
+    /// The hosts.
+    pub hosts: Vec<NodeId>,
+    /// The FCT collector.
+    pub fct: SharedFct,
+}
+
+/// Build a simulator over `spec` with host stacks, `policy`, and `arrivals`.
+pub fn scenario(
+    spec: &TopologySpec,
+    policy: Policy,
+    scale: Scale,
+    seed: u64,
+    arrivals: &[Arrival],
+) -> Scenario {
+    let topo = spec.build();
+    let simcfg = SimConfig::default()
+        .with_seed(seed)
+        .with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, simcfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    install_policy(&mut sim, policy, scale);
+    gen::apply_arrivals(&mut sim, arrivals);
+    Scenario { sim, hosts, fct }
+}
+
+/// Periodically sampled statistics of one egress queue.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct QueueSamples {
+    /// (time us, queue bytes) samples.
+    pub samples: Vec<(f64, u64)>,
+}
+
+impl QueueSamples {
+    /// Mean queue depth in bytes.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|(_, q)| *q as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Standard deviation of queue depth in bytes.
+    pub fn std_dev(&self) -> f64 {
+        let xs: Vec<f64> = self.samples.iter().map(|(_, q)| *q as f64).collect();
+        netsim::util::std_dev(&xs)
+    }
+
+    /// Maximum sampled depth.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().map(|(_, q)| *q).max().unwrap_or(0)
+    }
+}
+
+/// Run `sim` until `horizon`, sampling the queue `(node, port, prio)` every
+/// `step`.
+pub fn run_sampling_queue(
+    sim: &mut Simulator,
+    node: NodeId,
+    port: PortId,
+    prio: Prio,
+    step: SimTime,
+    horizon: SimTime,
+) -> QueueSamples {
+    let mut out = QueueSamples::default();
+    while sim.now() < horizon {
+        let t = (sim.now() + step).min(horizon);
+        sim.run_until(t);
+        let q = sim.core().queue(node, port, prio);
+        out.samples.push((sim.now().as_us_f64(), q.bytes()));
+    }
+    out
+}
+
+/// Aggregate tx bytes of a node over all its ports for one priority.
+pub fn node_tx_bytes(sim: &Simulator, node: NodeId, prio: Prio) -> u64 {
+    let nports = sim.core().topo.node(node).ports.len();
+    (0..nports)
+        .map(|p| sim.core().queue(node, PortId(p as u16), prio).telem.tx_bytes)
+        .sum()
+}
+
+/// Time-average queue depth (bytes) of one queue over the whole run.
+pub fn queue_time_avg(sim: &mut Simulator, node: NodeId, port: PortId, prio: Prio) -> f64 {
+    let now = sim.now();
+    let q = sim.core_mut().queue_mut(node, port, prio);
+    q.sync_clock(now);
+    if now.as_ps() == 0 {
+        return 0.0;
+    }
+    q.telem.qlen_integral_byte_ps as f64 / now.as_ps() as f64
+}
+
+/// Write an experiment's JSON record to `results/<name>.json` (full scale)
+/// or `results/quick/<name>.json` (quick scale), so smoke runs and
+/// `cargo bench` never clobber full-scale records.
+pub fn save_results_scaled(name: &str, value: &Value, scale: Scale) {
+    let dir = if scale.quick { "results/quick" } else { "results" };
+    let _ = std::fs::create_dir_all(dir);
+    let path = format!("{dir}/{name}.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+        Ok(()) => eprintln!("[results] wrote {path}"),
+        Err(e) => eprintln!("[results] could not write {path}: {e}"),
+    }
+}
+
+/// Back-compat shim: full-scale record.
+pub fn save_results(name: &str, value: &Value) {
+    save_results_scaled(name, value, Scale::FULL);
+}
+
+/// Pretty-print a header for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("\n==== {id}: {title} ====");
+}
+
+/// JSON for an [`FctStats`].
+pub fn fct_json(s: &FctStats) -> Value {
+    json!({
+        "count": s.count,
+        "avg_us": s.avg_us,
+        "p50_us": s.p50_us,
+        "p99_us": s.p99_us,
+        "p999_us": s.p999_us,
+        "max_us": s.max_us,
+    })
+}
+
+/// The leaf switch and port that face a given host (for queue probes).
+pub fn access_port(sim: &Simulator, host: NodeId) -> (NodeId, PortId) {
+    let p = sim.core().topo.port(host, PortId(0));
+    (p.peer_node, p.peer_port)
+}

@@ -1,0 +1,80 @@
+//! Fig. 9 + Table 1 — distributed storage IOPS across the six traffic
+//! profiles, ACC vs the vendor-default static ECN, for several IO depths.
+//! The paper finds gains up to ~30% (FileBackup) that grow with IO depth.
+
+use crate::common::{self, Policy, Scale};
+use netsim::prelude::*;
+use serde_json::{json, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+use transport::{FctCollector, StackConfig};
+use workloads::gen::apply_arrivals;
+use workloads::{StorageCluster, StorageConfig, StorageProfile};
+
+fn run_one(profile: StorageProfile, io_depth: usize, policy: Policy, scale: Scale) -> f64 {
+    let topo = TopologySpec::paper_testbed().build();
+    let cfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, cfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    common::install_policy(&mut sim, policy, scale);
+
+    let storage_cfg = StorageConfig {
+        profile,
+        io_depth,
+        ..Default::default()
+    };
+    let cluster = Rc::new(RefCell::new(StorageCluster::new(&hosts, storage_cfg)));
+    transport::set_app_hook(&mut sim, cluster.clone());
+    let init = cluster.borrow_mut().initial_arrivals(SimTime::ZERO);
+    apply_arrivals(&mut sim, &init);
+
+    let warmup = scale.pick(SimTime::from_ms(20), SimTime::from_ms(5));
+    let horizon = scale.pick(SimTime::from_ms(80), SimTime::from_ms(20));
+    sim.run_until(horizon);
+    let iops = cluster.borrow().iops(warmup, horizon);
+    iops
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Value {
+    common::banner("fig9", "storage IOPS per Table-1 profile (ACC vs vendor static)");
+    let depths: Vec<usize> = scale.pick(vec![8, 32, 128], vec![8, 32]);
+    println!("Table 1 profiles: read:write ratio and block sizes");
+    for p in StorageProfile::all() {
+        println!(
+            "  {:<16} {:.0}:{:.0}  {}B - {}B",
+            p.name,
+            p.read_frac * 10.0,
+            (1.0 - p.read_frac) * 10.0,
+            p.block_min,
+            p.block_max
+        );
+    }
+    println!(
+        "\n{:<16} {:>8} {:>14} {:>14} {:>9}",
+        "profile", "iodepth", "Vendor IOPS", "ACC IOPS", "gain"
+    );
+    let mut rows = Vec::new();
+    for profile in StorageProfile::all() {
+        for &depth in &depths {
+            let vendor = run_one(profile.clone(), depth, Policy::Vendor, scale);
+            let acc = run_one(profile.clone(), depth, Policy::Acc, scale);
+            let gain = (acc / vendor - 1.0) * 100.0;
+            println!(
+                "{:<16} {:>8} {:>14.0} {:>14.0} {:>8.1}%",
+                profile.name, depth, vendor, acc, gain
+            );
+            rows.push(json!({
+                "profile": profile.name,
+                "io_depth": depth,
+                "vendor_iops": vendor,
+                "acc_iops": acc,
+                "gain_pct": gain,
+            }));
+        }
+    }
+    let v = json!({ "rows": rows });
+    common::save_results_scaled("fig9", &v, scale);
+    v
+}

@@ -1,0 +1,127 @@
+//! Fig. 10 — distributed training: training speed (iterations/s) for an
+//! AlexNet-like (communication-bound) and a ResNet-50-like (more
+//! compute-bound) job, plus PFC pause counts and RDMA round-trip latency
+//! under the ResNet-50 run. The paper reports +7..12% training speed for
+//! ACC over the static settings.
+
+use crate::common::{self, Policy, Scale};
+use netsim::prelude::*;
+use serde_json::{json, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+use transport::{CcKind, FctCollector, Message, StackConfig};
+use workloads::gen::apply_arrivals;
+use workloads::{TrainingCluster, TrainingConfig};
+
+const PROBE_TAG: u64 = 0xBEEF;
+
+struct Outcome {
+    iters_per_sec: f64,
+    pfc_pauses: u64,
+    probe_avg_us: f64,
+    probe_p99_us: f64,
+}
+
+fn run_one(cfg: TrainingConfig, policy: Policy, scale: Scale) -> Outcome {
+    // 8 hosts spread over the testbed Clos: 7 workers + 1 PS, cross-rack.
+    let topo = TopologySpec::paper_testbed().build();
+    let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, simcfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    common::install_policy(&mut sim, policy, scale);
+
+    // Pick 8 hosts across racks: every third host.
+    let members: Vec<NodeId> = hosts.iter().copied().step_by(3).take(8).collect();
+    let cluster = Rc::new(RefCell::new(TrainingCluster::new(&members, cfg)));
+    transport::set_app_hook(&mut sim, cluster.clone());
+    let init = cluster.borrow().initial_arrivals(SimTime::ZERO);
+    apply_arrivals(&mut sim, &init);
+
+    // RDMA latency probes from an idle host towards the PS's rack.
+    let horizon = scale.pick(SimTime::from_ms(120), SimTime::from_ms(40));
+    let probe_src = hosts[1]; // not a member (members are 0,3,6,...)
+    let ps = cluster.borrow().ps();
+    let mut t = SimTime::from_ms(1);
+    while t < horizon {
+        transport::schedule_message(
+            &mut sim,
+            probe_src,
+            t,
+            Message::new(ps, 1_000, CcKind::Dcqcn).with_tag(PROBE_TAG),
+        );
+        t += SimTime::from_us(500);
+    }
+    sim.run_until(horizon);
+    let c = cluster.borrow();
+    let probes = fct.borrow().stats(|r| r.tag == PROBE_TAG);
+    Outcome {
+        iters_per_sec: c.iterations_per_sec(SimTime::ZERO, horizon),
+        pfc_pauses: sim.core().total_pfc_pauses,
+        probe_avg_us: probes.avg_us,
+        probe_p99_us: probes.p99_us,
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Value {
+    common::banner("fig10", "distributed training speed, PFC pauses, RTT probes");
+    // Model sizes scaled 10x down (see workloads::training docs); the
+    // AlexNet job is communication-bound, ResNet-50 closer to balanced.
+    let jobs = [
+        (
+            "AlexNet",
+            TrainingConfig {
+                gradient_bytes: 2_400_000,
+                compute_time: SimTime::from_us(300),
+                cc: CcKind::Dcqcn,
+            },
+        ),
+        (
+            "ResNet-50",
+            TrainingConfig {
+                gradient_bytes: 1_000_000,
+                compute_time: SimTime::from_us(800),
+                cc: CcKind::Dcqcn,
+            },
+        ),
+    ];
+    println!(
+        "{:<10} {:<8} {:>10} {:>12} {:>12} {:>12}",
+        "model", "policy", "iter/s", "PFC pauses", "RTT avg us", "RTT p99 us"
+    );
+    let mut rows = Vec::new();
+    for (model, cfg) in jobs {
+        let mut speeds = std::collections::HashMap::new();
+        for policy in [Policy::Secn1, Policy::Secn2, Policy::Acc] {
+            let o = run_one(cfg.clone(), policy, scale);
+            println!(
+                "{:<10} {:<8} {:>10.1} {:>12} {:>12.1} {:>12.1}",
+                model,
+                policy.name(),
+                o.iters_per_sec,
+                o.pfc_pauses,
+                o.probe_avg_us,
+                o.probe_p99_us
+            );
+            speeds.insert(policy.name(), o.iters_per_sec);
+            rows.push(json!({
+                "model": model,
+                "policy": policy.name(),
+                "iters_per_sec": o.iters_per_sec,
+                "pfc_pauses": o.pfc_pauses,
+                "probe_avg_us": o.probe_avg_us,
+                "probe_p99_us": o.probe_p99_us,
+            }));
+        }
+        let acc = speeds["ACC"];
+        println!(
+            "{model}: ACC vs SECN1 {:+.1}%, vs SECN2 {:+.1}%",
+            (acc / speeds["SECN1"] - 1.0) * 100.0,
+            (acc / speeds["SECN2"] - 1.0) * 100.0
+        );
+    }
+    let v = json!({ "rows": rows });
+    common::save_results_scaled("fig10", &v, scale);
+    v
+}

@@ -1,0 +1,66 @@
+//! Fig. 12 — large-scale simulation, WebSearch workload: overall average
+//! FCT, mice average and 99th-percentile FCT, and elephant average FCT as
+//! the offered load sweeps 60..90%. The paper reports ACC up to 5.8% better
+//! than SECN1 and 16.6% better than SECN2 overall at 90% load, with the
+//! biggest wins on mice tails.
+
+use crate::common::{self, buckets, scenario, FctBuckets, Policy, Scale};
+use netsim::prelude::*;
+use serde_json::{json, Value};
+use transport::CcKind;
+use workloads::gen::PoissonGen;
+use workloads::SizeDist;
+
+fn run_one(policy: Policy, load: f64, scale: Scale) -> FctBuckets {
+    // Quick mode uses the 96-host fabric, full the 288-host one.
+    let spec = if scale.quick {
+        TopologySpec::paper_cacc_sim()
+    } else {
+        TopologySpec::paper_large_sim()
+    };
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    let dur = scale.pick(SimTime::from_ms(25), SimTime::from_ms(8));
+    let g = PoissonGen::new(SizeDist::web_search(), load, CcKind::Dcqcn, 41);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
+    let mut sc = scenario(&spec, policy, scale, 9, &arrivals);
+    // Generous drain margin so elephants can finish.
+    sc.sim.run_until(dur + scale.pick(SimTime::from_ms(20), SimTime::from_ms(12)));
+    buckets(&sc.fct, SimTime::ZERO)
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Value {
+    common::banner("fig12", "WebSearch at scale: FCT vs load");
+    let loads = scale.pick(vec![0.6, 0.8, 0.9], vec![0.6, 0.9]);
+    println!(
+        "{:<6} {:<8} {:>12} {:>12} {:>12} {:>13} {:>11}",
+        "load", "policy", "overall avg", "mice avg", "mice p99", "elephant avg", "unfinished"
+    );
+    let mut rows = Vec::new();
+    for &load in &loads {
+        for policy in [Policy::Acc, Policy::Secn1, Policy::Secn2] {
+            let b = run_one(policy, load, scale);
+            println!(
+                "{:<6.0}% {:<8} {:>11.1} {:>12.1} {:>12.1} {:>13.1} {:>11}",
+                load * 100.0,
+                policy.name(),
+                b.overall.avg_us,
+                b.mice.avg_us,
+                b.mice.p99_us,
+                b.elephant.avg_us,
+                b.unfinished
+            );
+            rows.push(json!({
+                "load": load,
+                "policy": policy.name(),
+                "overall": common::fct_json(&b.overall),
+                "mice": common::fct_json(&b.mice),
+                "elephant": common::fct_json(&b.elephant),
+                "unfinished": b.unfinished,
+            }));
+        }
+    }
+    let v = json!({ "rows": rows });
+    common::save_results_scaled("fig12", &v, scale);
+    v
+}

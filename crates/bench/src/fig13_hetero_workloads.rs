@@ -1,0 +1,94 @@
+//! Fig. 13 — temporally & spatially heterogeneous traffic: both workloads,
+//! loads drawn from {60,70,80,90}%, random source/destination pairs,
+//! averaged over several runs. The paper reports ACC beating SECN1 by up to
+//! 8.7%/24.3% (mice avg/p99) and SECN2 by 28.6%/58.3%.
+
+use crate::common::{self, buckets, scenario, FctBuckets, Policy, Scale};
+use netsim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+use transport::CcKind;
+use workloads::gen::{Arrival, PoissonGen};
+use workloads::SizeDist;
+
+fn heterogeneous_arrivals(
+    hosts: &[NodeId],
+    dist: &SizeDist,
+    segments: usize,
+    seg_len: SimTime,
+    seed: u64,
+) -> Vec<Arrival> {
+    let loads = [0.6, 0.7, 0.8, 0.9];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..segments {
+        let load = loads[rng.gen_range(0..loads.len())];
+        let g = PoissonGen::new(dist.clone(), load, CcKind::Dcqcn, seed * 1000 + i as u64);
+        out.extend(g.generate(hosts, 25_000_000_000, seg_len.mul(i as u64), seg_len));
+    }
+    out
+}
+
+fn run_one(policy: Policy, dist: &SizeDist, seed: u64, scale: Scale) -> FctBuckets {
+    let spec = TopologySpec::paper_cacc_sim(); // 96 hosts
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    let segments = scale.pick(4, 2);
+    let seg_len = scale.pick(SimTime::from_ms(6), SimTime::from_ms(4));
+    let arrivals = heterogeneous_arrivals(&hosts, dist, segments, seg_len, seed);
+    let mut sc = scenario(&spec, policy, scale, seed, &arrivals);
+    let total = seg_len.mul(segments as u64);
+    sc.sim
+        .run_until(total + scale.pick(SimTime::from_ms(15), SimTime::from_ms(10)));
+    buckets(&sc.fct, SimTime::ZERO)
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Value {
+    common::banner("fig13", "heterogeneous traffic across workloads (multi-run average)");
+    let runs = scale.pick(2u64, 1);
+    let mut rows = Vec::new();
+    for (wname, dist) in [
+        ("WebSearch", SizeDist::web_search()),
+        ("DataMining", SizeDist::data_mining()),
+    ] {
+        println!("\n-- {wname} --");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>13}",
+            "policy", "overall avg", "mice avg", "mice p99", "elephant avg"
+        );
+        for policy in [Policy::Acc, Policy::Secn1, Policy::Secn2] {
+            let mut acc = [0.0f64; 4];
+            for r in 0..runs {
+                let b = run_one(policy, &dist, 100 + r, scale);
+                acc[0] += b.overall.avg_us;
+                acc[1] += b.mice.avg_us;
+                acc[2] += b.mice.p99_us;
+                acc[3] += b.elephant.avg_us;
+            }
+            for a in &mut acc {
+                *a /= runs as f64;
+            }
+            println!(
+                "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>13.1}",
+                policy.name(),
+                acc[0],
+                acc[1],
+                acc[2],
+                acc[3]
+            );
+            rows.push(json!({
+                "workload": wname,
+                "policy": policy.name(),
+                "overall_avg_us": acc[0],
+                "mice_avg_us": acc[1],
+                "mice_p99_us": acc[2],
+                "elephant_avg_us": acc[3],
+                "runs": runs,
+            }));
+        }
+    }
+    let v = json!({ "rows": rows });
+    common::save_results_scaled("fig13", &v, scale);
+    v
+}

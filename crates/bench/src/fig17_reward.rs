@@ -1,0 +1,154 @@
+//! Fig. 17 (+ Fig. 4 / Appendix .1) — the reward-design ablation.
+//!
+//! Two agents train on the same incast scenario over the ten-level
+//! single-threshold action ladder; one uses the paper's step-mapped queue
+//! penalty, the other the linear penalty. The step reward differentiates
+//! small queue depths, so the converged policy concentrates on the low
+//! thresholds (the expected action); the linear reward makes the actions
+//! nearly indistinguishable and the policy stays scattered / high.
+
+use crate::common::{self, Scale};
+use acc_core::controller::{AccConfig, AccController};
+use acc_core::reward::{QueuePenalty, RewardConfig};
+use acc_core::ActionSpace;
+use netsim::ids::PRIO_RDMA;
+use netsim::prelude::*;
+use serde_json::{json, Value};
+use transport::{CcKind, FctCollector, StackConfig};
+use workloads::gen;
+
+fn run_one(penalty: QueuePenalty, scale: Scale) -> (Vec<u64>, f64, f64, Vec<f64>) {
+    let topo = TopologySpec::single_switch(16, 25_000_000_000, SimTime::from_ns(500)).build();
+    let simcfg = SimConfig::default()
+        .with_seed(17)
+        .with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, simcfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    let receiver = hosts[15];
+
+    let mut cfg = AccConfig::default();
+    cfg.ddqn.min_replay = 64;
+    cfg.ddqn.eps_decay_steps = scale.pick(2_000.0, 600.0);
+    cfg.reward = RewardConfig {
+        w_throughput: 0.7,
+        w_delay: 0.3,
+        penalty,
+    };
+    cfg.seed = 3;
+    let space = ActionSpace::single_threshold_ladder();
+    let sw = sim.core().topo.switches()[0];
+    sim.set_controller(sw, Box::new(AccController::new(cfg, space)));
+
+    // Sustained incast congestion: long-running flows so each control
+    // interval's reward directly reflects the applied threshold (the queue
+    // settles around K, utilisation around what DCQCN sustains at that K).
+    let arr = gen::incast_wave(
+        &hosts[..6],
+        receiver,
+        4,
+        1_000_000_000,
+        CcKind::Dcqcn,
+        SimTime::ZERO,
+    );
+    gen::apply_arrivals(&mut sim, &arr);
+    // Converged-behaviour window: the last 25% of the run.
+    let total_ms = scale.pick(200u64, 60);
+    let horizon = SimTime::from_ms(total_ms);
+    let converge_from = SimTime::from_ms(total_ms * 3 / 4);
+    sim.run_until(converge_from);
+    let tx0 = {
+        let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
+        q.sync_clock(converge_from);
+        q.telem.tx_bytes
+    };
+    let mut histogram = vec![0u64; 10];
+    let port = PortId(15);
+    while sim.now() < horizon {
+        sim.run_for(SimTime::from_us(250));
+        sim.with_controller(sw, |c, _| {
+            let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+            if let Some(a) = acc.current_action(port, PRIO_RDMA) {
+                histogram[a] += 1;
+            }
+        });
+    }
+    // Mean observed reward per action over the replay memory (the reward
+    // landscape each design exposes to the learner).
+    let mean_rewards = sim.with_controller(sw, |c, _| {
+        let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+        let agent = acc.agent();
+        let agent = agent.borrow();
+        let mut sum = [0.0f64; 10];
+        let mut cnt = [0usize; 10];
+        for t in agent.replay.iter() {
+            sum[t.action] += t.reward as f64;
+            cnt[t.action] += 1;
+        }
+        (0..10)
+            .map(|a| if cnt[a] > 0 { sum[a] / cnt[a] as f64 } else { 0.0 })
+            .collect::<Vec<f64>>()
+    });
+    let _ = &fct;
+    let tx1 = {
+        let now = sim.now();
+        let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
+        q.sync_clock(now);
+        q.telem.tx_bytes
+    };
+    let window = horizon - converge_from;
+    let goodput_gbps = (tx1 - tx0) as f64 * 8.0 / window.as_secs_f64() / 1e9;
+    // Time-average queue over the converged window only.
+    let avg_q = {
+        let q = sim.core().queue(sw, port, PRIO_RDMA);
+        let _ = q;
+        common::queue_time_avg(&mut sim, sw, port, PRIO_RDMA)
+    };
+    (histogram, avg_q / 1024.0, goodput_gbps, mean_rewards)
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Value {
+    common::banner("fig17", "reward ablation: converged action choice, step vs linear D(L)");
+    let mut out = Vec::new();
+    for (name, penalty) in [
+        ("step (paper)", QueuePenalty::Step),
+        (
+            "linear",
+            QueuePenalty::Linear {
+                qmax_bytes: 10 * 1024 * 1024,
+            },
+        ),
+    ] {
+        let (hist, avg_q_kb, goodput, rewards) = run_one(penalty, scale);
+        let total: u64 = hist.iter().sum::<u64>().max(1);
+        println!("\n-- D(L) = {name} --");
+        println!("{:>10} {:>10} {:>14}", "K", "chosen", "mean reward");
+        for (n, h) in hist.iter().enumerate() {
+            println!(
+                "{:>9}K {:>9.0}% {:>14.3}",
+                acc_core::reward::e_n(n) / 1024,
+                *h as f64 / total as f64 * 100.0,
+                rewards[n]
+            );
+        }
+        // Mass on the low half of the ladder (the "expected" actions for an
+        // incast-congested queue).
+        let low_mass: u64 = hist[..4].iter().sum();
+        println!(
+            "low-threshold mass (K <= 160KB): {:.0}%   avg queue {avg_q_kb:.1} KB   goodput {goodput:.2} Gbps",
+            low_mass as f64 / total as f64 * 100.0
+        );
+        out.push(json!({
+            "penalty": name,
+            "action_histogram": hist,
+            "mean_reward_per_action": rewards,
+            "low_threshold_mass": low_mass as f64 / total as f64,
+            "avg_queue_kb": avg_q_kb,
+            "goodput_gbps": goodput,
+        }));
+    }
+    let v = json!({ "designs": out });
+    common::save_results_scaled("fig17", &v, scale);
+    v
+}

@@ -1,0 +1,70 @@
+//! CLI entry point: `acc-bench <experiment|all|list> [--quick]`.
+
+use acc_bench::{experiments, Scale};
+
+/// Train the offline model and save it as a deployable bundle.
+fn train(scale: Scale, out: &str) {
+    let model = acc_bench::common::pretrained_model(scale);
+    let bundle = acc_core::DeployBundle::new(
+        format!(
+            "acc-bench train ({}) — offline mix of incast + WebSearch/DataMining on the 24-host Clos",
+            if scale.quick { "quick" } else { "full" }
+        ),
+        model,
+        acc_core::ActionSpace::templates(),
+        acc_core::RewardConfig::default(),
+        3,
+    );
+    bundle.save(out).expect("write bundle");
+    println!("wrote deployable bundle to {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let which: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let all = experiments();
+    if which.is_empty() || which[0] == "list" {
+        println!("usage: acc-bench <id>... [--quick]   or   acc-bench all [--quick]");
+        println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle\n");
+        println!("{:<10} description", "id");
+        for (id, desc, _) in &all {
+            println!("{id:<10} {desc}");
+        }
+        return;
+    }
+    if which[0] == "train" {
+        let out = which.get(1).map(|s| s.as_str()).unwrap_or("acc_model_bundle.json");
+        train(scale, out);
+        return;
+    }
+
+    let start = std::time::Instant::now();
+    if which.iter().any(|w| *w == "all") {
+        for (id, _, f) in &all {
+            let t = std::time::Instant::now();
+            f(scale);
+            eprintln!("[{id}] finished in {:.1}s", t.elapsed().as_secs_f64());
+        }
+    } else {
+        for w in &which {
+            match all.iter().find(|(id, _, _)| id == *w) {
+                Some((id, _, f)) => {
+                    let t = std::time::Instant::now();
+                    f(scale);
+                    eprintln!("[{id}] finished in {:.1}s", t.elapsed().as_secs_f64());
+                }
+                None => {
+                    eprintln!("unknown experiment '{w}' — try `acc-bench list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    eprintln!("total: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,506 @@
+//! The distributed ACC controller: one per switch (§3.2–§4).
+//!
+//! Every control tick (`Δt`, one order of magnitude above the RTT so the
+//! DCQCN control loop has time to settle between actions, §3.3), for every
+//! monitored egress queue the controller:
+//!
+//! 1. reads the telemetry registers (queue depth, tx bytes, marked tx
+//!    bytes) and differences them against the previous tick;
+//! 2. computes the reward of the *previous* action from the interval's link
+//!    utilisation and time-average queue length;
+//! 3. stores the transition `{S_t, a_t, r_t, S_{t+1}}` into the replay
+//!    memory and (when online training is enabled) runs DDQN minibatch
+//!    updates (Algorithm 1);
+//! 4. selects the next action ε-greedily and writes the chosen
+//!    `{Kmin, Kmax, Pmax}` template into the forwarding chip.
+//!
+//! The busy/idle optimisation of §4.2 suspends inference for queues that
+//! stay below `Kmin` with an unchanged reward for three consecutive slots,
+//! resuming the moment the queue crosses `Kmin` again.
+//!
+//! All queues of a switch share one DDQN (the hardware runs one model and
+//! iterates over queues); the model itself can additionally be shared
+//! *across* switches during offline pre-training (see [`crate::trainer`]),
+//! and experience flows between switches through a global replay memory
+//! (§3.4).
+
+use crate::action::ActionSpace;
+use crate::reward::RewardConfig;
+use crate::state::{QueueObs, StateWindow};
+use netsim::ids::PRIO_RDMA;
+use netsim::prelude::*;
+use netsim::queues::QueueTelemetry;
+use rl::{DdqnAgent, DdqnConfig, ReplayBuffer, Transition};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Configuration of an [`AccController`].
+#[derive(Clone, Debug)]
+pub struct AccConfig {
+    /// DDQN hyper-parameters.
+    pub ddqn: DdqnConfig,
+    /// Reward weights/mapping.
+    pub reward: RewardConfig,
+    /// History length `k` (paper: 3).
+    pub history_k: usize,
+    /// Traffic classes whose queues ACC tunes (default: the RDMA class).
+    pub target_prios: Vec<Prio>,
+    /// Train online (store transitions and run minibatch updates).
+    pub online_training: bool,
+    /// Explore online (ε-greedy). With `false`, pure greedy inference.
+    pub explore: bool,
+    /// Minibatch updates per control tick when training online.
+    pub trains_per_tick: usize,
+    /// Enable the §4.2 busy/idle inference-skipping optimisation.
+    pub idle_optimization: bool,
+    /// Exchange experience with the global replay memory every this many
+    /// ticks (paper: "several seconds"; scaled down for simulation).
+    pub exchange_every_ticks: u64,
+    /// Transitions copied per exchange, each direction.
+    pub exchange_batch: usize,
+    /// RNG seed for this controller's agent.
+    pub seed: u64,
+}
+
+impl Default for AccConfig {
+    fn default() -> Self {
+        AccConfig {
+            ddqn: DdqnConfig::default(),
+            reward: RewardConfig::default(),
+            history_k: 3,
+            target_prios: vec![PRIO_RDMA],
+            online_training: true,
+            explore: true,
+            trains_per_tick: 1,
+            idle_optimization: true,
+            exchange_every_ticks: 200,
+            exchange_batch: 64,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-queue bookkeeping.
+struct QueueCtx {
+    window: StateWindow,
+    prev: Option<(Vec<f32>, usize)>,
+    prev_telem: QueueTelemetry,
+    last_tick: SimTime,
+    action_idx: usize,
+    /// §4.2 busy/idle machinery.
+    idle: bool,
+    last_reward: f64,
+    unchanged_slots: u32,
+}
+
+/// Counters for the §4.2 optimisation and general introspection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccStats {
+    /// Control ticks handled.
+    pub ticks: u64,
+    /// Inferences actually run.
+    pub inferences: u64,
+    /// Inferences skipped because the queue was idle.
+    pub skipped_idle: u64,
+    /// Training minibatches run.
+    pub train_steps: u64,
+}
+
+/// The per-switch ACC module.
+pub struct AccController {
+    cfg: AccConfig,
+    space: ActionSpace,
+    /// The DDQN; `Rc` so offline training can share one model across
+    /// switches (a unique `Rc` is simply a private agent).
+    agent: Rc<RefCell<DdqnAgent>>,
+    /// Optional global replay memory shared across switches.
+    global_replay: Option<Rc<RefCell<ReplayBuffer>>>,
+    queues: HashMap<(u16, Prio), QueueCtx>,
+    /// Introspection counters.
+    pub stats: AccStats,
+    /// Most recent rewards (for experiment traces): keyed like `queues`.
+    pub last_rewards: HashMap<(u16, Prio), f64>,
+}
+
+impl AccController {
+    /// Create a controller with its own private agent.
+    pub fn new(cfg: AccConfig, space: ActionSpace) -> Self {
+        let state_dim = cfg.history_k * crate::state::FEATURES_PER_OBS;
+        let agent = DdqnAgent::new(state_dim, space.len(), cfg.ddqn.clone(), cfg.seed);
+        Self::with_agent(cfg, space, Rc::new(RefCell::new(agent)))
+    }
+
+    /// Create a controller around an existing (possibly shared) agent.
+    pub fn with_agent(
+        cfg: AccConfig,
+        space: ActionSpace,
+        agent: Rc<RefCell<DdqnAgent>>,
+    ) -> Self {
+        {
+            let a = agent.borrow();
+            assert_eq!(
+                a.state_dim(),
+                cfg.history_k * crate::state::FEATURES_PER_OBS,
+                "agent input must match k x 4 features"
+            );
+            assert_eq!(a.n_actions(), space.len(), "agent output vs action space");
+        }
+        AccController {
+            cfg,
+            space,
+            agent,
+            global_replay: None,
+            queues: HashMap::new(),
+            stats: AccStats::default(),
+            last_rewards: HashMap::new(),
+        }
+    }
+
+    /// Create a controller seeded from a pre-trained model (§4.3 offline →
+    /// online hand-off), with a fresh fast-decaying exploration budget.
+    pub fn from_model(cfg: AccConfig, space: ActionSpace, model: &rl::Mlp) -> Self {
+        let ctl = Self::new(cfg, space);
+        ctl.agent.borrow_mut().load_model(model);
+        ctl
+    }
+
+    /// Attach the cross-switch global replay memory.
+    pub fn set_global_replay(&mut self, g: Rc<RefCell<ReplayBuffer>>) {
+        self.global_replay = Some(g);
+    }
+
+    /// The action space in use.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    /// Snapshot the current model.
+    pub fn export_model(&self) -> rl::Mlp {
+        self.agent.borrow().export_model()
+    }
+
+    /// Handle to the (possibly shared) agent.
+    pub fn agent(&self) -> Rc<RefCell<DdqnAgent>> {
+        self.agent.clone()
+    }
+
+    /// The currently applied action index for a queue, if any.
+    pub fn current_action(&self, port: PortId, prio: Prio) -> Option<usize> {
+        self.queues.get(&(port.0, prio)).map(|q| q.action_idx)
+    }
+
+    fn tick_queue(&mut self, view: &mut SwitchView<'_>, port: PortId, prio: Prio) {
+        let snap = view.snapshot(port, prio);
+        let now = view.now();
+        let key = (port.0, prio);
+        let k = self.cfg.history_k;
+        let space_len = self.space.len();
+
+        let q = self.queues.entry(key).or_insert_with(|| {
+            // First sight of this queue: encode whatever config it carries.
+            let action_idx = snap
+                .ecn
+                .map(|e| self.space.nearest(&e))
+                .unwrap_or(space_len / 2);
+            QueueCtx {
+                window: StateWindow::new(k),
+                prev: None,
+                prev_telem: snap.telem,
+                last_tick: now,
+                action_idx,
+                idle: false,
+                last_reward: f64::NAN,
+                unchanged_slots: 0,
+            }
+        });
+
+        let dt = now.saturating_sub(q.last_tick);
+        if dt == SimTime::ZERO {
+            return;
+        }
+        let tx_bytes = snap.telem.tx_bytes - q.prev_telem.tx_bytes;
+        let tx_marked = snap.telem.tx_marked_bytes - q.prev_telem.tx_marked_bytes;
+        let qlen_integral =
+            snap.telem.qlen_integral_byte_ps - q.prev_telem.qlen_integral_byte_ps;
+        let avg_qlen = (qlen_integral / dt.as_ps() as u128) as u64;
+        let utilization = if snap.link_bps > 0 {
+            (tx_bytes as f64 * 8.0) / (snap.link_bps as f64 * dt.as_secs_f64())
+        } else {
+            0.0
+        };
+        let reward = self.cfg.reward.reward(utilization, avg_qlen);
+        self.last_rewards.insert(key, reward);
+
+        let obs = QueueObs {
+            qlen_bytes: snap.qlen_bytes,
+            tx_bytes,
+            tx_marked_bytes: tx_marked,
+            dt,
+            link_bps: snap.link_bps,
+            ecn_encoded: self.space.encode(q.action_idx),
+        };
+        q.window.push(&obs);
+        q.prev_telem = snap.telem;
+        q.last_tick = now;
+        let state = q.window.state();
+
+        // §4.2 busy/idle: skip inference for quiet queues. A queue becomes
+        // idle after three slots below Kmin with an unchanged reward; it
+        // wakes when the queue crosses Kmin *or* the reward moves again
+        // (traffic resumed) — waking on Kmin alone would freeze a queue
+        // forever under a high-threshold action.
+        if self.cfg.idle_optimization {
+            let kmin = snap.ecn.map(|e| e.kmin_bytes).unwrap_or(0);
+            let changed = (reward - q.last_reward).abs() > 1e-6;
+            if q.idle {
+                if snap.qlen_bytes > kmin || changed {
+                    q.idle = false;
+                    q.unchanged_slots = 0;
+                    q.last_reward = reward;
+                } else {
+                    q.prev = None; // don't learn across the idle gap
+                    q.last_reward = reward;
+                    self.stats.skipped_idle += 1;
+                    return;
+                }
+            } else {
+                let unchanged = !changed && q.last_reward.is_finite();
+                q.last_reward = reward;
+                if snap.qlen_bytes < kmin && unchanged {
+                    q.unchanged_slots += 1;
+                    if q.unchanged_slots >= 3 {
+                        q.idle = true;
+                    }
+                } else {
+                    q.unchanged_slots = 0;
+                }
+            }
+        }
+
+        // Learn from the previous action.
+        let mut agent = self.agent.borrow_mut();
+        if let Some((ps, pa)) = q.prev.take() {
+            if self.cfg.online_training {
+                agent.observe(Transition {
+                    state: ps,
+                    action: pa,
+                    reward: reward as f32,
+                    next_state: state.clone(),
+                    done: false,
+                });
+            }
+        }
+
+        // Choose and apply the next action.
+        let action = if self.cfg.explore {
+            agent.select_action(&state)
+        } else {
+            agent.best_action(&state)
+        };
+        self.stats.inferences += 1;
+        drop(agent);
+        q.prev = Some((state, action));
+        q.action_idx = action;
+        view.set_ecn(port, prio, Some(self.space.get(action)));
+    }
+
+    fn maybe_exchange(&mut self) {
+        let Some(global) = &self.global_replay else {
+            return;
+        };
+        if self.cfg.exchange_every_ticks == 0
+            || !self.stats.ticks.is_multiple_of(self.cfg.exchange_every_ticks)
+        {
+            return;
+        }
+        let mut agent = self.agent.borrow_mut();
+        let mut g = global.borrow_mut();
+        // Push local experience up, pull shared experience down. We reuse a
+        // cheap deterministic RNG derived from the tick counter.
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
+            self.cfg.seed ^ self.stats.ticks,
+        );
+        let n = self.cfg.exchange_batch;
+        // Split borrows: clone out of the agent's replay into global, then
+        // back.
+        agent.replay.exchange_into(&mut g, &mut rng, n);
+        agent.replay.pull_from(&g, &mut rng, n);
+    }
+}
+
+impl QueueController for AccController {
+    fn on_tick(&mut self, view: &mut SwitchView<'_>) {
+        self.stats.ticks += 1;
+        let n_ports = view.num_ports();
+        let prios = self.cfg.target_prios.clone();
+        for p in 0..n_ports {
+            for &prio in &prios {
+                self.tick_queue(view, PortId(p as u16), prio);
+            }
+        }
+        if self.cfg.online_training {
+            let mut agent = self.agent.borrow_mut();
+            for _ in 0..self.cfg.trains_per_tick {
+                if agent.train_step().is_some() {
+                    self.stats.train_steps += 1;
+                }
+            }
+        }
+        self.maybe_exchange();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Install ACC controllers on every switch. Each switch gets its own agent
+/// (cloned exploration schedules differ by `seed + switch index`) and all of
+/// them share one global replay memory, as in the paper's multi-agent design.
+///
+/// Returns the shared global replay handle.
+pub fn install_acc(
+    sim: &mut Simulator,
+    cfg: &AccConfig,
+    space: &ActionSpace,
+) -> Rc<RefCell<ReplayBuffer>> {
+    let global = Rc::new(RefCell::new(ReplayBuffer::new(
+        cfg.ddqn.replay_capacity * 4,
+    )));
+    let switches: Vec<NodeId> = sim.core().topo.switches().to_vec();
+    for (i, sw) in switches.into_iter().enumerate() {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(i as u64);
+        let mut ctl = AccController::new(c, space.clone());
+        ctl.set_global_replay(global.clone());
+        sim.set_controller(sw, Box::new(ctl));
+    }
+    global
+}
+
+/// Install ACC controllers that all start from `model`.
+pub fn install_acc_with_model(
+    sim: &mut Simulator,
+    cfg: &AccConfig,
+    space: &ActionSpace,
+    model: &rl::Mlp,
+) -> Rc<RefCell<ReplayBuffer>> {
+    let global = Rc::new(RefCell::new(ReplayBuffer::new(
+        cfg.ddqn.replay_capacity * 4,
+    )));
+    let switches: Vec<NodeId> = sim.core().topo.switches().to_vec();
+    for (i, sw) in switches.into_iter().enumerate() {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(i as u64);
+        let mut ctl = AccController::from_model(c, space.clone(), model);
+        ctl.set_global_replay(global.clone());
+        sim.set_controller(sw, Box::new(ctl));
+    }
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> AccConfig {
+        let mut cfg = AccConfig::default();
+        cfg.ddqn.min_replay = 8;
+        cfg.ddqn.batch_size = 8;
+        cfg
+    }
+
+    #[test]
+    fn controller_ticks_and_applies_actions() {
+        let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+        let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+        let mut sim = Simulator::new(topo, simcfg);
+        let sw = sim.core().topo.switches()[0];
+        let space = ActionSpace::templates();
+        sim.set_controller(sw, Box::new(AccController::new(small_cfg(), space.clone())));
+        sim.run_until(SimTime::from_ms(5));
+        // Every RDMA queue now carries a template config.
+        for p in 0..2u16 {
+            let e = sim.core().queue(sw, PortId(p), PRIO_RDMA).ecn.unwrap();
+            assert!(space.actions().contains(&e));
+        }
+        sim.with_controller(sw, |c, _| {
+            let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+            assert_eq!(acc.stats.ticks, 100);
+            assert!(acc.stats.inferences > 0);
+        });
+    }
+
+    #[test]
+    fn idle_queues_skip_inference() {
+        // No traffic at all: after the warm-up slots every queue goes idle.
+        let topo = TopologySpec::single_switch(4, 25_000_000_000, SimTime::from_ns(500)).build();
+        let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+        let mut sim = Simulator::new(topo, simcfg);
+        let sw = sim.core().topo.switches()[0];
+        sim.set_controller(
+            sw,
+            Box::new(AccController::new(small_cfg(), ActionSpace::templates())),
+        );
+        sim.run_until(SimTime::from_ms(10));
+        sim.with_controller(sw, |c, _| {
+            let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+            assert!(
+                acc.stats.skipped_idle > acc.stats.inferences,
+                "idle network should mostly skip: ran {} skipped {}",
+                acc.stats.inferences,
+                acc.stats.skipped_idle
+            );
+        });
+    }
+
+    #[test]
+    fn disabled_idle_optimization_always_infers() {
+        let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+        let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+        let mut sim = Simulator::new(topo, simcfg);
+        let sw = sim.core().topo.switches()[0];
+        let mut cfg = small_cfg();
+        cfg.idle_optimization = false;
+        sim.set_controller(sw, Box::new(AccController::new(cfg, ActionSpace::templates())));
+        sim.run_until(SimTime::from_ms(5));
+        sim.with_controller(sw, |c, _| {
+            let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+            assert_eq!(acc.stats.skipped_idle, 0);
+            // First tick per queue only initialises telemetry bookkeeping.
+            assert_eq!(acc.stats.inferences, (acc.stats.ticks - 1) * 2);
+        });
+    }
+
+    #[test]
+    fn model_round_trips_through_controllers() {
+        let cfg = small_cfg();
+        let space = ActionSpace::templates();
+        let a = AccController::new(cfg.clone(), space.clone());
+        let m = a.export_model();
+        let b = AccController::from_model(cfg, space, &m);
+        let s = vec![0.25f32; 12];
+        assert_eq!(
+            a.agent().borrow().q_values(&s),
+            b.agent().borrow().q_values(&s)
+        );
+    }
+
+    #[test]
+    fn install_acc_covers_all_switches() {
+        let topo = TopologySpec::paper_testbed().build();
+        let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+        let mut sim = Simulator::new(topo, simcfg);
+        let space = ActionSpace::templates();
+        let _g = install_acc(&mut sim, &small_cfg(), &space);
+        sim.run_until(SimTime::from_ms(1));
+        for sw in sim.core().topo.switches().to_vec() {
+            sim.with_controller(sw, |c, _| {
+                let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+                assert!(acc.stats.ticks > 0);
+            });
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Deployment bundles: the artifact ACC ships to switches.
+//!
+//! The paper's flow (§4.3) is: train offline → install "the same offline
+//! training model for network switches" → each switch fine-tunes online.
+//! What actually travels to the switch is more than raw weights — the
+//! action-template table and the state/reward conventions must match the
+//! model, or inference is garbage. A [`DeployBundle`] packages all of it,
+//! versioned, as one JSON artifact with an integrity digest.
+
+use crate::action::ActionSpace;
+use crate::controller::{AccConfig, AccController};
+use crate::reward::RewardConfig;
+use rl::Mlp;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Bundle format version (bump on incompatible changes).
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// A self-contained deployable ACC model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeployBundle {
+    /// Format version.
+    pub version: u32,
+    /// Free-form provenance (training traffic, date, commit...).
+    pub provenance: String,
+    /// The trained evaluation network.
+    pub model: Mlp,
+    /// The action-template table the model's outputs index into.
+    pub actions: ActionSpace,
+    /// Reward convention the model was trained under (for audit/retrain).
+    pub reward: RewardConfig,
+    /// History length k the state builder must use.
+    pub history_k: usize,
+    /// FNV-1a digest over the serialized model (integrity check).
+    pub digest: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl DeployBundle {
+    /// Package a trained model with its conventions.
+    pub fn new(
+        provenance: impl Into<String>,
+        model: Mlp,
+        actions: ActionSpace,
+        reward: RewardConfig,
+        history_k: usize,
+    ) -> Self {
+        assert_eq!(
+            model.output_dim(),
+            actions.len(),
+            "model outputs must match the action table"
+        );
+        assert_eq!(
+            model.input_dim(),
+            history_k * crate::state::FEATURES_PER_OBS,
+            "model inputs must match k x 4 features"
+        );
+        let digest = fnv1a(serde_json::to_string(&model).expect("model serializes").as_bytes());
+        DeployBundle {
+            version: BUNDLE_VERSION,
+            provenance: provenance.into(),
+            model,
+            actions,
+            reward,
+            history_k,
+            digest,
+        }
+    }
+
+    /// Verify internal consistency (version, dims, digest).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.version != BUNDLE_VERSION {
+            return Err(format!(
+                "bundle version {} != supported {}",
+                self.version, BUNDLE_VERSION
+            ));
+        }
+        if self.model.output_dim() != self.actions.len() {
+            return Err("model outputs != action table size".into());
+        }
+        if self.model.input_dim() != self.history_k * crate::state::FEATURES_PER_OBS {
+            return Err("model inputs != k x 4 features".into());
+        }
+        let digest =
+            fnv1a(serde_json::to_string(&self.model).expect("model serializes").as_bytes());
+        if digest != self.digest {
+            return Err("model digest mismatch (corrupted bundle)".into());
+        }
+        Ok(())
+    }
+
+    /// Build a controller from the bundle with the given runtime behaviour
+    /// (e.g. [`crate::trainer::online_config`] or
+    /// [`crate::trainer::frozen_config`] applied to a base [`AccConfig`]).
+    pub fn instantiate(&self, mut cfg: AccConfig) -> Result<AccController, String> {
+        self.validate()?;
+        cfg.history_k = self.history_k;
+        cfg.reward = self.reward;
+        Ok(AccController::from_model(
+            cfg,
+            self.actions.clone(),
+            &self.model,
+        ))
+    }
+
+    /// Persist as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).expect("bundle serializes"))
+    }
+
+    /// Load and validate from JSON.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let bundle: DeployBundle = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        bundle
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle() -> DeployBundle {
+        let space = ActionSpace::templates();
+        let model = Mlp::new(&[12, 40, 40, space.len()], 3);
+        DeployBundle::new(
+            "unit test",
+            model,
+            space,
+            RewardConfig::default(),
+            3,
+        )
+    }
+
+    #[test]
+    fn new_bundle_validates() {
+        assert!(bundle().validate().is_ok());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut b = bundle();
+        b.digest ^= 1;
+        assert!(b.validate().unwrap_err().contains("digest"));
+        let mut b2 = bundle();
+        b2.version = 99;
+        assert!(b2.validate().unwrap_err().contains("version"));
+    }
+
+    #[test]
+    #[should_panic(expected = "model outputs")]
+    fn mismatched_action_table_rejected_at_build() {
+        let space = ActionSpace::templates();
+        let model = Mlp::new(&[12, 40, 5], 3); // wrong output width
+        DeployBundle::new("x", model, space, RewardConfig::default(), 3);
+    }
+
+    #[test]
+    fn file_round_trip_and_instantiate() {
+        let b = bundle();
+        let path = std::env::temp_dir().join("acc_bundle_test.json");
+        b.save(&path).unwrap();
+        let loaded = DeployBundle::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.provenance, "unit test");
+
+        let cfg = crate::trainer::frozen_config(&AccConfig::default());
+        let ctl = loaded.instantiate(cfg).unwrap();
+        // The instantiated controller answers with the bundled model.
+        let s = vec![0.25f32; 12];
+        assert_eq!(ctl.agent().borrow().q_values(&s), b.model.forward(&s));
+    }
+
+    #[test]
+    fn instantiate_rejects_bad_bundle() {
+        let mut b = bundle();
+        b.digest ^= 7;
+        assert!(b.instantiate(AccConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # acc-core — Automatic ECN tuning (the ACC system, SIGCOMM 2021)
+//!
+//! This crate is the paper's primary contribution: a per-switch Deep-RL
+//! controller that retunes the RED/ECN marking configuration
+//! `{Kmin, Kmax, Pmax}` of every egress queue, every monitoring interval
+//! `Δt`, from locally observable telemetry only.
+//!
+//! The pieces map directly onto the paper:
+//!
+//! * [`state`] — the agent's state: per queue, the last `k = 3` monitoring
+//!   intervals of four normalised features `(qlen, txRate, txRate(m),
+//!   ECN(c))`, i.e. 12 inputs (§3.3 "Markov property").
+//! * [`action`] — the discretised action space: `Kmin = 20·2ⁿ KB` for
+//!   `n ∈ 0..9` (eq. 1), coarse `Kmax ∈ {1,2,5,10} MB`, `Pmax ∈ {1%, j·5%}`,
+//!   plus the curated ~20-entry *template* space that the deployed system's
+//!   small NN output layer actually selects from (§3.3, §6).
+//! * [`reward`] — `r = ω₁·T(R) + ω₂·D(L)` with the step-mapped queue-length
+//!   penalty of Fig. 4 (and the linear variant of Appendix .1 for the
+//!   ablation).
+//! * [`controller`] — [`controller::AccController`], a
+//!   [`netsim::QueueController`] housing a Double-DQN agent (shared across
+//!   the switch's queues), per-queue state windows, online training, the
+//!   busy/idle inference-skipping optimisation of §4.2, and the global
+//!   replay-memory exchange of §3.4.
+//! * [`centralized`] — the C-ACC strawman of §5.4: one agent for the whole
+//!   fabric with per-layer actions and a collection-latency handicap.
+//! * [`hybrid`] — the §6 "optimal solution may be hybrid" sketch: local
+//!   per-switch inference with centralized training and periodic model
+//!   pushes (H-ACC).
+//! * [`static_ecn`] — the SECN0/1/2 and vendor-default baselines.
+//! * [`trainer`] — offline-training helpers: share one model across all
+//!   switches during pre-training, export it, and redeploy it frozen or with
+//!   a small online exploration budget (§4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod centralized;
+pub mod controller;
+pub mod deploy;
+pub mod hybrid;
+pub mod reward;
+pub mod state;
+pub mod static_ecn;
+pub mod trainer;
+
+pub use action::ActionSpace;
+pub use centralized::{CentralBrain, CentralizedAcc};
+pub use hybrid::{CentralTrainer, HybridAcc};
+pub use controller::{AccConfig, AccController};
+pub use deploy::DeployBundle;
+pub use reward::{e_n, ladder_index, QueuePenalty, RewardConfig};
+pub use state::{QueueObs, StateWindow, FEATURES_PER_OBS};
+pub use static_ecn::StaticEcnPolicy;

@@ -1,0 +1,170 @@
+//! The reward function: `r = ω₁·T(R) + ω₂·D(L)` (paper eq. 2).
+//!
+//! `T(R) = txRate / BW` is the link utilisation over the interval.
+//! `D(L)` penalises the *time-average* queue length `L` through the step
+//! mapping of Fig. 4: `D(L) = 1 - n/10` with `n = argmin_n (E(n) ≥ L)` over
+//! the exponential ladder `E(n) = 20·2ⁿ KB` (eq. 1). The step shape gives
+//! fine-grained reward differentiation at small queue depths — where most
+//! DCN congestion lives — and coarse differentiation beyond 1 MB, where any
+//! queue already means hundreds of microseconds of delay (Appendix .1).
+//!
+//! The linear mapping `D(L) = 1 - L/Qmax` is provided for the Appendix-.1
+//! ablation (Fig. 17): it makes rewards of different actions nearly
+//! indistinguishable at small queue depths and trains noticeably worse.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of rungs in the exponential ladder of eq. (1).
+pub const LADDER_LEVELS: usize = 10;
+
+/// The paper's discretisation base: `E(n) = ALPHA_KB · 2ⁿ KB`.
+pub const ALPHA_KB: u64 = 20;
+
+/// `E(n) = 20·2ⁿ KB`, the exponential threshold ladder (eq. 1).
+///
+/// ```
+/// use acc_core::reward::e_n;
+/// assert_eq!(e_n(0), 20 * 1024);
+/// assert_eq!(e_n(9), 10240 * 1024); // 10 MB
+/// ```
+pub const fn e_n(n: usize) -> u64 {
+    ALPHA_KB * 1024 * (1 << n)
+}
+
+/// Smallest `n` with `E(n) ≥ bytes`, saturating at [`LADDER_LEVELS`] for
+/// queue lengths beyond `E(9)` (= 10 MB).
+pub fn ladder_index(bytes: u64) -> usize {
+    for n in 0..LADDER_LEVELS {
+        if e_n(n) >= bytes {
+            return n;
+        }
+    }
+    LADDER_LEVELS
+}
+
+/// Which queue-length → penalty mapping to use.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum QueuePenalty {
+    /// The paper's step mapping (Fig. 4): `D(L) = 1 - n/10`.
+    Step,
+    /// Appendix-.1 ablation: `D(L) = 1 - L/qmax`, clamped at 0.
+    Linear {
+        /// Buffer size the linear map normalises by (paper uses 10 MB).
+        qmax_bytes: u64,
+    },
+}
+
+impl QueuePenalty {
+    /// Evaluate `D(L)` for an average queue length of `bytes`.
+    pub fn d(self, bytes: u64) -> f64 {
+        match self {
+            QueuePenalty::Step => 1.0 - ladder_index(bytes) as f64 / LADDER_LEVELS as f64,
+            QueuePenalty::Linear { qmax_bytes } => {
+                (1.0 - bytes as f64 / qmax_bytes as f64).max(0.0)
+            }
+        }
+    }
+}
+
+/// Weights and mapping for the reward.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Utilisation weight ω₁ (paper recommends 0.7 for storage systems).
+    pub w_throughput: f64,
+    /// Queue-penalty weight ω₂ (= 1 − ω₁ in the paper; kept independent so
+    /// ablations can vary them).
+    pub w_delay: f64,
+    /// Queue-length mapping.
+    pub penalty: QueuePenalty,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig {
+            w_throughput: 0.7,
+            w_delay: 0.3,
+            penalty: QueuePenalty::Step,
+        }
+    }
+}
+
+impl RewardConfig {
+    /// Compute the reward for one interval.
+    ///
+    /// `utilization` is `txRate/BW` in `[0, 1]`; `avg_qlen_bytes` is the
+    /// time-average queue depth over the interval.
+    pub fn reward(&self, utilization: f64, avg_qlen_bytes: u64) -> f64 {
+        let t = utilization.clamp(0.0, 1.0);
+        self.w_throughput * t + self.w_delay * self.penalty.d(avg_qlen_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_values() {
+        assert_eq!(e_n(0), 20 * 1024);
+        assert_eq!(e_n(1), 40 * 1024);
+        assert_eq!(e_n(5), 640 * 1024);
+        assert_eq!(e_n(9), 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn ladder_index_boundaries() {
+        assert_eq!(ladder_index(0), 0);
+        assert_eq!(ladder_index(20 * 1024), 0);
+        assert_eq!(ladder_index(20 * 1024 + 1), 1);
+        assert_eq!(ladder_index(10 * 1024 * 1024), 9);
+        assert_eq!(ladder_index(10 * 1024 * 1024 + 1), LADDER_LEVELS);
+        assert_eq!(ladder_index(u64::MAX), LADDER_LEVELS);
+    }
+
+    #[test]
+    fn step_penalty_matches_figure4() {
+        let p = QueuePenalty::Step;
+        assert_eq!(p.d(0), 1.0);
+        // Just under 40KB -> n=1 -> 0.9
+        assert!((p.d(30 * 1024) - 0.9).abs() < 1e-12);
+        // 1 MB -> n = argmin E(n)>=1MB; E(5)=640K, E(6)=1280K -> n=6 -> 0.4
+        assert!((p.d(1024 * 1024) - 0.4).abs() < 1e-12);
+        // Huge queue -> 0.
+        assert_eq!(p.d(100 * 1024 * 1024), 0.0);
+    }
+
+    #[test]
+    fn step_differentiates_small_queues_linear_does_not() {
+        // The Appendix-.1 argument: at 20KB vs 160KB, the step map separates
+        // rewards strongly while the linear map barely moves.
+        let step = QueuePenalty::Step;
+        let lin = QueuePenalty::Linear {
+            qmax_bytes: 10 * 1024 * 1024,
+        };
+        let step_gap = step.d(20 * 1024) - step.d(160 * 1024);
+        let lin_gap = lin.d(20 * 1024) - lin.d(160 * 1024);
+        assert!(step_gap >= 0.3, "step gap {step_gap}");
+        assert!(lin_gap < 0.02, "linear gap {lin_gap}");
+    }
+
+    #[test]
+    fn linear_penalty_clamped() {
+        let lin = QueuePenalty::Linear { qmax_bytes: 1000 };
+        assert_eq!(lin.d(0), 1.0);
+        assert_eq!(lin.d(500), 0.5);
+        assert_eq!(lin.d(2000), 0.0);
+    }
+
+    #[test]
+    fn reward_tradeoff() {
+        let cfg = RewardConfig::default();
+        // Full utilisation, empty queue: maximum reward 1.0.
+        assert!((cfg.reward(1.0, 0) - 1.0).abs() < 1e-12);
+        // Idle link, empty queue: only the delay term.
+        assert!((cfg.reward(0.0, 0) - 0.3).abs() < 1e-12);
+        // Full utilisation, giant queue: only the throughput term.
+        assert!((cfg.reward(1.0, 100 << 20) - 0.7).abs() < 1e-12);
+        // Utilisation clamped.
+        assert!((cfg.reward(1.7, 0) - 1.0).abs() < 1e-12);
+    }
+}

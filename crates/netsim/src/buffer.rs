@@ -1,0 +1,127 @@
+//! Shared switch buffer with dynamic-threshold PFC accounting.
+//!
+//! Commodity switching chips pool most of their packet memory and account
+//! buffered bytes against the *ingress* (port, priority) a packet arrived on.
+//! When an ingress counter exceeds a dynamic Xoff threshold — a fraction
+//! `alpha` of the remaining free buffer — the switch sends a PFC PAUSE
+//! upstream for that priority; once the counter falls below the Xon point it
+//! sends RESUME. The ACC paper's testbed uses the NIC-vendor default
+//! `alpha = 1/8` (§5.1), i.e. pause when an ingress queue consumes more than
+//! ~11% of the free buffer.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared-buffer occupancy and PFC threshold logic for one switch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SharedBuffer {
+    /// Total packet memory in bytes.
+    pub total: u64,
+    /// Bytes currently buffered (across all ports/classes).
+    pub used: u64,
+    /// Dynamic threshold parameter.
+    pub alpha: f64,
+    /// Xon point as a fraction of the Xoff threshold (hysteresis).
+    pub xon_frac: f64,
+}
+
+impl SharedBuffer {
+    /// Create an empty buffer.
+    pub fn new(total: u64, alpha: f64, xon_frac: f64) -> Self {
+        assert!(total > 0 && alpha > 0.0 && (0.0..=1.0).contains(&xon_frac));
+        SharedBuffer {
+            total,
+            used: 0,
+            alpha,
+            xon_frac,
+        }
+    }
+
+    /// Free bytes remaining.
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.total - self.used
+    }
+
+    /// Can `size` more bytes be admitted at all?
+    #[inline]
+    pub fn can_admit(&self, size: u32) -> bool {
+        self.used + size as u64 <= self.total
+    }
+
+    /// Charge `size` bytes to the pool. Panics if the caller skipped
+    /// [`SharedBuffer::can_admit`].
+    #[inline]
+    pub fn charge(&mut self, size: u32) {
+        self.used += size as u64;
+        assert!(self.used <= self.total, "shared buffer overcommitted");
+    }
+
+    /// Release `size` bytes back to the pool.
+    #[inline]
+    pub fn release(&mut self, size: u32) {
+        debug_assert!(self.used >= size as u64, "releasing more than charged");
+        self.used = self.used.saturating_sub(size as u64);
+    }
+
+    /// Current Xoff threshold: an ingress counter above this triggers PAUSE.
+    #[inline]
+    pub fn xoff_threshold(&self) -> u64 {
+        (self.alpha * self.free() as f64) as u64
+    }
+
+    /// Should PAUSE be asserted for an ingress counter of `ingress_bytes`?
+    #[inline]
+    pub fn should_pause(&self, ingress_bytes: u64) -> bool {
+        ingress_bytes > self.xoff_threshold()
+    }
+
+    /// Should RESUME be sent for an ingress counter of `ingress_bytes`
+    /// (given PAUSE is currently asserted)?
+    #[inline]
+    pub fn should_resume(&self, ingress_bytes: u64) -> bool {
+        (ingress_bytes as f64) < self.xon_frac * self.xoff_threshold() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_round_trip() {
+        let mut b = SharedBuffer::new(1000, 0.125, 0.5);
+        assert!(b.can_admit(1000));
+        b.charge(600);
+        assert_eq!(b.free(), 400);
+        assert!(!b.can_admit(401));
+        b.release(600);
+        assert_eq!(b.used, 0);
+    }
+
+    #[test]
+    fn xoff_shrinks_as_buffer_fills() {
+        let mut b = SharedBuffer::new(32 * 1024 * 1024, 0.125, 0.5);
+        let empty_xoff = b.xoff_threshold();
+        b.charge(16 * 1024 * 1024);
+        let half_xoff = b.xoff_threshold();
+        assert_eq!(empty_xoff, 4 * 1024 * 1024);
+        assert_eq!(half_xoff, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn pause_resume_hysteresis() {
+        let b = SharedBuffer::new(1_000_000, 0.1, 0.5);
+        let xoff = b.xoff_threshold(); // 100_000
+        assert!(b.should_pause(xoff + 1));
+        assert!(!b.should_pause(xoff));
+        assert!(b.should_resume(xoff / 2 - 1));
+        assert!(!b.should_resume(xoff / 2 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommitted")]
+    fn overcommit_detected() {
+        let mut b = SharedBuffer::new(100, 0.1, 0.5);
+        b.charge(101);
+    }
+}

@@ -1,0 +1,113 @@
+//! The switch-side extension point: the control plane.
+//!
+//! Real ACC runs as a module on the switch CPU: every interval `delta_t` it
+//! reads telemetry registers from the forwarding chip through the SDK and
+//! writes back an ECN template. This module reproduces that contract: the
+//! engine invokes a [`QueueController`] per switch on every control tick with
+//! a [`SwitchView`] exposing exactly the counters the paper's collector
+//! subscribes to (queue depth, tx bytes, ECN-marked tx, current ECN config)
+//! plus the ability to rewrite the ECN configuration of any egress queue.
+
+use crate::ids::{NodeId, PortId, Prio};
+use crate::queues::{EcnConfig, QueueTelemetry};
+use crate::sim::SimCore;
+use crate::time::SimTime;
+use std::any::Any;
+
+/// A point-in-time reading of one egress queue, with cumulative counters.
+///
+/// Consumers diff the cumulative fields between ticks; see
+/// [`QueueTelemetry`] for field meanings.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueSnapshot {
+    /// Port the queue belongs to.
+    pub port: PortId,
+    /// Traffic class.
+    pub prio: Prio,
+    /// Instantaneous queue depth in bytes.
+    pub qlen_bytes: u64,
+    /// Cumulative counters (synced to `now`).
+    pub telem: QueueTelemetry,
+    /// Marking configuration currently applied.
+    pub ecn: Option<EcnConfig>,
+    /// Line rate of the port, bits/s.
+    pub link_bps: u64,
+}
+
+/// Control-plane logic attached to one switch.
+pub trait QueueController: 'static {
+    /// Called every control interval with a view of this switch.
+    fn on_tick(&mut self, view: &mut SwitchView<'_>);
+
+    /// Downcasting support so harnesses can reach controller-specific state
+    /// (e.g. to extract a trained ACC model after a run).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Telemetry-read / config-write window onto one switch during a tick.
+pub struct SwitchView<'a> {
+    pub(crate) core: &'a mut SimCore,
+    pub(crate) node: NodeId,
+}
+
+impl SwitchView<'_> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The switch this view belongs to.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of ports on this switch.
+    pub fn num_ports(&self) -> usize {
+        self.core.topo.node(self.node).ports.len()
+    }
+
+    /// Number of traffic classes per port.
+    pub fn num_prios(&self) -> usize {
+        self.core.cfg.port.num_prios
+    }
+
+    /// Line rate of `port` in bits/s.
+    pub fn port_rate_bps(&self, port: PortId) -> u64 {
+        self.core.topo.port(self.node, port).rate_bps
+    }
+
+    /// True if `port` faces an end host (vs. another switch).
+    pub fn port_is_host_facing(&self, port: PortId) -> bool {
+        let peer = self.core.topo.port(self.node, port).peer_node;
+        self.core.topo.is_host(peer)
+    }
+
+    /// Read one egress queue (syncing its time-average integral to `now`).
+    pub fn snapshot(&mut self, port: PortId, prio: Prio) -> QueueSnapshot {
+        let now = self.core.now;
+        let link_bps = self.port_rate_bps(port);
+        let q = self.core.queue_mut(self.node, port, prio);
+        q.sync_clock(now);
+        QueueSnapshot {
+            port,
+            prio,
+            qlen_bytes: q.bytes(),
+            telem: q.telem,
+            ecn: q.ecn,
+            link_bps,
+        }
+    }
+
+    /// Rewrite the ECN marking configuration of one egress queue — the
+    /// "configurator maps the action into the ECN template" step of ACC.
+    pub fn set_ecn(&mut self, port: PortId, prio: Prio, cfg: Option<EcnConfig>) {
+        self.core.queue_mut(self.node, port, prio).ecn = cfg;
+    }
+
+    /// Cumulative count of PFC PAUSE events this switch has sent upstream.
+    pub fn pfc_pauses_sent(&self) -> u64 {
+        self.core.pfc_pauses_of(self.node)
+    }
+}

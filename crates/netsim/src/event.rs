@@ -1,0 +1,185 @@
+//! The discrete-event core: event kinds and the future-event queue.
+
+use crate::ids::{NodeId, PortId, Prio};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulated world.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A packet finished propagating and arrives at `node` via `port`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port on that node.
+        port: PortId,
+        /// The packet itself.
+        pkt: Packet,
+    },
+    /// The transmitter on (`node`, `port`) finished serializing its packet.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// The port whose serializer became free.
+        port: PortId,
+    },
+    /// A PFC pause/resume takes effect at (`node`, `port`) for class `prio`.
+    ///
+    /// PFC frames are modelled as out-of-band control with the link's
+    /// propagation delay plus one 64-byte serialization time; they do not
+    /// compete with data for bandwidth (hardware transmits them preemptively).
+    PfcUpdate {
+        /// Node receiving the pause/resume.
+        node: NodeId,
+        /// Port it arrives on (the egress to be paused).
+        port: PortId,
+        /// Traffic class affected.
+        prio: Prio,
+        /// `true` = pause, `false` = resume.
+        pause: bool,
+    },
+    /// A timer set by a host's [`crate::driver::NicDriver`] fires.
+    HostTimer {
+        /// Host whose driver is woken.
+        host: NodeId,
+        /// Opaque token, interpreted by the driver.
+        token: u64,
+    },
+    /// Periodic control-plane tick: switch controllers run.
+    ControlTick,
+}
+
+/// An event with its activation time and a monotone sequence number used to
+/// break ties deterministically (FIFO among simultaneous events).
+#[derive(Clone, Debug)]
+pub struct Scheduled {
+    /// Activation time.
+    pub time: SimTime,
+    /// Insertion sequence number; earlier insertions fire first at equal times.
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list.
+///
+/// A thin wrapper over [`BinaryHeap`] that stamps insertion order so that
+/// simultaneous events pop in FIFO order, which makes runs reproducible.
+#[derive(Default, Debug)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Activation time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick() -> Event {
+        Event::ControlTick
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_us(3), tick());
+        q.push(SimTime::from_us(1), tick());
+        q.push(SimTime::from_us(2), tick());
+        let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.time).collect();
+        assert_eq!(
+            times,
+            vec![SimTime::from_us(1), SimTime::from_us(2), SimTime::from_us(3)]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(5);
+        for i in 0..10 {
+            q.push(
+                t,
+                Event::HostTimer {
+                    host: NodeId(0),
+                    token: i,
+                },
+            );
+        }
+        let mut tokens = Vec::new();
+        while let Some(s) = q.pop() {
+            if let Event::HostTimer { token, .. } = s.event {
+                tokens.push(token);
+            }
+        }
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ns(7), tick());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Small identifier newtypes used throughout the simulator.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (host or switch) in the topology.
+///
+/// Node ids are dense indices assigned by the topology builder; hosts come
+/// first, switches after, but code should rely on [`crate::topology::Topology`]
+/// queries rather than on that layout.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize, for indexing parallel vectors.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a port within a node.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The id as a usize, for indexing parallel vectors.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a flow (one message/transfer) end to end.
+///
+/// Flow ids are assigned by the transport layer and are globally unique for
+/// one simulation run. ECMP hashes the flow id, so a flow sticks to one path.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A traffic class / priority index (0-based).
+///
+/// The default port configuration uses:
+/// * `0` — best-effort (TCP), drop-tail;
+/// * `1` — lossless RDMA class, protected by PFC, subject to ECN marking;
+/// * `2` — control class (ACKs/CNPs), strict priority.
+pub type Prio = u8;
+
+/// Number of traffic classes the default configuration provisions.
+pub const DEFAULT_NUM_PRIOS: usize = 3;
+
+/// The best-effort (TCP) traffic class.
+pub const PRIO_TCP: Prio = 0;
+/// The lossless RDMA traffic class.
+pub const PRIO_RDMA: Prio = 1;
+/// The strict-priority control class used for ACKs and CNPs.
+pub const PRIO_CTRL: Prio = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(PortId(7).to_string(), "p7");
+        assert_eq!(FlowId(42).to_string(), "f42");
+    }
+
+    #[test]
+    fn idx_round_trip() {
+        assert_eq!(NodeId(9).idx(), 9);
+        assert_eq!(PortId(9).idx(), 9);
+    }
+}

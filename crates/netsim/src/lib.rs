@@ -1,0 +1,76 @@
+//! # netsim — a deterministic packet-level datacenter-network simulator
+//!
+//! This crate is the substrate on which the ACC reproduction runs. It models,
+//! at packet granularity, the parts of a high-speed datacenter fabric that an
+//! ECN-tuning scheme interacts with:
+//!
+//! * **Links** — full-duplex point-to-point links with a serialization rate
+//!   and a propagation delay.
+//! * **Switches** — shared-buffer output-queued switches with per-port,
+//!   per-traffic-class egress queues, RED/ECN marking with configurable
+//!   `{Kmin, Kmax, Pmax}`, deficit-weighted-round-robin scheduling, and
+//!   Priority Flow Control (PFC) with a dynamic Xoff threshold
+//!   (`Xoff = alpha * free_buffer`, the scheme used by commodity chips and the
+//!   ACC paper's testbed).
+//! * **Hosts** — NIC models with per-priority egress queues that honour PFC;
+//!   the transport behaviour (DCQCN, DCTCP, TCP) is plugged in through the
+//!   [`NicDriver`] trait implemented by the `transport` crate.
+//! * **Control plane** — every `delta_t` the engine invokes a
+//!   [`QueueController`] on each switch with a telemetry view (queue depth,
+//!   tx bytes, ECN-marked tx bytes, current config) and lets it rewrite the
+//!   ECN configuration. ACC's per-switch DDQN agent, the static SECN
+//!   baselines and the centralized C-ACC variant all implement this trait.
+//!
+//! The simulator is single-threaded and fully deterministic: all randomness
+//! flows from one seeded `rand::rngs::SmallRng`, and
+//! simultaneous events are ordered by insertion sequence. Identical seeds
+//! produce identical runs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use netsim::prelude::*;
+//!
+//! // Two hosts connected by one switch, 25 Gbps links, 1 us of propagation.
+//! let spec = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_us(1));
+//! let topo = spec.build();
+//! assert_eq!(topo.host_count(), 2);
+//! ```
+//!
+//! See the `transport`, `acc-core` and `workloads` crates for the layers that
+//! sit on top, and the repository examples for end-to-end scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod config;
+pub mod control;
+pub mod driver;
+pub mod event;
+pub mod ids;
+pub mod packet;
+pub mod queues;
+pub mod routing;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod util;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::buffer::SharedBuffer;
+    pub use crate::config::{PortConfig, SimConfig};
+    pub use crate::control::{QueueController, QueueSnapshot, SwitchView};
+    pub use crate::driver::{HostCtx, NicDriver};
+    pub use crate::ids::{FlowId, NodeId, PortId, Prio};
+    pub use crate::packet::{Ecn, Packet, PacketKind};
+    pub use crate::queues::EcnConfig;
+    pub use crate::sim::Simulator;
+    pub use crate::time::{tx_time, SimTime};
+    pub use crate::trace::{TraceEvent, TraceFilter, TraceKind, Tracer};
+    pub use crate::topology::{NodeKind, Topology, TopologySpec};
+}
+
+pub use prelude::*;

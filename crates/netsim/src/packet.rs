@@ -1,0 +1,188 @@
+//! The simulated packet.
+//!
+//! Packets are metadata records, not byte buffers: the simulator tracks the
+//! on-wire size for timing/buffering and a small set of transport-visible
+//! fields (ECN codepoint, sequence information, packet kind). This is the
+//! same abstraction level as ns-3's DCN models used by the DCQCN and HPCC
+//! evaluations, and is what the ACC paper's simulations build on.
+
+use crate::ids::{FlowId, NodeId, Prio};
+use serde::{Deserialize, Serialize};
+
+/// ECN codepoint carried in the (virtual) IP header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Ecn {
+    /// Not ECN-capable transport; RED never marks it (it is dropped on
+    /// overflow instead).
+    NotEct,
+    /// ECN-capable transport.
+    Ect,
+    /// Congestion experienced — set by a switch when RED decides to mark.
+    Ce,
+}
+
+impl Ecn {
+    /// Whether a switch is allowed to mark this packet.
+    #[inline]
+    pub fn markable(self) -> bool {
+        matches!(self, Ecn::Ect)
+    }
+}
+
+/// What a packet *is*, from the transport layer's point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A data segment of a flow.
+    Data {
+        /// Byte offset of this segment within the message.
+        offset: u64,
+        /// Payload bytes carried (on-wire size also includes the header).
+        payload: u32,
+        /// True if this is the final segment of the message.
+        last: bool,
+    },
+    /// A (cumulative) acknowledgement, used by the window-based transports
+    /// and as the completion notification for DCQCN flows.
+    Ack {
+        /// All bytes strictly below this offset have been received in order.
+        cum_ack: u64,
+        /// DCTCP-style echo: the acknowledged segment carried CE.
+        ce_echo: bool,
+        /// Set on the ACK that acknowledges the final byte of a message.
+        fin: bool,
+    },
+    /// RoCEv2 Congestion Notification Packet (DCQCN's NP -> RP signal).
+    Cnp,
+}
+
+/// A simulated packet.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Traffic class.
+    pub prio: Prio,
+    /// Total on-wire size in bytes (payload + headers).
+    pub size: u32,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Transport-level role of the packet.
+    pub kind: PacketKind,
+}
+
+/// Header overhead added to every data packet (Eth + IP + UDP + BTH-ish).
+pub const HEADER_BYTES: u32 = 48;
+/// On-wire size of an ACK.
+pub const ACK_BYTES: u32 = 64;
+/// On-wire size of a CNP.
+pub const CNP_BYTES: u32 = 64;
+
+impl Packet {
+    /// Build a data packet. `payload` excludes the header.
+    pub fn data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        prio: Prio,
+        offset: u64,
+        payload: u32,
+        last: bool,
+        ecn: Ecn,
+    ) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            prio,
+            size: payload + HEADER_BYTES,
+            ecn,
+            kind: PacketKind::Data {
+                offset,
+                payload,
+                last,
+            },
+        }
+    }
+
+    /// Build an ACK travelling from `src` (the data receiver) to `dst`.
+    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, prio: Prio, cum_ack: u64, ce_echo: bool, fin: bool) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            prio,
+            size: ACK_BYTES,
+            ecn: Ecn::NotEct,
+            kind: PacketKind::Ack {
+                cum_ack,
+                ce_echo,
+                fin,
+            },
+        }
+    }
+
+    /// Build a DCQCN congestion notification packet.
+    pub fn cnp(flow: FlowId, src: NodeId, dst: NodeId, prio: Prio) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            prio,
+            size: CNP_BYTES,
+            ecn: Ecn::NotEct,
+            kind: PacketKind::Cnp,
+        }
+    }
+
+    /// Payload bytes carried by a data packet, 0 for control packets.
+    #[inline]
+    pub fn payload_bytes(&self) -> u32 {
+        match self.kind {
+            PacketKind::Data { payload, .. } => payload,
+            _ => 0,
+        }
+    }
+
+    /// True for data packets.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (FlowId, NodeId, NodeId) {
+        (FlowId(1), NodeId(0), NodeId(1))
+    }
+
+    #[test]
+    fn data_packet_size_includes_header() {
+        let (f, a, b) = ids();
+        let p = Packet::data(f, a, b, 1, 0, 1000, false, Ecn::Ect);
+        assert_eq!(p.size, 1000 + HEADER_BYTES);
+        assert_eq!(p.payload_bytes(), 1000);
+        assert!(p.is_data());
+        assert!(p.ecn.markable());
+    }
+
+    #[test]
+    fn control_packets() {
+        let (f, a, b) = ids();
+        let ack = Packet::ack(f, b, a, 2, 5000, true, false);
+        assert_eq!(ack.size, ACK_BYTES);
+        assert_eq!(ack.payload_bytes(), 0);
+        assert!(!ack.is_data());
+        assert!(!ack.ecn.markable());
+
+        let cnp = Packet::cnp(f, b, a, 2);
+        assert_eq!(cnp.size, CNP_BYTES);
+        assert_eq!(cnp.kind, PacketKind::Cnp);
+    }
+}

@@ -1,0 +1,520 @@
+//! Egress queues: RED/ECN marking, DWRR scheduling and per-queue telemetry.
+
+use crate::ids::PortId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An ECN/RED marking configuration for one egress queue — the knob ACC tunes.
+///
+/// By default marking is evaluated against the *instantaneous* queue length
+/// at enqueue time, the convention used by DCQCN deployments and the ACC
+/// paper ([`EcnConfig::with_ewma`] opts into classic averaged RED instead):
+///
+/// * `q < kmin`          → never mark;
+/// * `kmin <= q < kmax`  → mark with probability `pmax * (q-kmin)/(kmax-kmin)`;
+/// * `q >= kmax`         → always mark.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EcnConfig {
+    /// Low marking threshold, bytes.
+    pub kmin_bytes: u64,
+    /// High marking threshold, bytes.
+    pub kmax_bytes: u64,
+    /// Marking probability reached at `kmax` (0..=1).
+    pub pmax: f64,
+    /// `None` (the default everywhere in this repo, and what DCN
+    /// deployments use): mark against the instantaneous queue length.
+    /// `Some(w)`: classic averaged RED — mark against an EWMA of the queue
+    /// length updated on every enqueue with weight `w` (the
+    /// instantaneous-vs-average distinction the ECN* study examines).
+    #[serde(default)]
+    pub ewma_weight: Option<f64>,
+}
+
+impl EcnConfig {
+    /// Build a config; panics on invalid parameters.
+    pub fn new(kmin_bytes: u64, kmax_bytes: u64, pmax: f64) -> Self {
+        assert!(kmin_bytes <= kmax_bytes, "Kmin must not exceed Kmax");
+        assert!((0.0..=1.0).contains(&pmax), "Pmax must be in [0,1]");
+        EcnConfig {
+            kmin_bytes,
+            kmax_bytes,
+            pmax,
+            ewma_weight: None,
+        }
+    }
+
+    /// Switch this config to classic averaged RED with EWMA weight `w`
+    /// (0 < w <= 1; smaller = smoother).
+    pub fn with_ewma(mut self, w: f64) -> Self {
+        assert!(w > 0.0 && w <= 1.0, "EWMA weight must be in (0,1]");
+        self.ewma_weight = Some(w);
+        self
+    }
+
+    /// `SECN0`: the DCTCP-paper-style single threshold (Kmin = Kmax = 18 KB).
+    pub fn dctcp_paper() -> Self {
+        EcnConfig::new(18 * 1024, 18 * 1024, 1.0)
+    }
+
+    /// `SECN1`: the DCQCN-paper setting used as a baseline by ACC
+    /// (Kmin = 5 KB, Kmax = 200 KB, Pmax = 1%).
+    pub fn dcqcn_paper() -> Self {
+        EcnConfig::new(5 * 1024, 200 * 1024, 0.01)
+    }
+
+    /// `SECN2`: the cloud-provider (HPCC-paper) setting, scaled to the link
+    /// bandwidth: Kmin = 100 KB * BW/25G, Kmax = 400 KB * BW/25G, Pmax = 5%.
+    pub fn cloud_provider(link_bps: u64) -> Self {
+        let scale = link_bps as f64 / 25_000_000_000.0;
+        EcnConfig::new(
+            (100.0 * 1024.0 * scale) as u64,
+            (400.0 * 1024.0 * scale) as u64,
+            0.05,
+        )
+    }
+
+    /// The device-vendor default used in the storage macro-benchmark (§5.3):
+    /// Kmin = 30 KB, Kmax = 270 KB, Pmax = 10%.
+    pub fn vendor_default() -> Self {
+        EcnConfig::new(30 * 1024, 270 * 1024, 0.10)
+    }
+
+    /// Marking probability for a queue currently holding `qlen` bytes.
+    pub fn mark_probability(&self, qlen: u64) -> f64 {
+        if qlen < self.kmin_bytes {
+            0.0
+        } else if qlen >= self.kmax_bytes {
+            1.0
+        } else {
+            let span = (self.kmax_bytes - self.kmin_bytes) as f64;
+            if span == 0.0 {
+                1.0
+            } else {
+                self.pmax * (qlen - self.kmin_bytes) as f64 / span
+            }
+        }
+    }
+}
+
+/// Cumulative per-queue counters exposed to the control plane.
+///
+/// Counters are monotone; consumers (e.g. the ACC agent) difference them
+/// between control ticks. `qlen_integral_byte_ps` is the time integral of the
+/// queue length, so `(integral_b - integral_a) / (t_b - t_a)` is the exact
+/// time-average queue length over an interval — the paper's reward uses the
+/// average rather than the instantaneous depth (§3.3).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct QueueTelemetry {
+    /// Bytes handed to the serializer (counted at dequeue).
+    pub tx_bytes: u64,
+    /// Packets handed to the serializer.
+    pub tx_pkts: u64,
+    /// Transmitted packets carrying CE.
+    pub tx_marked_pkts: u64,
+    /// Transmitted bytes carrying CE.
+    pub tx_marked_bytes: u64,
+    /// Packets dropped at this queue (tail drop / buffer exhaustion).
+    pub drops: u64,
+    /// Packets enqueued.
+    pub enq_pkts: u64,
+    /// Time integral of queue length in byte-picoseconds.
+    pub qlen_integral_byte_ps: u128,
+    /// Largest instantaneous queue length observed, bytes.
+    pub max_qlen_bytes: u64,
+}
+
+/// One entry waiting in an egress queue.
+#[derive(Clone, Copy, Debug)]
+pub struct QItem {
+    /// The packet.
+    pub pkt: Packet,
+    /// Ingress port the packet was charged to in the shared buffer
+    /// (None for host-originated packets / host queues).
+    pub ingress: Option<PortId>,
+}
+
+/// A single egress FIFO for one traffic class of one port.
+#[derive(Debug)]
+pub struct EgressQueue {
+    items: VecDeque<QItem>,
+    /// Current depth in bytes.
+    bytes: u64,
+    /// EWMA of the depth (only meaningful when the config averages).
+    avg_bytes: f64,
+    /// Drop-tail bound in bytes.
+    pub max_bytes: u64,
+    /// Active marking configuration (`None` = no marking).
+    pub ecn: Option<EcnConfig>,
+    /// Cumulative counters.
+    pub telem: QueueTelemetry,
+    last_update: SimTime,
+}
+
+impl EgressQueue {
+    /// New empty queue with the given drop-tail bound and marking config.
+    pub fn new(max_bytes: u64, ecn: Option<EcnConfig>) -> Self {
+        EgressQueue {
+            items: VecDeque::new(),
+            bytes: 0,
+            avg_bytes: 0.0,
+            max_bytes,
+            ecn,
+            telem: QueueTelemetry::default(),
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Instantaneous depth, bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of queued packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no packets are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// On-wire size of the head packet, if any.
+    #[inline]
+    pub fn head_size(&self) -> Option<u32> {
+        self.items.front().map(|i| i.pkt.size)
+    }
+
+    fn advance_clock(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_update);
+        self.telem.qlen_integral_byte_ps += self.bytes as u128 * dt.as_ps() as u128;
+        self.last_update = now;
+    }
+
+    /// Would enqueueing `size` bytes exceed this queue's own bound?
+    #[inline]
+    pub fn would_overflow(&self, size: u32) -> bool {
+        self.bytes + size as u64 > self.max_bytes
+    }
+
+    /// The queue length RED marks against: the EWMA when the active config
+    /// averages, the instantaneous depth otherwise.
+    pub fn marking_qlen(&self) -> u64 {
+        match self.ecn.and_then(|e| e.ewma_weight) {
+            Some(_) => self.avg_bytes as u64,
+            None => self.bytes,
+        }
+    }
+
+    /// Enqueue an item. The caller has already performed admission control
+    /// and ECN marking; this only does bookkeeping.
+    pub fn push(&mut self, item: QItem, now: SimTime) {
+        self.advance_clock(now);
+        if let Some(w) = self.ecn.and_then(|e| e.ewma_weight) {
+            self.avg_bytes = (1.0 - w) * self.avg_bytes + w * self.bytes as f64;
+        }
+        self.bytes += item.pkt.size as u64;
+        self.telem.enq_pkts += 1;
+        if self.bytes > self.telem.max_qlen_bytes {
+            self.telem.max_qlen_bytes = self.bytes;
+        }
+        self.items.push_back(item);
+    }
+
+    /// Record a drop at this queue.
+    pub fn record_drop(&mut self) {
+        self.telem.drops += 1;
+    }
+
+    /// Dequeue the head packet into the serializer, updating tx counters.
+    pub fn pop(&mut self, now: SimTime) -> Option<QItem> {
+        self.advance_clock(now);
+        let item = self.items.pop_front()?;
+        let sz = item.pkt.size as u64;
+        self.bytes -= sz;
+        self.telem.tx_bytes += sz;
+        self.telem.tx_pkts += 1;
+        if item.pkt.ecn == crate::packet::Ecn::Ce {
+            self.telem.tx_marked_pkts += 1;
+            self.telem.tx_marked_bytes += sz;
+        }
+        Some(item)
+    }
+
+    /// Bring the time-integral up to `now` (call before reading telemetry).
+    pub fn sync_clock(&mut self, now: SimTime) {
+        self.advance_clock(now);
+    }
+}
+
+/// Deficit-weighted round robin across the traffic classes of one port.
+///
+/// Classes with weight 0 are *strict priority* and always served first
+/// (highest class index wins among them). Weighted classes share the residual
+/// bandwidth in proportion to their weights using the classic DRR algorithm
+/// with a per-visit quantum of `weight * QUANTUM_UNIT` bytes.
+#[derive(Debug, Clone)]
+pub struct Dwrr {
+    weights: Vec<u32>,
+    deficit: Vec<u64>,
+    granted: Vec<bool>,
+    ptr: usize,
+}
+
+/// Bytes of quantum granted per unit of weight per DRR round.
+pub const QUANTUM_UNIT: u64 = 1600;
+
+impl Dwrr {
+    /// Build a scheduler for the given per-class weights.
+    pub fn new(weights: Vec<u32>) -> Self {
+        let n = weights.len();
+        assert!(n > 0);
+        Dwrr {
+            weights,
+            deficit: vec![0; n],
+            granted: vec![false; n],
+            ptr: 0,
+        }
+    }
+
+    /// Pick the class to transmit from next.
+    ///
+    /// `heads[i]` is the head-packet size of class `i` (`None` = empty) and
+    /// `paused` is a bitmask of PFC-paused classes. Returns the chosen class
+    /// and updates internal deficit state assuming the head packet of that
+    /// class is then transmitted.
+    pub fn pick(&mut self, heads: &[Option<u32>], paused: u8) -> Option<usize> {
+        let n = self.weights.len();
+        debug_assert_eq!(heads.len(), n);
+        let avail =
+            |i: usize| heads[i].is_some() && (paused & (1u8 << (i as u8 & 7))) == 0;
+
+        // Strict-priority classes first, highest index wins.
+        for i in (0..n).rev() {
+            if self.weights[i] == 0 && avail(i) {
+                return Some(i);
+            }
+        }
+
+        // DRR over weighted classes. Scan at most enough rounds for the
+        // deficit of some available class to reach its head-packet size.
+        let mut scanned = 0usize;
+        let max_scan = n * 64; // generous bound; quantum>=1600 vs pkt<=~9KB
+        while scanned < max_scan {
+            let i = self.ptr;
+            if self.weights[i] == 0 || !avail(i) {
+                if heads[i].is_none() {
+                    // Queue drained: per DRR, its deficit resets.
+                    self.deficit[i] = 0;
+                }
+                self.granted[i] = false;
+                self.ptr = (self.ptr + 1) % n;
+                scanned += 1;
+                continue;
+            }
+            let sz = heads[i].unwrap() as u64;
+            if !self.granted[i] {
+                self.deficit[i] += self.weights[i] as u64 * QUANTUM_UNIT;
+                self.granted[i] = true;
+            }
+            if self.deficit[i] >= sz {
+                self.deficit[i] -= sz;
+                return Some(i);
+            }
+            // Not enough deficit: move on, keep the accumulated deficit.
+            self.granted[i] = false;
+            self.ptr = (self.ptr + 1) % n;
+            scanned += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, NodeId};
+    use crate::packet::{Ecn, Packet};
+
+    fn pkt(size_payload: u32) -> Packet {
+        Packet::data(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            1,
+            0,
+            size_payload,
+            false,
+            Ecn::Ect,
+        )
+    }
+
+    #[test]
+    fn ecn_probability_shape() {
+        let c = EcnConfig::new(100, 300, 0.5);
+        assert_eq!(c.mark_probability(0), 0.0);
+        assert_eq!(c.mark_probability(99), 0.0);
+        assert_eq!(c.mark_probability(100), 0.0);
+        assert!((c.mark_probability(200) - 0.25).abs() < 1e-12);
+        assert_eq!(c.mark_probability(300), 1.0);
+        assert_eq!(c.mark_probability(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn single_threshold_is_step() {
+        let c = EcnConfig::dctcp_paper();
+        assert_eq!(c.mark_probability(18 * 1024 - 1), 0.0);
+        assert_eq!(c.mark_probability(18 * 1024), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Kmin")]
+    fn invalid_thresholds_rejected() {
+        EcnConfig::new(10, 5, 0.1);
+    }
+
+    #[test]
+    fn cloud_provider_scales_with_bandwidth() {
+        let c25 = EcnConfig::cloud_provider(25_000_000_000);
+        let c100 = EcnConfig::cloud_provider(100_000_000_000);
+        assert_eq!(c25.kmin_bytes, 100 * 1024);
+        assert_eq!(c100.kmin_bytes, 400 * 1024);
+        assert_eq!(c100.kmax_bytes, 1600 * 1024);
+    }
+
+    #[test]
+    fn queue_accounting_and_time_average() {
+        let mut q = EgressQueue::new(1 << 20, None);
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_us(10);
+        let t2 = SimTime::from_us(20);
+        q.push(
+            QItem {
+                pkt: pkt(952), // 1000B on wire
+                ingress: None,
+            },
+            t0,
+        );
+        assert_eq!(q.bytes(), 1000);
+        q.pop(t1).unwrap();
+        assert_eq!(q.bytes(), 0);
+        q.sync_clock(t2);
+        // 1000 bytes held for 10 us then 0 for 10 us -> avg 500 bytes over 20us.
+        let avg =
+            q.telem.qlen_integral_byte_ps as f64 / SimTime::from_us(20).as_ps() as f64;
+        assert!((avg - 500.0).abs() < 1e-9);
+        assert_eq!(q.telem.tx_bytes, 1000);
+        assert_eq!(q.telem.tx_pkts, 1);
+        assert_eq!(q.telem.max_qlen_bytes, 1000);
+    }
+
+    #[test]
+    fn marked_packets_counted() {
+        let mut q = EgressQueue::new(1 << 20, None);
+        let mut p = pkt(952);
+        p.ecn = Ecn::Ce;
+        q.push(QItem { pkt: p, ingress: None }, SimTime::ZERO);
+        q.pop(SimTime::from_ns(1)).unwrap();
+        assert_eq!(q.telem.tx_marked_pkts, 1);
+        assert_eq!(q.telem.tx_marked_bytes, 1000);
+    }
+
+    #[test]
+    fn ewma_config_validates() {
+        let c = EcnConfig::new(100, 300, 0.5).with_ewma(0.1);
+        assert_eq!(c.ewma_weight, Some(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn ewma_zero_rejected() {
+        EcnConfig::new(100, 300, 0.5).with_ewma(0.0);
+    }
+
+    #[test]
+    fn ewma_queue_smooths_bursts() {
+        // With a small weight, a sudden burst barely moves the marking
+        // length; without averaging it jumps immediately.
+        let cfg = EcnConfig::new(1_000, 2_000, 1.0).with_ewma(0.05);
+        let mut q = EgressQueue::new(1 << 20, Some(cfg));
+        let mut inst = EgressQueue::new(1 << 20, Some(EcnConfig::new(1_000, 2_000, 1.0)));
+        for i in 0..20 {
+            let t = SimTime::from_us(i);
+            q.push(QItem { pkt: pkt(952), ingress: None }, t);
+            inst.push(QItem { pkt: pkt(952), ingress: None }, t);
+        }
+        assert_eq!(inst.marking_qlen(), 20_000, "instantaneous sees the burst");
+        assert!(
+            q.marking_qlen() < 10_000,
+            "EWMA lags the burst: {}",
+            q.marking_qlen()
+        );
+        // Sustained occupancy eventually converges.
+        for i in 20..400 {
+            q.push(QItem { pkt: pkt(952), ingress: None }, SimTime::from_us(i));
+            q.pop(SimTime::from_us(i)).unwrap();
+        }
+        assert!(q.marking_qlen() > 15_000, "EWMA converges under sustained load");
+    }
+
+    #[test]
+    fn strict_priority_wins() {
+        let mut d = Dwrr::new(vec![3, 7, 0]);
+        let heads = [Some(1000u32), Some(1000), Some(64)];
+        assert_eq!(d.pick(&heads, 0), Some(2));
+        // Paused strict class falls back to weighted classes.
+        assert!(matches!(d.pick(&heads, 0b100), Some(0) | Some(1)));
+    }
+
+    #[test]
+    fn dwrr_respects_weights() {
+        let mut d = Dwrr::new(vec![3, 7]);
+        let heads = [Some(1000u32), Some(1000)];
+        let mut counts = [0u64, 0u64];
+        for _ in 0..10_000 {
+            let i = d.pick(&heads, 0).unwrap();
+            counts[i] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!(
+            (frac - 0.7).abs() < 0.02,
+            "expected ~70% for weight-7 class, got {frac}"
+        );
+    }
+
+    #[test]
+    fn dwrr_skips_paused_and_empty() {
+        let mut d = Dwrr::new(vec![1, 1]);
+        let heads = [Some(1000u32), Some(1000)];
+        // Class 0 paused -> always class 1.
+        for _ in 0..10 {
+            assert_eq!(d.pick(&heads, 0b01), Some(1));
+        }
+        let heads2 = [None, Some(1000)];
+        for _ in 0..10 {
+            assert_eq!(d.pick(&heads2, 0), Some(1));
+        }
+        // Everything paused -> None.
+        assert_eq!(d.pick(&heads, 0b11), None);
+    }
+
+    #[test]
+    fn dwrr_handles_large_packets_smaller_quantum() {
+        // Head packets larger than one quantum must still eventually be sent
+        // (deficit accumulates across rounds).
+        let mut d = Dwrr::new(vec![1, 1]);
+        let heads = [Some(9000u32), Some(9000)];
+        let mut got = [false, false];
+        for _ in 0..20 {
+            if let Some(i) = d.pick(&heads, 0) {
+                got[i] = true;
+            }
+        }
+        assert!(got[0] && got[1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Shortest-path routing with ECMP.
+//!
+//! Routes are precomputed with one BFS per destination host over the node
+//! graph. For every (node, destination-host) pair we keep *all* ports whose
+//! peer is one hop closer to the destination; a per-flow hash picks among
+//! them, so a flow sticks to a single path (as ECMP does in real fabrics).
+
+use crate::ids::{FlowId, NodeId, PortId};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Precomputed equal-cost routes.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// `next_hops[node][host_rank]` = candidate egress ports.
+    next_hops: Vec<Vec<Vec<PortId>>>,
+    /// Maps a host `NodeId` to its dense rank in the tables.
+    host_rank: Vec<Option<u32>>,
+}
+
+impl RouteTable {
+    /// Build the table for `topo` with all links up.
+    pub fn build(topo: &Topology) -> Self {
+        Self::build_filtered(topo, |_, _| true)
+    }
+
+    /// Build the table considering only links for which `is_up` returns
+    /// true (queried once per direction). Used to recompute routing after
+    /// link failures.
+    pub fn build_filtered(
+        topo: &Topology,
+        is_up: impl Fn(NodeId, PortId) -> bool,
+    ) -> Self {
+        let n = topo.nodes.len();
+        let hosts = topo.hosts();
+        let mut host_rank = vec![None; n];
+        for (r, &h) in hosts.iter().enumerate() {
+            host_rank[h.idx()] = Some(r as u32);
+        }
+        let mut next_hops = vec![vec![Vec::new(); hosts.len()]; n];
+
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for (rank, &dst) in hosts.iter().enumerate() {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dst.idx()] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u.idx()];
+                for (pi, p) in topo.node(u).ports.iter().enumerate() {
+                    // BFS runs from the destination towards sources, so the
+                    // usable direction is peer -> u: check the peer's port.
+                    if !is_up(p.peer_node, p.peer_port) {
+                        continue;
+                    }
+                    let _ = pi;
+                    let v = p.peer_node;
+                    if dist[v.idx()] == u32::MAX {
+                        dist[v.idx()] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for node in 0..n {
+                if node == dst.idx() || dist[node] == u32::MAX {
+                    continue;
+                }
+                let d = dist[node];
+                let ports: Vec<PortId> = topo.nodes[node]
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| {
+                        dist[p.peer_node.idx()] == d - 1
+                            && is_up(NodeId(node as u32), PortId(*i as u16))
+                    })
+                    .map(|(i, _)| PortId(i as u16))
+                    .collect();
+                next_hops[node][rank] = ports;
+            }
+        }
+        RouteTable {
+            next_hops,
+            host_rank,
+        }
+    }
+
+    /// The egress port `node` should use to forward `flow` towards `dst`.
+    ///
+    /// Panics if `dst` is not a host or is unreachable from `node`.
+    pub fn next_hop(&self, node: NodeId, dst: NodeId, flow: FlowId) -> PortId {
+        self.try_next_hop(node, dst, flow)
+            .unwrap_or_else(|| panic!("no route from {node} to {dst} — disconnected topology?"))
+    }
+
+    /// Like [`RouteTable::next_hop`] but returns `None` when the
+    /// destination is unreachable (e.g. after link failures).
+    pub fn try_next_hop(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<PortId> {
+        let rank = self.host_rank[dst.idx()].expect("routing to a non-host") as usize;
+        let cands = &self.next_hops[node.idx()][rank];
+        if cands.is_empty() {
+            None
+        } else if cands.len() == 1 {
+            Some(cands[0])
+        } else {
+            let h = ecmp_hash(flow);
+            Some(cands[(h % cands.len() as u64) as usize])
+        }
+    }
+
+    /// All equal-cost candidate ports (used by tests and diagnostics).
+    pub fn candidates(&self, node: NodeId, dst: NodeId) -> &[PortId] {
+        let rank = self.host_rank[dst.idx()].expect("routing to a non-host") as usize;
+        &self.next_hops[node.idx()][rank]
+    }
+}
+
+/// SplitMix64-style hash over the flow id, matching the determinism
+/// requirements of the simulator (no per-run randomness in path choice).
+#[inline]
+pub fn ecmp_hash(flow: FlowId) -> u64 {
+    let mut z = flow.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::topology::TopologySpec;
+
+    #[test]
+    fn single_switch_routes_direct() {
+        let topo = TopologySpec::single_switch(4, 10_000_000_000, SimTime::from_ns(100)).build();
+        let rt = RouteTable::build(&topo);
+        let sw = topo.switches()[0];
+        for (i, &h) in topo.hosts().iter().enumerate() {
+            let p = rt.next_hop(sw, h, FlowId(99));
+            assert_eq!(topo.port(sw, p).peer_node, h, "host {i}");
+        }
+    }
+
+    #[test]
+    fn leaf_spine_ecmp_uses_all_spines() {
+        let topo = TopologySpec::paper_testbed().build();
+        let rt = RouteTable::build(&topo);
+        let hosts = topo.hosts();
+        // Source under leaf0, destination under a different leaf.
+        let src_leaf = topo.port(hosts[0], PortId(0)).peer_node;
+        let dst = hosts[topo.host_count() - 1];
+        let cands = rt.candidates(src_leaf, dst);
+        assert_eq!(cands.len(), 2, "both spines are equal-cost");
+        // ECMP across many flows should hit both uplinks.
+        let mut hit = [false; 2];
+        for f in 0..64 {
+            let p = rt.next_hop(src_leaf, dst, FlowId(f));
+            let idx = cands.iter().position(|&c| c == p).unwrap();
+            hit[idx] = true;
+        }
+        assert!(hit[0] && hit[1]);
+    }
+
+    #[test]
+    fn same_rack_avoids_spine() {
+        let topo = TopologySpec::paper_testbed().build();
+        let rt = RouteTable::build(&topo);
+        let hosts = topo.hosts();
+        let leaf = topo.port(hosts[0], PortId(0)).peer_node;
+        // hosts[1] shares leaf0 with hosts[0].
+        let p = rt.next_hop(leaf, hosts[1], FlowId(3));
+        assert_eq!(topo.port(leaf, p).peer_node, hosts[1]);
+    }
+
+    #[test]
+    fn flow_path_is_stable() {
+        let topo = TopologySpec::paper_large_sim().build();
+        let rt = RouteTable::build(&topo);
+        let hosts = topo.hosts();
+        let leaf = topo.port(hosts[0], PortId(0)).peer_node;
+        let dst = hosts[200];
+        let p1 = rt.next_hop(leaf, dst, FlowId(7));
+        for _ in 0..10 {
+            assert_eq!(rt.next_hop(leaf, dst, FlowId(7)), p1);
+        }
+    }
+
+    #[test]
+    fn host_routes_out_its_nic() {
+        let topo = TopologySpec::paper_testbed().build();
+        let rt = RouteTable::build(&topo);
+        let hosts = topo.hosts();
+        assert_eq!(rt.next_hop(hosts[0], hosts[5], FlowId(1)), PortId(0));
+    }
+}

@@ -1,0 +1,970 @@
+//! The simulation engine: node state, the packet forwarding path (with
+//! ECN marking, shared-buffer accounting and PFC), and the event loop.
+
+use crate::buffer::SharedBuffer;
+use crate::config::SimConfig;
+use crate::control::{QueueController, SwitchView};
+use crate::driver::{HostCtx, NicDriver};
+use crate::event::{Event, EventQueue};
+use crate::ids::{NodeId, PortId, Prio};
+use crate::packet::Packet;
+use crate::queues::{Dwrr, EgressQueue, QItem};
+use crate::routing::RouteTable;
+use crate::time::{tx_time, SimTime};
+use crate::topology::Topology;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// On-wire size of a PFC pause frame (only used for its serialization delay).
+const PFC_FRAME_BYTES: u64 = 64;
+
+/// The packet currently being serialized by a port's transmitter.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    size: u32,
+    /// Ingress port the bytes were charged to (switches only).
+    ingress: Option<PortId>,
+    prio: Prio,
+}
+
+/// Mutable state of one port.
+pub(crate) struct PortState {
+    /// Transmitter busy serializing.
+    tx_busy: bool,
+    /// Bitmask of classes paused by PFC frames we *received*.
+    paused: u8,
+    /// Bitmask of classes for which we have *sent* PAUSE upstream (ingress
+    /// side of this port) and not yet resumed.
+    pfc_sent: u8,
+    /// Ingress byte counters per class: bytes buffered in this switch that
+    /// arrived through this port.
+    ingress_bytes: Vec<u64>,
+    /// Egress FIFOs, one per class.
+    queues: Vec<EgressQueue>,
+    /// Egress scheduler.
+    dwrr: Dwrr,
+    in_flight: Option<InFlight>,
+    /// PAUSE events sent from the ingress side of this port.
+    pfc_pause_events: u64,
+    /// Administrative/physical link state (fault injection).
+    link_up: bool,
+}
+
+impl PortState {
+    fn new(cfg: &SimConfig) -> Self {
+        let pc = &cfg.port;
+        let queues = (0..pc.num_prios)
+            .map(|p| EgressQueue::new(pc.max_queue_bytes[p], pc.ecn[p]))
+            .collect();
+        PortState {
+            tx_busy: false,
+            paused: 0,
+            pfc_sent: 0,
+            ingress_bytes: vec![0; pc.num_prios],
+            queues,
+            dwrr: Dwrr::new(pc.weights.clone()),
+            in_flight: None,
+            pfc_pause_events: 0,
+            link_up: true,
+        }
+    }
+}
+
+/// Mutable state of one node.
+pub(crate) struct NodeState {
+    ports: Vec<PortState>,
+    /// Shared packet buffer — switches only.
+    buffer: Option<SharedBuffer>,
+}
+
+/// Everything the engine owns except the pluggable drivers/controllers.
+///
+/// Split out so that [`HostCtx`] / [`SwitchView`] can borrow the core while a
+/// driver or controller (stored separately in [`Simulator`]) runs.
+pub struct SimCore {
+    /// Global configuration.
+    pub cfg: SimConfig,
+    pub(crate) now: SimTime,
+    pub(crate) events: EventQueue,
+    /// The immutable network.
+    pub topo: Topology,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) routes: RouteTable,
+    pub(crate) rng: SmallRng,
+    /// Total packets dropped anywhere in the fabric.
+    pub total_drops: u64,
+    /// Drops on PFC-protected classes — should stay 0; nonzero means the
+    /// buffer/PFC configuration cannot guarantee losslessness.
+    pub lossless_drops: u64,
+    /// Packets dropped because no route existed (after link failures).
+    pub unroutable_drops: u64,
+    /// Total PFC PAUSE events sent by all switches.
+    pub total_pfc_pauses: u64,
+    /// Total events processed (for performance reporting).
+    pub events_processed: u64,
+    /// Optional structured event tracer (see [`crate::trace`]).
+    pub tracer: Option<Tracer>,
+}
+
+impl SimCore {
+    fn new(topo: Topology, cfg: SimConfig) -> Self {
+        cfg.validate();
+        assert!(cfg.port.num_prios <= 8, "at most 8 traffic classes (PFC bitmask)");
+        let nodes = topo
+            .nodes
+            .iter()
+            .map(|n| {
+                let ports = n.ports.iter().map(|_| PortState::new(&cfg)).collect();
+                let buffer = match n.kind {
+                    crate::topology::NodeKind::Switch => Some(SharedBuffer::new(
+                        cfg.buffer_bytes,
+                        cfg.pfc_alpha,
+                        cfg.pfc_xon_frac,
+                    )),
+                    crate::topology::NodeKind::Host => None,
+                };
+                NodeState { ports, buffer }
+            })
+            .collect();
+        let routes = RouteTable::build(&topo);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        SimCore {
+            cfg,
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            topo,
+            nodes,
+            routes,
+            rng,
+            total_drops: 0,
+            lossless_drops: 0,
+            unroutable_drops: 0,
+            total_pfc_pauses: 0,
+            events_processed: 0,
+            tracer: None,
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, kind: TraceKind, node: NodeId, port: PortId, prio: Prio, flow: crate::ids::FlowId, qlen: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(TraceEvent {
+                at: self.now,
+                kind,
+                node,
+                port,
+                prio,
+                flow,
+                qlen_bytes: qlen,
+            });
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, ev: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.events.push(at, ev);
+    }
+
+    pub(crate) fn schedule_host_timer(&mut self, at: SimTime, host: NodeId, token: u64) {
+        let at = at.max(self.now);
+        self.schedule(at, Event::HostTimer { host, token });
+    }
+
+    /// Mutable access to an egress queue (telemetry sync / reconfiguration
+    /// from harness code).
+    pub fn queue_mut(&mut self, node: NodeId, port: PortId, prio: Prio) -> &mut EgressQueue {
+        &mut self.nodes[node.idx()].ports[port.idx()].queues[prio as usize]
+    }
+
+    /// Read-only access to an egress queue (harness/telemetry use).
+    pub fn queue(&self, node: NodeId, port: PortId, prio: Prio) -> &EgressQueue {
+        &self.nodes[node.idx()].ports[port.idx()].queues[prio as usize]
+    }
+
+    pub(crate) fn pfc_pauses_of(&self, node: NodeId) -> u64 {
+        self.nodes[node.idx()]
+            .ports
+            .iter()
+            .map(|p| p.pfc_pause_events)
+            .sum()
+    }
+
+    pub(crate) fn host_backlog(&self, host: NodeId, prio: Prio) -> u64 {
+        self.nodes[host.idx()].ports[0].queues[prio as usize].bytes()
+    }
+
+    /// Enqueue a host-originated packet on the host's NIC and kick the
+    /// transmitter.
+    pub(crate) fn host_enqueue(&mut self, host: NodeId, pkt: Packet) {
+        debug_assert!(self.topo.is_host(host));
+        debug_assert!((pkt.prio as usize) < self.cfg.port.num_prios);
+        let now = self.now;
+        let q = self.queue_mut(host, PortId(0), pkt.prio);
+        // Host NICs have effectively unbounded send memory (the transport's
+        // windows/rate limits bound it in practice); no drop here.
+        q.push(QItem { pkt, ingress: None }, now);
+        self.try_send(host, PortId(0));
+    }
+
+    /// If the transmitter of (node, port) is idle, pick the next packet by
+    /// DWRR (honouring PFC pause) and start serializing it.
+    fn try_send(&mut self, node: NodeId, port: PortId) {
+        let ps = &mut self.nodes[node.idx()].ports[port.idx()];
+        if ps.tx_busy || !ps.link_up {
+            return;
+        }
+        let n = ps.queues.len();
+        let mut heads = [None; 8];
+        for (i, q) in ps.queues.iter().enumerate() {
+            heads[i] = q.head_size();
+        }
+        let Some(prio) = ps.dwrr.pick(&heads[..n], ps.paused) else {
+            return;
+        };
+        let now = self.now;
+        let item = ps.queues[prio].pop(now).expect("dwrr picked an empty queue");
+        ps.in_flight = Some(InFlight {
+            size: item.pkt.size,
+            ingress: item.ingress,
+            prio: item.pkt.prio,
+        });
+        ps.tx_busy = true;
+        let qlen = ps.queues[prio].bytes();
+        let (t_flow, t_prio) = (item.pkt.flow, item.pkt.prio);
+        self.trace(TraceKind::Dequeue, node, port, t_prio, t_flow, qlen);
+        let info = *self.topo.port(node, port);
+        let ser = tx_time(item.pkt.size as u64, info.rate_bps);
+        self.schedule(now + ser, Event::TxDone { node, port });
+        self.schedule(
+            now + ser + info.delay,
+            Event::Arrive {
+                node: info.peer_node,
+                port: info.peer_port,
+                pkt: item.pkt,
+            },
+        );
+    }
+
+    /// Transmitter finished: release buffer accounting, maybe send PFC
+    /// RESUME, and start the next packet.
+    fn on_tx_done(&mut self, node: NodeId, port: PortId) {
+        let inflight = self.nodes[node.idx()].ports[port.idx()]
+            .in_flight
+            .take()
+            .expect("TxDone without in-flight packet");
+        self.nodes[node.idx()].ports[port.idx()].tx_busy = false;
+
+        if let Some(ingress) = inflight.ingress {
+            // Switch: give the bytes back to the shared pool and the ingress
+            // counter, then re-evaluate the PFC state of that ingress.
+            let st = &mut self.nodes[node.idx()];
+            if let Some(buf) = st.buffer.as_mut() {
+                buf.release(inflight.size);
+            }
+            let prio = inflight.prio as usize;
+            let ip = &mut st.ports[ingress.idx()];
+            debug_assert!(ip.ingress_bytes[prio] >= inflight.size as u64);
+            ip.ingress_bytes[prio] -= inflight.size as u64;
+            let bit = 1u8 << (inflight.prio & 7);
+            if ip.pfc_sent & bit != 0 {
+                let resume = st
+                    .buffer
+                    .as_ref()
+                    .map(|b| b.should_resume(st.ports[ingress.idx()].ingress_bytes[prio]))
+                    .unwrap_or(true);
+                if resume {
+                    self.nodes[node.idx()].ports[ingress.idx()].pfc_sent &= !bit;
+                    self.send_pfc(node, ingress, inflight.prio, false);
+                }
+            }
+        }
+        self.try_send(node, port);
+    }
+
+    /// Deliver a PFC pause/resume to the peer of `ingress` on `node`.
+    fn send_pfc(&mut self, node: NodeId, ingress: PortId, prio: Prio, pause: bool) {
+        let info = *self.topo.port(node, ingress);
+        let delay = tx_time(PFC_FRAME_BYTES, info.rate_bps) + info.delay;
+        let at = self.now + delay;
+        self.schedule(
+            at,
+            Event::PfcUpdate {
+                node: info.peer_node,
+                port: info.peer_port,
+                prio,
+                pause,
+            },
+        );
+        if pause {
+            self.nodes[node.idx()].ports[ingress.idx()].pfc_pause_events += 1;
+            self.total_pfc_pauses += 1;
+        }
+        let kind = if pause {
+            TraceKind::PfcPause
+        } else {
+            TraceKind::PfcResume
+        };
+        let qlen = self.nodes[node.idx()].ports[ingress.idx()].ingress_bytes[prio as usize];
+        self.trace(kind, node, ingress, prio, crate::ids::FlowId(0), qlen);
+    }
+
+    fn on_pfc_update(&mut self, node: NodeId, port: PortId, prio: Prio, pause: bool) {
+        let bit = 1u8 << (prio & 7);
+        let ps = &mut self.nodes[node.idx()].ports[port.idx()];
+        if pause {
+            ps.paused |= bit;
+        } else {
+            ps.paused &= !bit;
+            self.try_send(node, port);
+        }
+    }
+
+    /// The switch forwarding path: route, admission control, RED/ECN
+    /// marking, shared-buffer + PFC accounting, enqueue.
+    fn switch_rx(&mut self, node: NodeId, in_port: PortId, mut pkt: Packet) {
+        let Some(out_port) = self.routes.try_next_hop(node, pkt.dst, pkt.flow) else {
+            // Destination unreachable (link failures): black-hole, counted.
+            self.total_drops += 1;
+            self.unroutable_drops += 1;
+            return;
+        };
+        let prio = pkt.prio as usize;
+        let now = self.now;
+
+        // Admission: per-queue drop-tail bound and shared-buffer capacity.
+        let st = &self.nodes[node.idx()];
+        let q = &st.ports[out_port.idx()].queues[prio];
+        let buffer_full = st
+            .buffer
+            .as_ref()
+            .map(|b| !b.can_admit(pkt.size))
+            .unwrap_or(false);
+        if q.would_overflow(pkt.size) || buffer_full {
+            self.total_drops += 1;
+            if self.cfg.lossless_mask & (1u8 << (pkt.prio & 7)) != 0 {
+                self.lossless_drops += 1;
+            }
+            let qlen = q.bytes();
+            self.queue_mut(node, out_port, pkt.prio).record_drop();
+            self.trace(TraceKind::Drop, node, out_port, pkt.prio, pkt.flow, qlen);
+            return;
+        }
+
+        // RED/ECN marking against the instantaneous egress queue depth.
+        if pkt.ecn.markable() {
+            let q = &self.nodes[node.idx()].ports[out_port.idx()].queues[prio];
+            if let Some(cfg) = q.ecn {
+                let qlen = q.marking_qlen();
+                let p = cfg.mark_probability(qlen);
+                if p >= 1.0 || (p > 0.0 && self.rng.gen::<f64>() < p) {
+                    pkt.ecn = crate::packet::Ecn::Ce;
+                    self.trace(TraceKind::CeMark, node, out_port, pkt.prio, pkt.flow, qlen);
+                }
+            }
+        }
+
+        // Charge the shared buffer and the ingress counter; evaluate Xoff.
+        let st = &mut self.nodes[node.idx()];
+        if let Some(buf) = st.buffer.as_mut() {
+            buf.charge(pkt.size);
+            let ip = &mut st.ports[in_port.idx()];
+            ip.ingress_bytes[prio] += pkt.size as u64;
+            let bit = 1u8 << (pkt.prio & 7);
+            let lossless = self.cfg.lossless_mask & bit != 0;
+            if lossless && ip.pfc_sent & bit == 0 {
+                let over = st
+                    .buffer
+                    .as_ref()
+                    .map(|b| b.should_pause(st.ports[in_port.idx()].ingress_bytes[prio]))
+                    .unwrap_or(false);
+                if over {
+                    self.nodes[node.idx()].ports[in_port.idx()].pfc_sent |= bit;
+                    self.send_pfc(node, in_port, pkt.prio, true);
+                }
+            }
+        }
+
+        let q = self.queue_mut(node, out_port, pkt.prio);
+        q.push(
+            QItem {
+                pkt,
+                ingress: Some(in_port),
+            },
+            now,
+        );
+        let qlen = q.bytes();
+        self.trace(TraceKind::Enqueue, node, out_port, pkt.prio, pkt.flow, qlen);
+        self.try_send(node, out_port);
+    }
+
+    /// Administratively fail or restore the link attached to
+    /// (`node`, `port`). Both directions go down (the peer port too); the
+    /// route table is rebuilt to steer around the failure. Packets already
+    /// queued behind a downed transmitter wait for restoration; packets
+    /// with no remaining route are dropped (see `unroutable_drops`).
+    pub fn set_link_state(&mut self, node: NodeId, port: PortId, up: bool) {
+        let peer = *self.topo.port(node, port);
+        self.nodes[node.idx()].ports[port.idx()].link_up = up;
+        self.nodes[peer.peer_node.idx()].ports[peer.peer_port.idx()].link_up = up;
+        // Rebuild routing honouring every port's current state.
+        let states: Vec<Vec<bool>> = self
+            .nodes
+            .iter()
+            .map(|n| n.ports.iter().map(|p| p.link_up).collect())
+            .collect();
+        self.routes = RouteTable::build_filtered(&self.topo, |n, p| states[n.idx()][p.idx()]);
+        if up {
+            // Restart the transmitters on both ends.
+            self.try_send(node, port);
+            self.try_send(peer.peer_node, peer.peer_port);
+        }
+    }
+
+    /// Whether the link attached to (`node`, `port`) is up.
+    pub fn link_is_up(&self, node: NodeId, port: PortId) -> bool {
+        self.nodes[node.idx()].ports[port.idx()].link_up
+    }
+
+    /// Total bytes currently buffered in a switch.
+    pub fn buffer_used(&self, node: NodeId) -> u64 {
+        self.nodes[node.idx()]
+            .buffer
+            .as_ref()
+            .map(|b| b.used)
+            .unwrap_or(0)
+    }
+}
+
+/// The user-facing simulator: the core plus the pluggable host drivers and
+/// switch controllers.
+pub struct Simulator {
+    core: SimCore,
+    drivers: Vec<Option<Box<dyn NicDriver>>>,
+    controllers: Vec<Option<Box<dyn QueueController>>>,
+}
+
+impl Simulator {
+    /// Build a simulator for `topo` with the given configuration.
+    ///
+    /// Hosts start without drivers (packets delivered to a driverless host
+    /// are counted and discarded); switches start without controllers (the
+    /// initial ECN configuration stays in force — i.e. a static-ECN network).
+    pub fn new(topo: Topology, cfg: SimConfig) -> Self {
+        let n = topo.nodes.len();
+        let mut core = SimCore::new(topo, cfg);
+        if let Some(dt) = core.cfg.control_interval {
+            core.schedule(dt, Event::ControlTick);
+        }
+        Simulator {
+            core,
+            drivers: (0..n).map(|_| None).collect(),
+            controllers: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Read-only access to the core (telemetry, topology, counters).
+    pub fn core(&self) -> &SimCore {
+        &self.core
+    }
+
+    /// Install a structured event tracer (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.core.tracer = Some(tracer);
+    }
+
+    /// Access the installed tracer, if any.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.core.tracer.as_mut()
+    }
+
+    /// Mutable access to the core for harnesses that need to sync telemetry
+    /// clocks or reconfigure queues outside a controller tick.
+    pub fn core_mut(&mut self) -> &mut SimCore {
+        &mut self.core
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Install the NIC driver for `host`.
+    pub fn set_driver(&mut self, host: NodeId, driver: Box<dyn NicDriver>) {
+        assert!(self.core.topo.is_host(host), "drivers attach to hosts");
+        self.drivers[host.idx()] = Some(driver);
+    }
+
+    /// Install the control-plane logic for `switch`.
+    pub fn set_controller(&mut self, switch: NodeId, ctl: Box<dyn QueueController>) {
+        assert!(
+            !self.core.topo.is_host(switch),
+            "controllers attach to switches"
+        );
+        self.controllers[switch.idx()] = Some(ctl);
+    }
+
+    /// Run driver code for `host` outside of an event (e.g. to start flows).
+    pub fn with_driver<R>(
+        &mut self,
+        host: NodeId,
+        f: impl FnOnce(&mut dyn NicDriver, &mut HostCtx<'_>) -> R,
+    ) -> R {
+        let mut d = self.drivers[host.idx()]
+            .take()
+            .expect("host has no driver installed");
+        let mut ctx = HostCtx {
+            core: &mut self.core,
+            host,
+        };
+        let r = f(d.as_mut(), &mut ctx);
+        self.drivers[host.idx()] = Some(d);
+        r
+    }
+
+    /// Run controller code for `switch` outside of a tick (e.g. to extract a
+    /// trained model).
+    pub fn with_controller<R>(
+        &mut self,
+        switch: NodeId,
+        f: impl FnOnce(&mut dyn QueueController, &mut SwitchView<'_>) -> R,
+    ) -> R {
+        let mut c = self.controllers[switch.idx()]
+            .take()
+            .expect("switch has no controller installed");
+        let mut view = SwitchView {
+            core: &mut self.core,
+            node: switch,
+        };
+        let r = f(c.as_mut(), &mut view);
+        self.controllers[switch.idx()] = Some(c);
+        r
+    }
+
+    /// Process a single event. Returns `false` when the event queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(s) = self.core.events.pop() else {
+            return false;
+        };
+        debug_assert!(s.time >= self.core.now, "time went backwards");
+        self.core.now = s.time;
+        self.core.events_processed += 1;
+        match s.event {
+            Event::Arrive { node, port, pkt } => {
+                if self.core.topo.is_host(node) {
+                    if let Some(mut d) = self.drivers[node.idx()].take() {
+                        let mut ctx = HostCtx {
+                            core: &mut self.core,
+                            host: node,
+                        };
+                        d.on_packet(&pkt, &mut ctx);
+                        self.drivers[node.idx()] = Some(d);
+                    }
+                } else {
+                    self.core.switch_rx(node, port, pkt);
+                }
+            }
+            Event::TxDone { node, port } => {
+                self.core.on_tx_done(node, port);
+                // Hosts get the completion signal so deferred sends resume.
+                if self.core.topo.is_host(node) {
+                    if let Some(mut d) = self.drivers[node.idx()].take() {
+                        let mut ctx = HostCtx {
+                            core: &mut self.core,
+                            host: node,
+                        };
+                        d.on_tx_ready(&mut ctx);
+                        self.drivers[node.idx()] = Some(d);
+                    }
+                }
+            }
+            Event::PfcUpdate {
+                node,
+                port,
+                prio,
+                pause,
+            } => self.core.on_pfc_update(node, port, prio, pause),
+            Event::HostTimer { host, token } => {
+                if let Some(mut d) = self.drivers[host.idx()].take() {
+                    let mut ctx = HostCtx {
+                        core: &mut self.core,
+                        host,
+                    };
+                    d.on_timer(token, &mut ctx);
+                    self.drivers[host.idx()] = Some(d);
+                }
+            }
+            Event::ControlTick => {
+                let switches: Vec<NodeId> = self.core.topo.switches().to_vec();
+                for sw in switches {
+                    if let Some(mut c) = self.controllers[sw.idx()].take() {
+                        let mut view = SwitchView {
+                            core: &mut self.core,
+                            node: sw,
+                        };
+                        c.on_tick(&mut view);
+                        self.controllers[sw.idx()] = Some(c);
+                    }
+                }
+                if let Some(dt) = self.core.cfg.control_interval {
+                    let at = self.core.now + dt;
+                    self.core.schedule(at, Event::ControlTick);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until simulated time reaches `t` (events at exactly `t` are
+    /// processed). Afterwards `now() == t` even if the queue drained early.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.core.events.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < t {
+            self.core.now = t;
+        }
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimTime) {
+        let t = self.core.now + d;
+        self.run_until(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, PRIO_RDMA};
+    use crate::packet::{Ecn, PacketKind};
+    use crate::topology::TopologySpec;
+    use std::any::Any;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Driver that records received data bytes and their arrival times.
+    struct Sink {
+        got: Rc<RefCell<Vec<(SimTime, u32)>>>,
+    }
+    impl NicDriver for Sink {
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut HostCtx<'_>) {
+            self.got.borrow_mut().push((ctx.now(), pkt.size));
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut HostCtx<'_>) {}
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Driver that blasts `n` packets at t=0.
+    struct Blaster {
+        dst: NodeId,
+        n: u32,
+        flow: u64,
+        ecn: Ecn,
+    }
+    impl NicDriver for Blaster {
+        fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut HostCtx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+            let src = ctx.host();
+            for i in 0..self.n {
+                let pkt = Packet::data(
+                    FlowId(self.flow),
+                    src,
+                    self.dst,
+                    PRIO_RDMA,
+                    i as u64 * 1000,
+                    1000,
+                    i == self.n - 1,
+                    self.ecn,
+                );
+                ctx.send(pkt);
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_host_sim(rate: u64) -> (Simulator, Rc<RefCell<Vec<(SimTime, u32)>>>) {
+        let topo = TopologySpec::single_switch(2, rate, SimTime::from_ns(500)).build();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        sim.set_driver(hosts[1], Box::new(Sink { got: got.clone() }));
+        sim.set_driver(
+            hosts[0],
+            Box::new(Blaster {
+                dst: hosts[1],
+                n: 100,
+                flow: 1,
+                ecn: Ecn::Ect,
+            }),
+        );
+        sim.with_driver(hosts[0], |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        (sim, got)
+    }
+
+    #[test]
+    fn packets_traverse_switch_at_line_rate() {
+        let (mut sim, got) = two_host_sim(10_000_000_000);
+        sim.run_until(SimTime::from_ms(10));
+        let got = got.borrow();
+        assert_eq!(got.len(), 100, "all packets delivered");
+        // 100 packets of 1048B at 10 Gbps back to back: the gap between
+        // consecutive arrivals equals one serialization time (838.4 ns).
+        let ser = tx_time(1048, 10_000_000_000);
+        for w in got.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, ser);
+        }
+        // First packet: 2 serializations (host + switch) + 2 propagation.
+        let first = got[0].0;
+        assert_eq!(first, ser + ser + SimTime::from_ns(1000));
+        assert_eq!(sim.core().total_drops, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (mut s1, g1) = two_host_sim(25_000_000_000);
+        let (mut s2, g2) = two_host_sim(25_000_000_000);
+        s1.run_until(SimTime::from_ms(1));
+        s2.run_until(SimTime::from_ms(1));
+        assert_eq!(*g1.borrow(), *g2.borrow());
+        assert_eq!(s1.core().events_processed, s2.core().events_processed);
+    }
+
+    #[test]
+    fn ecn_marking_applies_under_congestion() {
+        // Two senders at 25G into one 25G receiver -> queue builds at the
+        // switch; with a tiny Kmin every ECT packet beyond the threshold is
+        // marked.
+        let topo = TopologySpec::single_switch(3, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.port.ecn[PRIO_RDMA as usize] =
+            Some(crate::queues::EcnConfig::new(2_000, 2_000, 1.0));
+        let mut sim = Simulator::new(topo, cfg);
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_driver(hosts[2], Box::new(Sink { got: got.clone() }));
+        for (i, &h) in hosts[..2].iter().enumerate() {
+            sim.set_driver(
+                h,
+                Box::new(Blaster {
+                    dst: hosts[2],
+                    n: 200,
+                    flow: i as u64 + 1,
+                    ecn: Ecn::Ect,
+                }),
+            );
+            sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        }
+        sim.run_until(SimTime::from_ms(5));
+        let sw = sim.core().topo.switches()[0];
+        // The egress queue towards host 2 is port index 2.
+        let q = sim.core().queue(sw, PortId(2), PRIO_RDMA);
+        assert_eq!(q.telem.tx_pkts, 400);
+        assert!(
+            q.telem.tx_marked_pkts > 300,
+            "most packets should be CE-marked, got {}",
+            q.telem.tx_marked_pkts
+        );
+        assert_eq!(sim.core().total_drops, 0);
+    }
+
+    #[test]
+    fn non_ect_never_marked() {
+        let topo = TopologySpec::single_switch(3, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.port.ecn[PRIO_RDMA as usize] = Some(crate::queues::EcnConfig::new(0, 0, 1.0));
+        let mut sim = Simulator::new(topo, cfg);
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_driver(hosts[2], Box::new(Sink { got: got.clone() }));
+        sim.set_driver(
+            hosts[0],
+            Box::new(Blaster {
+                dst: hosts[2],
+                n: 50,
+                flow: 1,
+                ecn: Ecn::NotEct,
+            }),
+        );
+        sim.with_driver(hosts[0], |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        sim.run_until(SimTime::from_ms(5));
+        let sw = sim.core().topo.switches()[0];
+        let q = sim.core().queue(sw, PortId(2), PRIO_RDMA);
+        assert_eq!(q.telem.tx_marked_pkts, 0);
+    }
+
+    #[test]
+    fn pfc_prevents_loss_on_lossless_class() {
+        // 8 senders blast a single receiver with far more data than the
+        // switch buffer; with PFC on the RDMA class nothing may be dropped.
+        let topo = TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.buffer_bytes = 512 * 1024; // small buffer to force PFC
+        let mut sim = Simulator::new(topo, cfg);
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_driver(hosts[8], Box::new(Sink { got: got.clone() }));
+        for (i, &h) in hosts[..8].iter().enumerate() {
+            sim.set_driver(
+                h,
+                Box::new(Blaster {
+                    dst: hosts[8],
+                    n: 1000, // 8 MB total >> 512 KB buffer
+                    flow: i as u64 + 1,
+                    ecn: Ecn::Ect,
+                }),
+            );
+            sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        }
+        sim.run_until(SimTime::from_ms(50));
+        assert_eq!(sim.core().total_drops, 0, "PFC must keep RDMA lossless");
+        assert!(sim.core().total_pfc_pauses > 0, "PFC must have triggered");
+        assert_eq!(got.borrow().len(), 8000, "everything eventually delivered");
+    }
+
+    #[test]
+    fn droptail_drops_without_pfc() {
+        // Same overload on the TCP class (not lossless, NotEct) with a small
+        // per-queue bound: drops must occur.
+        let topo = TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.port.max_queue_bytes[0] = 64 * 1024;
+        let mut sim = Simulator::new(topo, cfg);
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_driver(hosts[8], Box::new(Sink { got: got.clone() }));
+        struct TcpBlaster {
+            dst: NodeId,
+        }
+        impl NicDriver for TcpBlaster {
+            fn on_packet(&mut self, _p: &Packet, _c: &mut HostCtx<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut HostCtx<'_>) {
+                let src = ctx.host();
+                for i in 0..500u32 {
+                    let pkt = Packet::data(
+                        FlowId(src.0 as u64),
+                        src,
+                        self.dst,
+                        crate::ids::PRIO_TCP,
+                        i as u64 * 1000,
+                        1000,
+                        false,
+                        Ecn::NotEct,
+                    );
+                    ctx.send(pkt);
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        for &h in &hosts[..8] {
+            sim.set_driver(h, Box::new(TcpBlaster { dst: hosts[8] }));
+            sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        }
+        sim.run_until(SimTime::from_ms(20));
+        assert!(sim.core().total_drops > 0, "drop-tail class must drop");
+    }
+
+    #[test]
+    fn control_tick_fires_and_can_reconfigure() {
+        struct Tuner {
+            ticks: Rc<RefCell<u32>>,
+        }
+        impl QueueController for Tuner {
+            fn on_tick(&mut self, view: &mut SwitchView<'_>) {
+                *self.ticks.borrow_mut() += 1;
+                view.set_ecn(
+                    PortId(0),
+                    PRIO_RDMA,
+                    Some(crate::queues::EcnConfig::new(1234, 5678, 0.5)),
+                );
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+        let cfg = SimConfig::default().with_control_interval(SimTime::from_us(100));
+        let mut sim = Simulator::new(topo, cfg);
+        let sw = sim.core().topo.switches()[0];
+        let ticks = Rc::new(RefCell::new(0));
+        sim.set_controller(sw, Box::new(Tuner { ticks: ticks.clone() }));
+        sim.run_until(SimTime::from_ms(1));
+        assert_eq!(*ticks.borrow(), 10);
+        let q = sim.core().queue(sw, PortId(0), PRIO_RDMA);
+        assert_eq!(q.ecn.unwrap().kmin_bytes, 1234);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.control_interval = None;
+        let mut sim = Simulator::new(topo, cfg);
+        sim.run_until(SimTime::from_ms(3));
+        assert_eq!(sim.now(), SimTime::from_ms(3));
+    }
+
+    #[test]
+    fn ack_kind_round_trips_through_fabric() {
+        let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        struct KindSink {
+            kinds: Rc<RefCell<Vec<PacketKind>>>,
+        }
+        impl NicDriver for KindSink {
+            fn on_packet(&mut self, p: &Packet, _c: &mut HostCtx<'_>) {
+                self.kinds.borrow_mut().push(p.kind);
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut HostCtx<'_>) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.set_driver(hosts[1], Box::new(KindSink { kinds: got.clone() }));
+        struct Once {
+            dst: NodeId,
+        }
+        impl NicDriver for Once {
+            fn on_packet(&mut self, _p: &Packet, _c: &mut HostCtx<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut HostCtx<'_>) {
+                let src = ctx.host();
+                ctx.send(Packet::ack(FlowId(9), src, self.dst, 2, 77, true, false));
+                ctx.send(Packet::cnp(FlowId(9), src, self.dst, 2));
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.set_driver(hosts[0], Box::new(Once { dst: hosts[1] }));
+        sim.with_driver(hosts[0], |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        sim.run_until(SimTime::from_ms(1));
+        let kinds = got.borrow();
+        assert_eq!(kinds.len(), 2);
+        assert!(matches!(
+            kinds[0],
+            PacketKind::Ack {
+                cum_ack: 77,
+                ce_echo: true,
+                fin: false
+            }
+        ));
+        assert!(matches!(kinds[1], PacketKind::Cnp));
+    }
+}

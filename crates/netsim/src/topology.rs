@@ -1,0 +1,359 @@
+//! Topology description and builders for common datacenter fabrics.
+
+use crate::ids::{NodeId, PortId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Whether a node is a traffic endpoint or a forwarding element.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host with a NIC (runs a [`crate::driver::NicDriver`]).
+    Host,
+    /// A switch (runs an optional [`crate::control::QueueController`]).
+    Switch,
+}
+
+/// One directed attachment point of a node: its peer and the link parameters.
+///
+/// Links are full duplex; a physical cable between A and B appears as one
+/// port on A (with A's transmitter) and one port on B.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PortInfo {
+    /// The node at the far end of the cable.
+    pub peer_node: NodeId,
+    /// The port index at the far end.
+    pub peer_port: PortId,
+    /// Serialization rate of this direction, bits/s.
+    pub rate_bps: u64,
+    /// Propagation delay of the cable.
+    pub delay: SimTime,
+}
+
+/// A node and its ports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Attachment points.
+    pub ports: Vec<PortInfo>,
+    /// Human-readable name for traces (e.g. `leaf3`, `host17`).
+    pub name: String,
+}
+
+/// An immutable network topology: nodes, ports and links.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// All nodes; `NodeId` indexes this vector.
+    pub nodes: Vec<NodeInfo>,
+    hosts: Vec<NodeId>,
+    switches: Vec<NodeId>,
+}
+
+impl Topology {
+    /// All host node ids, in creation order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// All switch node ids, in creation order.
+    pub fn switches(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> &NodeInfo {
+        &self.nodes[id.idx()]
+    }
+
+    /// Is `id` a host?
+    pub fn is_host(&self, id: NodeId) -> bool {
+        self.node(id).kind == NodeKind::Host
+    }
+
+    /// Port metadata.
+    pub fn port(&self, node: NodeId, port: PortId) -> &PortInfo {
+        &self.nodes[node.idx()].ports[port.idx()]
+    }
+
+    /// The line rate of a host's (single) NIC port.
+    pub fn host_rate_bps(&self, host: NodeId) -> u64 {
+        self.node(host).ports[0].rate_bps
+    }
+}
+
+/// Mutable builder used by the topology specs (and directly by tests that
+/// need irregular networks).
+#[derive(Default, Debug)]
+pub struct TopologyBuilder {
+    topo: Topology,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a host; returns its id.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.topo.nodes.len() as u32);
+        self.topo.nodes.push(NodeInfo {
+            kind: NodeKind::Host,
+            ports: Vec::new(),
+            name: name.into(),
+        });
+        self.topo.hosts.push(id);
+        id
+    }
+
+    /// Add a switch; returns its id.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.topo.nodes.len() as u32);
+        self.topo.nodes.push(NodeInfo {
+            kind: NodeKind::Switch,
+            ports: Vec::new(),
+            name: name.into(),
+        });
+        self.topo.switches.push(id);
+        id
+    }
+
+    /// Connect two nodes with a full-duplex link.
+    pub fn link(&mut self, a: NodeId, b: NodeId, rate_bps: u64, delay: SimTime) {
+        assert!(rate_bps > 0, "link rate must be positive");
+        let pa = PortId(self.topo.nodes[a.idx()].ports.len() as u16);
+        let pb = PortId(self.topo.nodes[b.idx()].ports.len() as u16);
+        self.topo.nodes[a.idx()].ports.push(PortInfo {
+            peer_node: b,
+            peer_port: pb,
+            rate_bps,
+            delay,
+        });
+        self.topo.nodes[b.idx()].ports.push(PortInfo {
+            peer_node: a,
+            peer_port: pa,
+            rate_bps,
+            delay,
+        });
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Topology {
+        for (i, n) in self.topo.nodes.iter().enumerate() {
+            assert!(
+                !n.ports.is_empty(),
+                "node {i} ({}) has no links",
+                n.name
+            );
+            if n.kind == NodeKind::Host {
+                assert_eq!(
+                    n.ports.len(),
+                    1,
+                    "hosts must have exactly one NIC port ({})",
+                    n.name
+                );
+            }
+        }
+        self.topo
+    }
+}
+
+/// Declarative description of the fabrics used in the paper's evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// `n_hosts` hosts hanging off one switch.
+    SingleSwitch {
+        /// Number of hosts.
+        n_hosts: usize,
+        /// Host link rate, bits/s.
+        host_bps: u64,
+        /// Host link propagation delay.
+        host_delay: SimTime,
+    },
+    /// Two-tier leaf–spine (a small PoD / Clos): every leaf connects to every
+    /// spine.
+    LeafSpine {
+        /// Number of leaf switches.
+        n_leaf: usize,
+        /// Number of spine switches.
+        n_spine: usize,
+        /// Hosts attached to each leaf.
+        hosts_per_leaf: usize,
+        /// Host link rate, bits/s.
+        host_bps: u64,
+        /// Leaf–spine link rate, bits/s.
+        fabric_bps: u64,
+        /// Host link propagation delay.
+        host_delay: SimTime,
+        /// Leaf–spine propagation delay.
+        fabric_delay: SimTime,
+    },
+}
+
+impl TopologySpec {
+    /// A single switch with `n_hosts` hosts at `host_bps` each.
+    pub fn single_switch(n_hosts: usize, host_bps: u64, host_delay: SimTime) -> Self {
+        TopologySpec::SingleSwitch {
+            n_hosts,
+            host_bps,
+            host_delay,
+        }
+    }
+
+    /// The paper's testbed-scale fabric (§5.1): 4 leaves, 2 spines,
+    /// 24 servers with 25 Gbps NICs, 100 Gbps fabric links.
+    pub fn paper_testbed() -> Self {
+        TopologySpec::LeafSpine {
+            n_leaf: 4,
+            n_spine: 2,
+            hosts_per_leaf: 6,
+            host_bps: 25_000_000_000,
+            fabric_bps: 100_000_000_000,
+            host_delay: SimTime::from_ns(500),
+            fabric_delay: SimTime::from_ns(500),
+        }
+    }
+
+    /// The paper's large-scale simulation fabric (§5.4): 288 hosts,
+    /// 12 leaves x 24 hosts at 25 Gbps, 6 spines at 100 Gbps.
+    pub fn paper_large_sim() -> Self {
+        TopologySpec::LeafSpine {
+            n_leaf: 12,
+            n_spine: 6,
+            hosts_per_leaf: 24,
+            host_bps: 25_000_000_000,
+            fabric_bps: 100_000_000_000,
+            host_delay: SimTime::from_ns(500),
+            fabric_delay: SimTime::from_ns(500),
+        }
+    }
+
+    /// The centralized-vs-distributed comparison fabric (§5.4): 96 hosts,
+    /// 4 leaves, 2 spines.
+    pub fn paper_cacc_sim() -> Self {
+        TopologySpec::LeafSpine {
+            n_leaf: 4,
+            n_spine: 2,
+            hosts_per_leaf: 24,
+            host_bps: 25_000_000_000,
+            fabric_bps: 100_000_000_000,
+            host_delay: SimTime::from_ns(500),
+            fabric_delay: SimTime::from_ns(500),
+        }
+    }
+
+    /// Materialize the spec into a [`Topology`].
+    pub fn build(&self) -> Topology {
+        let mut b = TopologyBuilder::new();
+        match *self {
+            TopologySpec::SingleSwitch {
+                n_hosts,
+                host_bps,
+                host_delay,
+            } => {
+                assert!(n_hosts >= 1);
+                let sw = b.add_switch("sw0");
+                for h in 0..n_hosts {
+                    let host = b.add_host(format!("host{h}"));
+                    b.link(host, sw, host_bps, host_delay);
+                }
+            }
+            TopologySpec::LeafSpine {
+                n_leaf,
+                n_spine,
+                hosts_per_leaf,
+                host_bps,
+                fabric_bps,
+                host_delay,
+                fabric_delay,
+            } => {
+                assert!(n_leaf >= 1 && n_spine >= 1 && hosts_per_leaf >= 1);
+                let leaves: Vec<_> =
+                    (0..n_leaf).map(|i| b.add_switch(format!("leaf{i}"))).collect();
+                let spines: Vec<_> = (0..n_spine)
+                    .map(|i| b.add_switch(format!("spine{i}")))
+                    .collect();
+                for (li, &leaf) in leaves.iter().enumerate() {
+                    for h in 0..hosts_per_leaf {
+                        let host = b.add_host(format!("host{}", li * hosts_per_leaf + h));
+                        b.link(host, leaf, host_bps, host_delay);
+                    }
+                }
+                for &leaf in &leaves {
+                    for &spine in &spines {
+                        b.link(leaf, spine, fabric_bps, fabric_delay);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_shape() {
+        let t = TopologySpec::single_switch(8, 100_000_000_000, SimTime::from_us(1)).build();
+        assert_eq!(t.host_count(), 8);
+        assert_eq!(t.switch_count(), 1);
+        let sw = t.switches()[0];
+        assert_eq!(t.node(sw).ports.len(), 8);
+        for &h in t.hosts() {
+            assert_eq!(t.node(h).ports.len(), 1);
+            assert_eq!(t.port(h, PortId(0)).peer_node, sw);
+            assert_eq!(t.host_rate_bps(h), 100_000_000_000);
+        }
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let t = TopologySpec::paper_large_sim().build();
+        assert_eq!(t.host_count(), 288);
+        assert_eq!(t.switch_count(), 18);
+        // Each leaf: 24 host ports + 6 spine ports.
+        let leaf = t.switches()[0];
+        assert_eq!(t.node(leaf).ports.len(), 30);
+        // Each spine: 12 leaf ports.
+        let spine = t.switches()[12];
+        assert_eq!(t.node(spine).ports.len(), 12);
+    }
+
+    #[test]
+    fn ports_are_symmetric() {
+        let t = TopologySpec::paper_testbed().build();
+        for (ni, n) in t.nodes.iter().enumerate() {
+            for (pi, p) in n.ports.iter().enumerate() {
+                let back = t.port(p.peer_node, p.peer_port);
+                assert_eq!(back.peer_node, NodeId(ni as u32));
+                assert_eq!(back.peer_port, PortId(pi as u16));
+                assert_eq!(back.rate_bps, p.rate_bps);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one NIC")]
+    fn dual_homed_host_rejected() {
+        let mut b = TopologyBuilder::new();
+        let h = b.add_host("h");
+        let s1 = b.add_switch("s1");
+        let s2 = b.add_switch("s2");
+        b.link(h, s1, 1_000, SimTime::ZERO);
+        b.link(h, s2, 1_000, SimTime::ZERO);
+        b.link(s1, s2, 1_000, SimTime::ZERO);
+        b.build();
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the simulator's core invariants.
+
+use netsim::buffer::SharedBuffer;
+use netsim::event::{Event, EventQueue};
+use netsim::ids::{FlowId, NodeId};
+use netsim::queues::{Dwrr, EcnConfig};
+use netsim::routing::RouteTable;
+use netsim::time::{tx_time, SimTime};
+use netsim::topology::TopologySpec;
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops events in nondecreasing time order, and events
+    /// with identical times pop in insertion order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(
+                SimTime::from_ns(t),
+                Event::HostTimer { host: NodeId(0), token: i as u64 },
+            );
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_token_at_time: Option<u64> = None;
+        while let Some(s) = q.pop() {
+            prop_assert!(s.time >= last_time);
+            if s.time != last_time {
+                last_token_at_time = None;
+            }
+            if let Event::HostTimer { token, .. } = s.event {
+                if let Some(prev) = last_token_at_time {
+                    prop_assert!(token > prev, "FIFO violated among ties");
+                }
+                last_token_at_time = Some(token);
+            }
+            last_time = s.time;
+        }
+    }
+
+    /// RED marking probability is monotone in queue length and in [0, 1].
+    #[test]
+    fn red_probability_monotone(
+        kmin in 0u64..10_000_000,
+        span in 0u64..10_000_000,
+        pmax in 0.0f64..=1.0,
+        q1 in 0u64..20_000_000,
+        q2 in 0u64..20_000_000,
+    ) {
+        let cfg = EcnConfig::new(kmin, kmin + span, pmax);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = cfg.mark_probability(lo);
+        let p_hi = cfg.mark_probability(hi);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo <= p_hi + 1e-12);
+    }
+
+    /// Buffer accounting never goes negative or exceeds capacity when the
+    /// caller respects `can_admit`, and Xoff shrinks as the buffer fills.
+    #[test]
+    fn buffer_accounting_conserves(ops in prop::collection::vec((any::<bool>(), 1u32..100_000), 1..300)) {
+        let mut b = SharedBuffer::new(1_000_000, 0.125, 0.5);
+        let mut charged: Vec<u32> = Vec::new();
+        let mut prev_xoff_when_filling: Option<(u64, u64)> = None;
+        for (is_charge, size) in ops {
+            if is_charge {
+                if b.can_admit(size) {
+                    let before = (b.used, b.xoff_threshold());
+                    b.charge(size);
+                    charged.push(size);
+                    // Xoff is nonincreasing in `used`.
+                    if let Some((u0, x0)) = prev_xoff_when_filling {
+                        if b.used > u0 {
+                            prop_assert!(b.xoff_threshold() <= x0);
+                        }
+                    }
+                    prev_xoff_when_filling = Some((before.0, before.1));
+                }
+            } else if let Some(sz) = charged.pop() {
+                b.release(sz);
+            }
+            prop_assert!(b.used <= b.total);
+            let outstanding: u64 = charged.iter().map(|&s| s as u64).sum();
+            prop_assert_eq!(b.used, outstanding);
+        }
+    }
+
+    /// Serialization time is monotone and (near-)additive in bytes.
+    #[test]
+    fn tx_time_monotone_additive(a in 1u64..1_000_000, b in 1u64..1_000_000, rate in 1_000_000u64..400_000_000_000) {
+        let ta = tx_time(a, rate);
+        let tb = tx_time(b, rate);
+        let tab = tx_time(a + b, rate);
+        prop_assert!(tab >= ta);
+        prop_assert!(tab >= tb);
+        // Additivity up to 1 ps rounding per term.
+        let sum = ta + tb;
+        let diff = tab.as_ps().abs_diff(sum.as_ps());
+        prop_assert!(diff <= 2, "diff {diff} ps");
+    }
+
+    /// DWRR never picks an empty or paused class.
+    #[test]
+    fn dwrr_never_picks_invalid(
+        weights in prop::collection::vec(0u32..10, 2..6),
+        heads in prop::collection::vec(prop::option::of(64u32..9000), 2..6),
+        paused in any::<u8>(),
+        picks in 1usize..200,
+    ) {
+        prop_assume!(weights.len() == heads.len());
+        prop_assume!(weights.iter().any(|&w| w > 0));
+        let mut d = Dwrr::new(weights);
+        for _ in 0..picks {
+            if let Some(i) = d.pick(&heads, paused) {
+                prop_assert!(heads[i].is_some(), "picked empty class");
+                prop_assert_eq!(paused & (1 << (i as u8)), 0, "picked paused class");
+            }
+        }
+    }
+
+    /// Every (switch, host) pair in a random leaf-spine fabric has at least
+    /// one route, and following next-hops always reaches the destination
+    /// within a hop bound (no loops).
+    #[test]
+    fn routing_reaches_destination(
+        n_leaf in 1usize..5,
+        n_spine in 1usize..4,
+        hosts_per_leaf in 1usize..5,
+        flow in any::<u64>(),
+    ) {
+        let spec = TopologySpec::LeafSpine {
+            n_leaf,
+            n_spine,
+            hosts_per_leaf,
+            host_bps: 25_000_000_000,
+            fabric_bps: 100_000_000_000,
+            host_delay: SimTime::from_ns(500),
+            fabric_delay: SimTime::from_ns(500),
+        };
+        let topo = spec.build();
+        let rt = RouteTable::build(&topo);
+        let hosts = topo.hosts().to_vec();
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst {
+                    continue;
+                }
+                // Walk the route.
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let port = rt.next_hop(cur, dst, FlowId(flow));
+                    cur = topo.port(cur, port).peer_node;
+                    hops += 1;
+                    prop_assert!(hops <= 6, "routing loop {src} -> {dst}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary two-host transfers are fully delivered regardless of link
+    /// speed, packet count and propagation delay (conservation of packets).
+    #[test]
+    fn fabric_conserves_packets(
+        rate_gbps in 1u64..200,
+        n_pkts in 1u32..300,
+        delay_ns in 1u64..5_000,
+    ) {
+        use netsim::prelude::*;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use std::any::Any;
+
+        struct Sink { n: Rc<RefCell<u32>> }
+        impl NicDriver for Sink {
+            fn on_packet(&mut self, _p: &Packet, _c: &mut HostCtx<'_>) {
+                *self.n.borrow_mut() += 1;
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut HostCtx<'_>) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any { self }
+        }
+        struct Blast { dst: NodeId, n: u32 }
+        impl NicDriver for Blast {
+            fn on_packet(&mut self, _p: &Packet, _c: &mut HostCtx<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut HostCtx<'_>) {
+                let src = ctx.host();
+                for i in 0..self.n {
+                    ctx.send(Packet::data(
+                        FlowId(1), src, self.dst, netsim::ids::PRIO_RDMA,
+                        i as u64 * 1000, 1000, i + 1 == self.n, Ecn::Ect,
+                    ));
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any { self }
+        }
+
+        let topo = TopologySpec::single_switch(2, rate_gbps * 1_000_000_000, SimTime::from_ns(delay_ns)).build();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(0u32));
+        sim.set_driver(hosts[1], Box::new(Sink { n: got.clone() }));
+        sim.set_driver(hosts[0], Box::new(Blast { dst: hosts[1], n: n_pkts }));
+        sim.with_driver(hosts[0], |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        sim.run_until(SimTime::from_ms(100));
+        prop_assert_eq!(*got.borrow() + sim.core().total_drops as u32, n_pkts);
+        prop_assert_eq!(sim.core().total_drops, 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! The Double-DQN agent (van Hasselt et al. 2016), as used by ACC §3.4.
+//!
+//! The target decouples action *selection* (by the evaluation network) from
+//! action *evaluation* (by the periodically-synced target network):
+//!
+//! ```text
+//! y = r + γ · Q_target(S', argmax_a Q_eval(S', a))        (paper eq. 3)
+//! ```
+//!
+//! Exploration is ε-greedy; ACC decays ε exponentially and quickly during
+//! online operation to avoid destabilising the production network (§4.3).
+
+use crate::memory::Memory;
+use crate::mlp::{Adam, Gradients, Mlp};
+use crate::replay::Transition;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`DdqnAgent`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DdqnConfig {
+    /// Hidden layer widths (the paper uses two hidden layers of 40).
+    pub hidden: Vec<usize>,
+    /// Discount factor γ. The default is 0.5: the ECN-tuning action's
+    /// effect on queue/utilisation materialises within one or two control
+    /// intervals (Δt is already 10x the RTT), and a long horizon only
+    /// drowns the small per-interval reward differences in bootstrap noise.
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Minibatch size N.
+    pub batch_size: usize,
+    /// Sync the target network every this many training steps.
+    pub target_sync_every: u64,
+    /// Initial exploration probability.
+    pub eps_start: f64,
+    /// Final exploration probability.
+    pub eps_end: f64,
+    /// Exponential decay constant (in action-selection steps).
+    pub eps_decay_steps: f64,
+    /// Local replay memory capacity.
+    pub replay_capacity: usize,
+    /// Minimum stored transitions before training begins.
+    pub min_replay: usize,
+    /// Use the §4.3 reward-prioritised replay instead of uniform sampling.
+    #[serde(default)]
+    pub use_prioritized_replay: bool,
+}
+
+impl Default for DdqnConfig {
+    fn default() -> Self {
+        DdqnConfig {
+            hidden: vec![40, 40],
+            gamma: 0.5,
+            lr: 1e-3,
+            batch_size: 32,
+            target_sync_every: 100,
+            eps_start: 1.0,
+            eps_end: 0.02,
+            eps_decay_steps: 500.0,
+            replay_capacity: 10_000,
+            min_replay: 64,
+            use_prioritized_replay: false,
+        }
+    }
+}
+
+/// A Double-DQN agent over a discrete action space.
+#[derive(Clone, Debug)]
+pub struct DdqnAgent {
+    cfg: DdqnConfig,
+    eval: Mlp,
+    target: Mlp,
+    opt: Adam,
+    /// Local replay memory (public so multi-agent schemes can exchange
+    /// experience with a global memory).
+    pub replay: Memory,
+    rng: SmallRng,
+    select_steps: u64,
+    train_steps: u64,
+}
+
+impl DdqnAgent {
+    /// New agent for `state_dim` inputs and `n_actions` outputs.
+    pub fn new(state_dim: usize, n_actions: usize, cfg: DdqnConfig, seed: u64) -> Self {
+        assert!(n_actions >= 2, "need at least two actions");
+        let mut dims = Vec::with_capacity(cfg.hidden.len() + 2);
+        dims.push(state_dim);
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(n_actions);
+        let eval = Mlp::new(&dims, seed);
+        let target = eval.clone();
+        let opt = Adam::new(&eval, cfg.lr);
+        let replay = Memory::new(cfg.replay_capacity, cfg.use_prioritized_replay);
+        DdqnAgent {
+            cfg,
+            eval,
+            target,
+            opt,
+            replay,
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E3779B9).wrapping_add(1)),
+            select_steps: 0,
+            train_steps: 0,
+        }
+    }
+
+    /// Number of discrete actions.
+    pub fn n_actions(&self) -> usize {
+        self.eval.output_dim()
+    }
+
+    /// State dimensionality.
+    pub fn state_dim(&self) -> usize {
+        self.eval.input_dim()
+    }
+
+    /// Current exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        self.cfg.eps_end
+            + (self.cfg.eps_start - self.cfg.eps_end)
+                * (-(self.select_steps as f64) / self.cfg.eps_decay_steps).exp()
+    }
+
+    /// Reset the exploration schedule (e.g. when reusing an offline-trained
+    /// model online with a small fresh exploration budget).
+    pub fn set_exploration(&mut self, eps_start: f64, eps_end: f64, decay_steps: f64) {
+        self.cfg.eps_start = eps_start;
+        self.cfg.eps_end = eps_end;
+        self.cfg.eps_decay_steps = decay_steps;
+        self.select_steps = 0;
+    }
+
+    /// ε-greedy action selection; advances the decay schedule.
+    pub fn select_action(&mut self, state: &[f32]) -> usize {
+        let eps = self.epsilon();
+        self.select_steps += 1;
+        if self.rng.gen::<f64>() < eps {
+            self.rng.gen_range(0..self.n_actions())
+        } else {
+            self.best_action(state)
+        }
+    }
+
+    /// Pure greedy inference (no exploration, no schedule side effects).
+    pub fn best_action(&self, state: &[f32]) -> usize {
+        argmax(&self.eval.forward(state))
+    }
+
+    /// Q-values of the evaluation network.
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        self.eval.forward(state)
+    }
+
+    /// Store one experience tuple.
+    pub fn observe(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.state_dim());
+        debug_assert!(t.action < self.n_actions());
+        self.replay.push(t);
+    }
+
+    /// One minibatch training step (no-op until `min_replay` transitions are
+    /// stored). Returns the minibatch loss if training happened.
+    pub fn train_step(&mut self) -> Option<f32> {
+        if self.replay.len() < self.cfg.min_replay.max(self.cfg.batch_size) {
+            return None;
+        }
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, self.cfg.batch_size)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut total = Gradients::zeros(&self.eval);
+        let mut loss = 0.0f32;
+        for t in &batch {
+            // Double-DQN target.
+            let y = if t.done {
+                t.reward
+            } else {
+                let a_star = argmax(&self.eval.forward(&t.next_state));
+                let q_next = self.target.forward(&t.next_state)[a_star];
+                t.reward + self.cfg.gamma * q_next
+            };
+            let cache = self.eval.forward_cached(&t.state);
+            let q = cache.output()[t.action];
+            let err = q - y;
+            loss += err * err;
+            // dLoss/dQ[a] = 2·err for the taken action, 0 elsewhere.
+            let mut grad_out = vec![0.0f32; self.n_actions()];
+            grad_out[t.action] = 2.0 * err;
+            let g = self.eval.backward(&cache, &grad_out);
+            total.add(&g);
+        }
+        total.scale(1.0 / batch.len() as f32);
+        self.opt.step(&mut self.eval, &total);
+        self.train_steps += 1;
+        if self.train_steps.is_multiple_of(self.cfg.target_sync_every) {
+            self.target.copy_from(&self.eval);
+        }
+        Some(loss / batch.len() as f32)
+    }
+
+    /// Force a target-network sync.
+    pub fn sync_target(&mut self) {
+        self.target.copy_from(&self.eval);
+    }
+
+    /// Training steps taken so far.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Serialize the evaluation network (the deployable model).
+    pub fn export_model(&self) -> Mlp {
+        self.eval.clone()
+    }
+
+    /// Load a pre-trained model into both networks (offline → online
+    /// hand-off, §4.3).
+    pub fn load_model(&mut self, model: &Mlp) {
+        self.eval.copy_from(model);
+        self.target.copy_from(model);
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, v) in xs.iter().enumerate() {
+        if *v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_decays_exponentially() {
+        let mut a = DdqnAgent::new(2, 2, DdqnConfig::default(), 1);
+        let e0 = a.epsilon();
+        for _ in 0..500 {
+            a.select_action(&[0.0, 0.0]);
+        }
+        let e1 = a.epsilon();
+        for _ in 0..5000 {
+            a.select_action(&[0.0, 0.0]);
+        }
+        let e2 = a.epsilon();
+        assert!(e0 > 0.99);
+        assert!(e1 < 0.5 && e1 > a.cfg.eps_end);
+        assert!((e2 - a.cfg.eps_end).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_training_until_min_replay() {
+        let mut a = DdqnAgent::new(2, 2, DdqnConfig::default(), 1);
+        assert!(a.train_step().is_none());
+        for i in 0..100 {
+            a.observe(Transition {
+                state: vec![0.0, 0.0],
+                action: i % 2,
+                reward: 0.0,
+                next_state: vec![0.0, 0.0],
+                done: false,
+            });
+        }
+        assert!(a.train_step().is_some());
+    }
+
+    /// A contextual bandit: state is one-hot of 3 contexts, the correct
+    /// action equals the context. After training the greedy policy must be
+    /// (nearly) optimal — this exercises selection, replay, targets and
+    /// optimisation end to end.
+    #[test]
+    fn learns_contextual_bandit() {
+        let mut cfg = DdqnConfig::default();
+        cfg.gamma = 0.0; // bandit: no bootstrapping
+        cfg.lr = 5e-3;
+        cfg.eps_decay_steps = 300.0;
+        let mut agent = DdqnAgent::new(3, 3, cfg, 7);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..3000 {
+            let ctx = rng.gen_range(0..3usize);
+            let mut s = vec![0.0f32; 3];
+            s[ctx] = 1.0;
+            let a = agent.select_action(&s);
+            let r = if a == ctx { 1.0 } else { -1.0 };
+            agent.observe(Transition {
+                state: s.clone(),
+                action: a,
+                reward: r,
+                next_state: s,
+                done: true,
+            });
+            agent.train_step();
+        }
+        for ctx in 0..3 {
+            let mut s = vec![0.0f32; 3];
+            s[ctx] = 1.0;
+            assert_eq!(
+                agent.best_action(&s),
+                ctx,
+                "greedy policy wrong for context {ctx}: q={:?}",
+                agent.q_values(&s)
+            );
+        }
+    }
+
+    /// A 2-state chain MDP where the *delayed* consequence matters:
+    /// in state 0, action 1 moves to state 1 (reward 0); in state 1, action 0
+    /// pays +1 and returns to 0. Any other action pays -0.1 and self-loops.
+    /// With γ>0 the agent must learn both steps.
+    #[test]
+    fn learns_two_step_chain() {
+        let mut cfg = DdqnConfig::default();
+        cfg.gamma = 0.9;
+        cfg.lr = 5e-3;
+        cfg.eps_decay_steps = 500.0;
+        cfg.target_sync_every = 50;
+        let mut agent = DdqnAgent::new(2, 2, cfg, 3);
+        let mut state = 0usize;
+        for _ in 0..6000 {
+            let s = one_hot(state, 2);
+            let a = agent.select_action(&s);
+            let (r, next) = match (state, a) {
+                (0, 1) => (0.0, 1),
+                (1, 0) => (1.0, 0),
+                _ => (-0.1, state),
+            };
+            agent.observe(Transition {
+                state: s,
+                action: a,
+                reward: r,
+                next_state: one_hot(next, 2),
+                done: false,
+            });
+            agent.train_step();
+            state = next;
+        }
+        assert_eq!(agent.best_action(&one_hot(0, 2)), 1);
+        assert_eq!(agent.best_action(&one_hot(1, 2)), 0);
+    }
+
+    #[test]
+    fn learns_bandit_with_prioritized_replay() {
+        // Same contextual bandit, but replaying high-reward experience
+        // preferentially (§4.3 online mode) — learning must still converge.
+        let mut cfg = DdqnConfig::default();
+        cfg.gamma = 0.0;
+        cfg.lr = 5e-3;
+        cfg.eps_decay_steps = 300.0;
+        cfg.use_prioritized_replay = true;
+        let mut agent = DdqnAgent::new(3, 3, cfg, 7);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..3000 {
+            let ctx = rng.gen_range(0..3usize);
+            let mut s = vec![0.0f32; 3];
+            s[ctx] = 1.0;
+            let a = agent.select_action(&s);
+            let r = if a == ctx { 1.0 } else { -1.0 };
+            agent.observe(Transition {
+                state: s.clone(),
+                action: a,
+                reward: r,
+                next_state: s,
+                done: true,
+            });
+            agent.train_step();
+        }
+        let mut correct = 0;
+        for ctx in 0..3 {
+            let mut s = vec![0.0f32; 3];
+            s[ctx] = 1.0;
+            if agent.best_action(&s) == ctx {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 2, "prioritized agent got {correct}/3 contexts");
+    }
+
+    #[test]
+    fn model_export_load_round_trip() {
+        let a = DdqnAgent::new(4, 5, DdqnConfig::default(), 1);
+        let mut b = DdqnAgent::new(4, 5, DdqnConfig::default(), 99);
+        let s = [0.1, 0.2, 0.3, 0.4];
+        assert_ne!(a.q_values(&s), b.q_values(&s));
+        let m = a.export_model();
+        b.load_model(&m);
+        assert_eq!(a.q_values(&s), b.q_values(&s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut agent = DdqnAgent::new(2, 2, DdqnConfig::default(), 5);
+            let mut out = Vec::new();
+            for i in 0..200 {
+                let s = vec![(i % 3) as f32, (i % 5) as f32];
+                let a = agent.select_action(&s);
+                agent.observe(Transition {
+                    state: s.clone(),
+                    action: a,
+                    reward: a as f32,
+                    next_state: s,
+                    done: false,
+                });
+                agent.train_step();
+                out.push(a);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    fn one_hot(i: usize, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        v
+    }
+}

@@ -1,0 +1,36 @@
+//! # rl — dependency-free deep reinforcement learning
+//!
+//! The ACC paper's agent is a small Double-DQN over a four-layer MLP
+//! (§3.4, Algorithm 1; resource budget in §6: layer sizes around
+//! `{20, 40, 40, 20}`, ~30 KB of parameters). Rather than binding to a
+//! tensor framework, this crate implements exactly the pieces needed, from
+//! scratch and deterministically:
+//!
+//! * [`mlp`] — a fully-connected network with ReLU hidden layers, manual
+//!   backpropagation and an Adam optimizer;
+//! * [`replay`] — bounded experience-replay memories (local per agent plus a
+//!   shared *global* memory that agents exchange experience through, the
+//!   asynchronous multi-agent scheme of §3.4), and [`prioritized`] — the
+//!   §4.3 reward-prioritised variant used during online fine-tuning;
+//! * [`ddqn`] — the Double-DQN agent: ε-greedy action selection with fast
+//!   exponential ε decay, uniform minibatch sampling, the decoupled
+//!   action-selection / action-evaluation target of eq. (3), and periodic
+//!   target-network synchronisation.
+//!
+//! Everything is `f32`, seedable, and serializable with `serde` so trained
+//! models can be saved offline and loaded onto "switches" (§4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ddqn;
+pub mod memory;
+pub mod mlp;
+pub mod prioritized;
+pub mod replay;
+
+pub use ddqn::{DdqnAgent, DdqnConfig};
+pub use memory::Memory;
+pub use mlp::{Adam, Mlp};
+pub use prioritized::PrioritizedReplay;
+pub use replay::{ReplayBuffer, Transition};

@@ -1,0 +1,151 @@
+//! A unified front over the two replay-memory flavours, so the agent (and
+//! the multi-agent exchange machinery) can switch between uniform and
+//! reward-prioritised replay with a config flag.
+
+use crate::prioritized::PrioritizedReplay;
+use crate::replay::{ReplayBuffer, Transition};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Either a uniform ring or a reward-prioritised memory.
+#[derive(Clone, Debug)]
+pub enum Memory {
+    /// Uniform sampling (offline training default).
+    Uniform(ReplayBuffer),
+    /// Reward-proportional sampling (§4.3 online fine-tuning).
+    Prioritized(PrioritizedReplay),
+}
+
+impl Memory {
+    /// Build the requested flavour with `cap` capacity.
+    pub fn new(cap: usize, prioritized: bool) -> Self {
+        if prioritized {
+            Memory::Prioritized(PrioritizedReplay::new(cap))
+        } else {
+            Memory::Uniform(ReplayBuffer::new(cap))
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        match self {
+            Memory::Uniform(b) => b.len(),
+            Memory::Prioritized(p) => p.len(),
+        }
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a transition.
+    pub fn push(&mut self, t: Transition) {
+        match self {
+            Memory::Uniform(b) => b.push(t),
+            Memory::Prioritized(p) => p.push(t),
+        }
+    }
+
+    /// Sample `n` transitions according to the flavour's distribution.
+    pub fn sample<'a>(&'a self, rng: &mut SmallRng, n: usize) -> Vec<&'a Transition> {
+        match self {
+            Memory::Uniform(b) => b.sample(rng, n),
+            Memory::Prioritized(p) => p.sample(rng, n),
+        }
+    }
+
+    /// Iterate over stored transitions (unspecified order).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &Transition> + '_> {
+        match self {
+            Memory::Uniform(b) => Box::new(b.iter()),
+            Memory::Prioritized(p) => Box::new(p.iter()),
+        }
+    }
+
+    /// Copy `n` sampled transitions into a (uniform) global memory — the
+    /// local → global half of the §3.4 exchange.
+    pub fn exchange_into(&self, global: &mut ReplayBuffer, rng: &mut SmallRng, n: usize) {
+        if self.is_empty() {
+            return;
+        }
+        for _ in 0..n {
+            let t = {
+                let picked = self.sample(rng, 1);
+                picked[0].clone()
+            };
+            global.push(t);
+        }
+    }
+
+    /// Copy `n` uniform samples from a global memory into this one — the
+    /// global → local half of the §3.4 exchange.
+    pub fn pull_from(&mut self, global: &ReplayBuffer, rng: &mut SmallRng, n: usize) {
+        if global.is_empty() {
+            return;
+        }
+        for _ in 0..n {
+            let idx = rng.gen_range(0..global.len());
+            let t = global.iter().nth(idx).expect("index in range").clone();
+            self.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tr(r: f32) -> Transition {
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn both_flavours_roundtrip() {
+        for prioritized in [false, true] {
+            let mut m = Memory::new(16, prioritized);
+            assert!(m.is_empty());
+            for i in 0..20 {
+                m.push(tr(i as f32));
+            }
+            assert_eq!(m.len(), 16);
+            let mut rng = SmallRng::seed_from_u64(1);
+            assert_eq!(m.sample(&mut rng, 5).len(), 5);
+            assert_eq!(m.iter().count(), 16);
+        }
+    }
+
+    #[test]
+    fn exchange_both_directions() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut global = ReplayBuffer::new(100);
+        let mut local = Memory::new(32, true);
+        for i in 0..10 {
+            local.push(tr(i as f32));
+        }
+        local.exchange_into(&mut global, &mut rng, 8);
+        assert_eq!(global.len(), 8);
+        let mut other = Memory::new(32, false);
+        other.pull_from(&global, &mut rng, 5);
+        assert_eq!(other.len(), 5);
+    }
+
+    #[test]
+    fn exchange_from_empty_is_noop() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let empty = Memory::new(8, false);
+        let mut global = ReplayBuffer::new(8);
+        empty.exchange_into(&mut global, &mut rng, 4);
+        assert!(global.is_empty());
+        let mut local = Memory::new(8, true);
+        local.pull_from(&global, &mut rng, 4);
+        assert!(local.is_empty());
+    }
+}

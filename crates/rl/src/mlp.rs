@@ -1,0 +1,512 @@
+//! A small fully-connected network with manual backprop and Adam.
+//!
+//! Hidden layers use ReLU; the output layer is linear (Q-values). Weights
+//! are He-initialised from a caller-supplied seed, so training is fully
+//! deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `out = W·x + b`, with `W` stored row-major (out × in).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+    /// Weights, row-major `[n_out][n_in]`.
+    pub w: Vec<f32>,
+    /// Biases `[n_out]`.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    fn new(n_in: usize, n_out: usize, rng: &mut SmallRng) -> Self {
+        // He initialisation for ReLU nets.
+        let scale = (2.0 / n_in as f32).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            n_in,
+            n_out,
+            w,
+            b: vec![0.0; n_out],
+        }
+    }
+
+    #[inline]
+    fn apply(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.n_in);
+        debug_assert_eq!(out.len(), self.n_out);
+        for (o, (row, b)) in out
+            .iter_mut()
+            .zip(self.w.chunks_exact(self.n_in).zip(&self.b))
+        {
+            let mut acc = *b;
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Per-layer activations captured during a forward pass, for backprop.
+#[derive(Clone, Debug)]
+pub struct Activations {
+    /// `acts[0]` is the input; `acts[i]` is the post-activation output of
+    /// layer `i-1`.
+    pub acts: Vec<Vec<f32>>,
+}
+
+impl Activations {
+    /// The network output.
+    pub fn output(&self) -> &[f32] {
+        self.acts.last().expect("empty activations")
+    }
+}
+
+/// Parameter gradients, same shapes as the network.
+#[derive(Clone, Debug)]
+pub struct Gradients {
+    /// Per-layer weight gradients.
+    pub dw: Vec<Vec<f32>>,
+    /// Per-layer bias gradients.
+    pub db: Vec<Vec<f32>>,
+}
+
+impl Gradients {
+    /// All-zero gradients shaped like `net`.
+    pub fn zeros(net: &Mlp) -> Self {
+        Gradients {
+            dw: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            db: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn add(&mut self, other: &Gradients) {
+        for (a, b) in self.dw.iter_mut().zip(&other.dw) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.db.iter_mut().zip(&other.db) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scale every gradient by `k` (e.g. 1/batch-size).
+    pub fn scale(&mut self, k: f32) {
+        for a in self.dw.iter_mut().chain(self.db.iter_mut()) {
+            for x in a {
+                *x *= k;
+            }
+        }
+    }
+}
+
+/// The multi-layer perceptron.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    dims: Vec<usize>,
+}
+
+impl Mlp {
+    /// Build a network with the given layer widths, e.g. `[12, 40, 40, 20]`
+    /// = 12 inputs, two ReLU hidden layers of 40, 20 linear outputs.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().unwrap()
+    }
+
+    /// Layer widths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Multiply-accumulate operations for one forward pass (for the paper's
+    /// §6 resource estimate).
+    pub fn flops_per_inference(&self) -> usize {
+        self.layers.iter().map(|l| 2 * l.w.len()).sum()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut out = vec![0.0; l.n_out];
+            l.apply(&cur, &mut out);
+            if i != last {
+                for v in &mut out {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            cur = out;
+        }
+        cur
+    }
+
+    /// Forward pass keeping intermediate activations for [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &[f32]) -> Activations {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut out = vec![0.0; l.n_out];
+            l.apply(acts.last().unwrap(), &mut out);
+            if i != last {
+                for v in &mut out {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            acts.push(out);
+        }
+        Activations { acts }
+    }
+
+    /// Backpropagate `grad_out` (= dLoss/dOutput) through the cached forward
+    /// pass, returning parameter gradients.
+    ///
+    /// ReLU masks use the *post-activation* values, which is valid because
+    /// post-activation > 0 ⇔ pre-activation > 0.
+    pub fn backward(&self, cache: &Activations, grad_out: &[f32]) -> Gradients {
+        assert_eq!(grad_out.len(), self.output_dim());
+        let mut grads = Gradients::zeros(self);
+        let mut delta = grad_out.to_vec();
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let input = &cache.acts[i];
+            // dW = delta ⊗ input ; db = delta.
+            let dw = &mut grads.dw[i];
+            for (r, d) in delta.iter().enumerate() {
+                let row = &mut dw[r * l.n_in..(r + 1) * l.n_in];
+                for (slot, x) in row.iter_mut().zip(input) {
+                    *slot += d * x;
+                }
+            }
+            grads.db[i].copy_from_slice(&delta);
+            if i == 0 {
+                break;
+            }
+            // delta_prev = Wᵀ·delta, masked by the previous ReLU.
+            let mut prev = vec![0.0f32; l.n_in];
+            for (r, d) in delta.iter().enumerate() {
+                let row = &l.w[r * l.n_in..(r + 1) * l.n_in];
+                for (p, wi) in prev.iter_mut().zip(row) {
+                    *p += wi * d;
+                }
+            }
+            for (p, a) in prev.iter_mut().zip(&cache.acts[i]) {
+                if *a <= 0.0 {
+                    *p = 0.0;
+                }
+            }
+            delta = prev;
+        }
+        grads
+    }
+
+    /// Apply a raw SGD step (used by tests; training uses [`Adam`]).
+    pub fn sgd_step(&mut self, grads: &Gradients, lr: f32) {
+        for (l, (dw, db)) in self.layers.iter_mut().zip(grads.dw.iter().zip(&grads.db)) {
+            for (w, g) in l.w.iter_mut().zip(dw) {
+                *w -= lr * g;
+            }
+            for (b, g) in l.b.iter_mut().zip(db) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Read one flat-indexed weight of `layer` (tests/diagnostics).
+    pub fn weight(&self, layer: usize, idx: usize) -> f32 {
+        self.layers[layer].w[idx]
+    }
+
+    /// Overwrite one flat-indexed weight of `layer` (tests/diagnostics).
+    pub fn set_weight(&mut self, layer: usize, idx: usize, v: f32) {
+        self.layers[layer].w[idx] = v;
+    }
+
+    /// Copy parameters from `other` (target-network sync).
+    pub fn copy_from(&mut self, other: &Mlp) {
+        assert_eq!(self.dims, other.dims, "architecture mismatch");
+        self.layers.clone_from(&other.layers);
+    }
+}
+
+/// Adam optimizer state for one [`Mlp`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    mw: Vec<Vec<f32>>,
+    vw: Vec<Vec<f32>>,
+    mb: Vec<Vec<f32>>,
+    vb: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Fresh optimizer for `net` with learning rate `lr`.
+    pub fn new(net: &Mlp, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            mw: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            vw: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            mb: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            vb: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// One Adam update of `net` with `grads`.
+    pub fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, l) in net.layers.iter_mut().enumerate() {
+            Self::update(
+                &mut l.w,
+                &grads.dw[i],
+                &mut self.mw[i],
+                &mut self.vw[i],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+            Self::update(
+                &mut l.b,
+                &grads.db[i],
+                &mut self.mb[i],
+                &mut self.vb[i],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update(
+        params: &mut [f32],
+        grads: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        lr: f32,
+        b1: f32,
+        b2: f32,
+        eps: f32,
+        bc1: f32,
+        bc2: f32,
+    ) {
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            params[i] -= lr * mh / (vh.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let net = Mlp::new(&[12, 40, 40, 20], 1);
+        assert_eq!(net.input_dim(), 12);
+        assert_eq!(net.output_dim(), 20);
+        assert_eq!(
+            net.param_count(),
+            12 * 40 + 40 + 40 * 40 + 40 + 40 * 20 + 20
+        );
+        let y = net.forward(&[0.1; 12]);
+        assert_eq!(y.len(), 20);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(&[4, 8, 2], 7);
+        let b = Mlp::new(&[4, 8, 2], 7);
+        let x = [0.3, -0.1, 0.5, 0.9];
+        assert_eq!(a.forward(&x), b.forward(&x));
+        let c = Mlp::new(&[4, 8, 2], 8);
+        assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let net = Mlp::new(&[6, 16, 16, 4], 3);
+        let x: Vec<f32> = (0..6).map(|i| (i as f32 - 3.0) * 0.25).collect();
+        let y1 = net.forward(&x);
+        let cache = net.forward_cached(&x);
+        assert_eq!(y1, cache.output());
+    }
+
+    /// Central-difference gradient check: backprop must agree with numerical
+    /// gradients of a scalar loss L = Σ grad_out[k] * out[k].
+    #[test]
+    fn gradient_check() {
+        let mut net = Mlp::new(&[5, 9, 7, 3], 42);
+        let x: Vec<f32> = vec![0.2, -0.4, 0.7, 0.05, -0.9];
+        let grad_out = vec![1.0, -2.0, 0.5];
+        let cache = net.forward_cached(&x);
+        let analytic = net.backward(&cache, &grad_out);
+
+        let loss = |net: &Mlp| -> f64 {
+            net.forward(&x)
+                .iter()
+                .zip(&grad_out)
+                .map(|(o, g)| (*o as f64) * (*g as f64))
+                .sum()
+        };
+
+        let h = 1e-3f32;
+        let mut checked = 0;
+        for li in 0..net.layers.len() {
+            // Check a sample of weights in each layer.
+            let n = net.layers[li].w.len();
+            for k in (0..n).step_by((n / 7).max(1)) {
+                let orig = net.layers[li].w[k];
+                net.layers[li].w[k] = orig + h;
+                let lp = loss(&net);
+                net.layers[li].w[k] = orig - h;
+                let lm = loss(&net);
+                net.layers[li].w[k] = orig;
+                let numeric = ((lp - lm) / (2.0 * h as f64)) as f32;
+                let got = analytic.dw[li][k];
+                let denom = numeric.abs().max(got.abs()).max(1e-4);
+                assert!(
+                    (numeric - got).abs() / denom < 2e-2,
+                    "layer {li} w[{k}]: numeric {numeric} vs backprop {got}"
+                );
+                checked += 1;
+            }
+            // And one bias per layer.
+            let orig = net.layers[li].b[0];
+            net.layers[li].b[0] = orig + h;
+            let lp = loss(&net);
+            net.layers[li].b[0] = orig - h;
+            let lm = loss(&net);
+            net.layers[li].b[0] = orig;
+            let numeric = ((lp - lm) / (2.0 * h as f64)) as f32;
+            let got = analytic.db[li][0];
+            let denom = numeric.abs().max(got.abs()).max(1e-4);
+            assert!(
+                (numeric - got).abs() / denom < 2e-2,
+                "layer {li} b[0]: numeric {numeric} vs backprop {got}"
+            );
+        }
+        assert!(checked >= 10, "gradient check covered too few parameters");
+    }
+
+    #[test]
+    fn adam_fits_a_simple_function() {
+        // Regression: y = [x0 + x1, x0 - x1]. A tiny net should fit it.
+        let mut net = Mlp::new(&[2, 16, 2], 5);
+        let mut opt = Adam::new(&net, 1e-2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            let x = [rng.gen::<f32>() * 2.0 - 1.0, rng.gen::<f32>() * 2.0 - 1.0];
+            let target = [x[0] + x[1], x[0] - x[1]];
+            let cache = net.forward_cached(&x);
+            let out = cache.output();
+            let grad_out: Vec<f32> = out
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| 2.0 * (o - t))
+                .collect();
+            let grads = net.backward(&cache, &grad_out);
+            opt.step(&mut net, &grads);
+        }
+        let mut worst = 0.0f32;
+        for _ in 0..100 {
+            let x = [rng.gen::<f32>() * 2.0 - 1.0, rng.gen::<f32>() * 2.0 - 1.0];
+            let y = net.forward(&x);
+            worst = worst.max((y[0] - (x[0] + x[1])).abs());
+            worst = worst.max((y[1] - (x[0] - x[1])).abs());
+        }
+        assert!(worst < 0.1, "regression error too high: {worst}");
+    }
+
+    #[test]
+    fn copy_from_syncs_parameters() {
+        let mut a = Mlp::new(&[3, 5, 2], 1);
+        let b = Mlp::new(&[3, 5, 2], 2);
+        let x = [0.1, 0.2, 0.3];
+        assert_ne!(a.forward(&x), b.forward(&x));
+        a.copy_from(&b);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = Mlp::new(&[4, 6, 3], 11);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.5, -0.5, 0.25, 0.75];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn paper_resource_estimate_scale() {
+        // §6: the paper's 4-layer {20,40,40,20} NN — ensure our FLOP and
+        // memory estimates are in the reported ballpark (~30 KB model).
+        let net = Mlp::new(&[20, 40, 40, 20], 1);
+        let bytes = net.param_count() * 4;
+        assert!(bytes < 30 * 1024, "model bytes = {bytes}");
+        assert!(net.flops_per_inference() > 6000);
+    }
+}

@@ -1,0 +1,252 @@
+//! Prioritized experience replay (§4.3: "the actions resulting large reward
+//! will be prioritised" during online training).
+//!
+//! A bounded ring like [`crate::ReplayBuffer`], but each transition carries
+//! a priority and sampling is proportional to priority via a sum-tree
+//! (O(log n) insert and sample). Priorities here follow the paper's wording
+//! — transitions with larger rewards are more likely to be replayed — using
+//! `p = (r - r_min) + epsilon` over a running reward range, rather than the
+//! TD-error scheme of Schaul et al.; both are supported through
+//! [`PrioritizedReplay::push_with_priority`].
+
+use crate::replay::Transition;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity sum-tree over `cap` leaves.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct SumTree {
+    /// Number of leaves (power of two >= requested capacity).
+    leaves: usize,
+    /// Heap-layout tree: `tree[1]` is the root; leaf `i` lives at
+    /// `leaves + i`.
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    fn new(cap: usize) -> Self {
+        let leaves = cap.next_power_of_two().max(2);
+        SumTree {
+            leaves,
+            tree: vec![0.0; 2 * leaves],
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    fn set(&mut self, leaf: usize, value: f64) {
+        debug_assert!(leaf < self.leaves);
+        debug_assert!(value >= 0.0 && value.is_finite());
+        let mut i = self.leaves + leaf;
+        self.tree[i] = value;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i] + self.tree[2 * i + 1];
+        }
+    }
+
+    /// Find the leaf where the prefix sum reaches `target` (0 <= target <
+    /// total).
+    fn find(&self, mut target: f64) -> usize {
+        let mut i = 1;
+        while i < self.leaves {
+            let left = self.tree[2 * i];
+            if target < left {
+                i = 2 * i;
+            } else {
+                target -= left;
+                i = 2 * i + 1;
+            }
+        }
+        i - self.leaves
+    }
+}
+
+/// Bounded replay memory with priority-proportional sampling.
+#[derive(Clone, Debug)]
+pub struct PrioritizedReplay {
+    cap: usize,
+    buf: Vec<Transition>,
+    next: usize,
+    tree: SumTree,
+    /// Small constant keeping every stored transition sampleable.
+    pub epsilon: f64,
+    /// Running reward bounds for the paper's reward-proportional priority.
+    r_min: f64,
+    r_max: f64,
+}
+
+impl PrioritizedReplay {
+    /// A buffer holding at most `cap` transitions.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        PrioritizedReplay {
+            cap,
+            buf: Vec::new(),
+            next: 0,
+            tree: SumTree::new(cap),
+            epsilon: 1e-3,
+            r_min: f64::INFINITY,
+            r_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Insert with the paper's reward-proportional priority.
+    pub fn push(&mut self, t: Transition) {
+        let r = t.reward as f64;
+        self.r_min = self.r_min.min(r);
+        self.r_max = self.r_max.max(r);
+        let span = (self.r_max - self.r_min).max(1e-9);
+        let priority = (r - self.r_min) / span + self.epsilon;
+        self.push_with_priority(t, priority);
+    }
+
+    /// Insert with an explicit priority (e.g. |TD error|).
+    pub fn push_with_priority(&mut self, t: Transition, priority: f64) {
+        let slot = if self.buf.len() < self.cap {
+            self.buf.push(t);
+            self.buf.len() - 1
+        } else {
+            let s = self.next;
+            self.buf[s] = t;
+            s
+        };
+        self.next = (self.next + 1) % self.cap;
+        self.tree.set(slot, priority.max(self.epsilon));
+    }
+
+    /// Sample `n` transitions with probability proportional to priority.
+    pub fn sample<'a>(&'a self, rng: &mut SmallRng, n: usize) -> Vec<&'a Transition> {
+        assert!(!self.buf.is_empty(), "sampling an empty prioritized replay");
+        let total = self.tree.total();
+        (0..n)
+            .map(|_| {
+                let target = rng.gen::<f64>() * total;
+                let leaf = self.tree.find(target).min(self.buf.len() - 1);
+                &self.buf[leaf]
+            })
+            .collect()
+    }
+
+    /// Iterate over stored transitions (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tr(r: f32) -> Transition {
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn sum_tree_prefix_search() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        t.set(3, 4.0);
+        assert_eq!(t.total(), 10.0);
+        assert_eq!(t.find(0.5), 0);
+        assert_eq!(t.find(1.5), 1);
+        assert_eq!(t.find(3.5), 2);
+        assert_eq!(t.find(9.99), 3);
+    }
+
+    #[test]
+    fn high_reward_transitions_dominate_samples() {
+        let mut p = PrioritizedReplay::new(64);
+        // 63 zero-reward transitions, one with reward 1.
+        for _ in 0..63 {
+            p.push(tr(0.0));
+        }
+        p.push(tr(1.0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = p.sample(&mut rng, 10_000);
+        let hot = samples.iter().filter(|t| t.reward == 1.0).count();
+        // Priority ~ (1 + eps) vs 63 * eps: the hot transition should take
+        // the overwhelming majority of samples.
+        assert!(hot > 8_000, "hot sampled {hot}/10000");
+    }
+
+    #[test]
+    fn uniform_when_rewards_equal() {
+        let mut p = PrioritizedReplay::new(8);
+        for i in 0..8 {
+            let mut t = tr(0.5);
+            t.action = i;
+            p.push(t);
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 8];
+        for t in p.sample(&mut rng, 16_000) {
+            counts[t.action] += 1;
+        }
+        for c in counts {
+            assert!((1_300..2_700).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut p = PrioritizedReplay::new(4);
+        for i in 0..10 {
+            p.push(tr(i as f32));
+        }
+        assert_eq!(p.len(), 4);
+        let rewards: Vec<f32> = p.iter().map(|t| t.reward).collect();
+        for r in [6.0, 7.0, 8.0, 9.0] {
+            assert!(rewards.contains(&r));
+        }
+    }
+
+    #[test]
+    fn explicit_priorities_respected() {
+        let mut p = PrioritizedReplay::new(4);
+        p.push_with_priority(tr(0.0), 0.001);
+        p.push_with_priority(tr(1.0), 100.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hot = p
+            .sample(&mut rng, 1000)
+            .iter()
+            .filter(|t| t.reward == 1.0)
+            .count();
+        assert!(hot > 980);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prioritized replay")]
+    fn sample_empty_panics() {
+        let p = PrioritizedReplay::new(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        p.sample(&mut rng, 1);
+    }
+}

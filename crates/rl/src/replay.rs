@@ -1,0 +1,173 @@
+//! Experience replay memories.
+//!
+//! Each ACC agent keeps a bounded *local* replay memory; a larger *global*
+//! memory is shared between agents (§3.4): local experience is periodically
+//! sampled into the global memory, and global experience back into locals,
+//! which lets agents at different switches explore different parts of the
+//! network yet learn from each other.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One experience tuple `(S, a, r, S')`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State observed.
+    pub state: Vec<f32>,
+    /// Action taken (index into the action space).
+    pub action: usize,
+    /// Reward received.
+    pub reward: f32,
+    /// State after the action.
+    pub next_state: Vec<f32>,
+    /// Whether the episode terminated (always `false` for the continuing
+    /// ECN-tuning task; kept for generality).
+    pub done: bool,
+}
+
+/// A bounded ring of transitions with uniform sampling.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    cap: usize,
+    buf: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding at most `cap` transitions.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        ReplayBuffer {
+            cap,
+            buf: Vec::with_capacity(cap.min(4096)),
+            next: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Insert, overwriting the oldest entry once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.cap {
+            self.buf.push(t);
+        } else {
+            self.buf[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Sample `n` transitions uniformly at random (with replacement).
+    pub fn sample<'a>(&'a self, rng: &mut SmallRng, n: usize) -> Vec<&'a Transition> {
+        assert!(!self.buf.is_empty(), "sampling an empty replay buffer");
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
+    }
+
+    /// Copy `n` uniformly-sampled transitions into `other` (the local↔global
+    /// exchange primitive).
+    pub fn exchange_into(&self, other: &mut ReplayBuffer, rng: &mut SmallRng, n: usize) {
+        if self.buf.is_empty() {
+            return;
+        }
+        for _ in 0..n {
+            let t = self.buf[rng.gen_range(0..self.buf.len())].clone();
+            other.push(t);
+        }
+    }
+
+    /// Iterate over the stored transitions (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tr(r: f32) -> Transition {
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_until_full_then_ring() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(tr(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        // Entries 0,1 were overwritten by 3,4.
+        let rewards: Vec<f32> = b.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_is_uniformish() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(tr(i as f32));
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for t in b.sample(&mut rng, 10_000) {
+            counts[t.reward as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 700 && c < 1300, "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn exchange_moves_experience() {
+        let mut local = ReplayBuffer::new(100);
+        let mut global = ReplayBuffer::new(1000);
+        for i in 0..50 {
+            local.push(tr(i as f32));
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        local.exchange_into(&mut global, &mut rng, 20);
+        assert_eq!(global.len(), 20);
+        // And back.
+        global.exchange_into(&mut local, &mut rng, 5);
+        assert_eq!(local.len(), 55);
+    }
+
+    #[test]
+    fn exchange_from_empty_is_noop() {
+        let empty = ReplayBuffer::new(10);
+        let mut dst = ReplayBuffer::new(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        empty.exchange_into(&mut dst, &mut rng, 5);
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay")]
+    fn sample_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.sample(&mut rng, 1);
+    }
+}

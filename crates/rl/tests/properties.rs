@@ -1,0 +1,112 @@
+//! Property-based tests for the RL building blocks.
+
+use proptest::prelude::*;
+use rl::{DdqnAgent, DdqnConfig, Mlp, ReplayBuffer, Transition};
+
+proptest! {
+    /// Forward passes are finite for any finite input.
+    #[test]
+    fn mlp_forward_is_finite(
+        seed in any::<u64>(),
+        xs in prop::collection::vec(-1e3f32..1e3, 6),
+    ) {
+        let net = Mlp::new(&[6, 16, 8, 4], seed);
+        let y = net.forward(&xs);
+        prop_assert_eq!(y.len(), 4);
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    /// Serde round-trips preserve behaviour exactly.
+    #[test]
+    fn mlp_serde_roundtrip(seed in any::<u64>(), xs in prop::collection::vec(-10f32..10.0, 5)) {
+        let net = Mlp::new(&[5, 9, 3], seed);
+        let back: Mlp = serde_json::from_str(&serde_json::to_string(&net).unwrap()).unwrap();
+        prop_assert_eq!(net.forward(&xs), back.forward(&xs));
+    }
+
+    /// Backprop agrees with central differences on random small networks and
+    /// random inputs (a randomized gradient check).
+    #[test]
+    fn mlp_gradient_check_random(
+        seed in 0u64..1_000,
+        xs in prop::collection::vec(-1f32..1.0, 4),
+        gidx in 0usize..3,
+    ) {
+        let mut net = Mlp::new(&[4, 7, 3], seed);
+        let mut grad_out = vec![0.0f32; 3];
+        grad_out[gidx] = 1.0;
+        let cache = net.forward_cached(&xs);
+        let analytic = net.backward(&cache, &grad_out);
+        // Check a handful of layer-0 weights.
+        let h = 1e-3f32;
+        let mask = |c: &rl::mlp::Activations| -> Vec<bool> {
+            // Activation sign pattern of the hidden layers.
+            c.acts[1..c.acts.len() - 1]
+                .iter()
+                .flat_map(|layer| layer.iter().map(|v| *v > 0.0))
+                .collect()
+        };
+        for k in [0usize, 5, 13, 27] {
+            let orig = net.weight(0, k);
+            net.set_weight(0, k, orig + h);
+            let cp = net.forward_cached(&xs);
+            net.set_weight(0, k, orig - h);
+            let cm = net.forward_cached(&xs);
+            net.set_weight(0, k, orig);
+            if mask(&cp) != mask(&cm) {
+                // The perturbation crossed a ReLU kink: central differences
+                // are not a valid derivative estimate here.
+                continue;
+            }
+            let lp = cp.output()[gidx] as f64;
+            let lm = cm.output()[gidx] as f64;
+            let numeric = ((lp - lm) / (2.0 * h as f64)) as f32;
+            let got = analytic.dw[0][k];
+            let denom = numeric.abs().max(got.abs()).max(1e-3);
+            prop_assert!(
+                (numeric - got).abs() < 5e-3 || (numeric - got).abs() / denom < 5e-2,
+                "w[0][{k}]: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    /// The replay ring never exceeds capacity and keeps the newest entries.
+    #[test]
+    fn replay_ring_bounded(cap in 1usize..64, n in 0usize..300) {
+        let mut b = ReplayBuffer::new(cap);
+        for i in 0..n {
+            b.push(Transition {
+                state: vec![i as f32],
+                action: 0,
+                reward: i as f32,
+                next_state: vec![],
+                done: false,
+            });
+        }
+        prop_assert!(b.len() <= cap);
+        prop_assert_eq!(b.len(), n.min(cap));
+        if n > cap {
+            // Everything still stored must be among the newest `cap` pushes.
+            for t in b.iter() {
+                prop_assert!((t.reward as usize) >= n - cap);
+            }
+        }
+    }
+
+    /// ε is monotone nonincreasing in steps and bounded by [eps_end, eps_start].
+    #[test]
+    fn epsilon_schedule_monotone(steps in prop::collection::vec(1u32..50, 1..20)) {
+        let mut agent = DdqnAgent::new(2, 2, DdqnConfig::default(), 1);
+        let mut prev = agent.epsilon();
+        prop_assert!(prev <= 1.0 + 1e-9);
+        for k in steps {
+            for _ in 0..k {
+                agent.select_action(&[0.0, 0.0]);
+            }
+            let e = agent.epsilon();
+            prop_assert!(e <= prev + 1e-12);
+            prop_assert!(e >= 0.02 - 1e-12);
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Closed-loop application hook.
+//!
+//! Open-loop workloads (Poisson arrivals, incast waves) pre-schedule their
+//! messages. Closed-loop applications — the paper's distributed-storage and
+//! parameter-server models — instead react to completions: an IO response is
+//! sent when the request arrives, the next iteration starts when all
+//! gradients arrived, and so on.
+//!
+//! The hook fires at the *receiving* host when a message's final byte is
+//! consumed. Any follow-up messages it returns are started immediately from
+//! that same host — which mirrors reality: a node can only react to what it
+//! has observed locally, and cross-node reactions require a message (which
+//! the model sends explicitly).
+
+use crate::msg::Message;
+use netsim::prelude::*;
+
+/// A completed message as seen by the hook.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedMsg {
+    /// The flow that carried it.
+    pub flow: FlowId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver (= the host where the hook is firing).
+    pub dst: NodeId,
+    /// Message size.
+    pub bytes: u64,
+    /// Application tag given at send time.
+    pub tag: u64,
+    /// When the sender started it.
+    pub start: SimTime,
+    /// Completion time (now).
+    pub end: SimTime,
+}
+
+/// Application logic shared by all host stacks of a simulation.
+pub trait AppHook {
+    /// `msg` finished arriving at `msg.dst` at time `msg.end`. Returns
+    /// messages to start *from that host*, each after the given delay
+    /// (`SimTime::ZERO` = immediately). Non-zero delays model local work
+    /// before the response leaves the node — an SSD access, a GPU batch, a
+    /// request-processing budget.
+    fn on_message_received(&mut self, msg: &CompletedMsg) -> Vec<(SimTime, Message)>;
+}

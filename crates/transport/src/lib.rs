@@ -1,0 +1,89 @@
+//! # transport — host transports for the `netsim` fabric
+//!
+//! Implements the three transport behaviours the ACC paper's environment
+//! contains, as [`netsim::NicDriver`]s:
+//!
+//! * **DCQCN** ([`dcqcn`]) — the RoCEv2 congestion control that RDMA NICs run
+//!   in hardware (Zhu et al., SIGCOMM'15): ECN-marked packets trigger CNPs
+//!   from the notification point (receiver); the reaction point (sender)
+//!   multiplicatively cuts its rate and recovers through fast-recovery /
+//!   additive / hyper increase. Runs on the lossless PFC-protected class.
+//! * **DCTCP** ([`window`]) — window-based, ECN-fraction-proportional backoff.
+//! * **TCP Reno** ([`window`]) — ECN-unaware AIMD with drop-tail loss and
+//!   go-back-N recovery; used for the RDMA/TCP coexistence experiments.
+//!
+//! A [`HostStack`] multiplexes any number of concurrent flows of any mix of
+//! these transports over one NIC, measures flow completion times into a
+//! shared [`FctCollector`], and lets closed-loop applications (the storage
+//! and training models in the `workloads` crate) chain messages through the
+//! [`AppHook`] trait.
+//!
+//! ```
+//! use netsim::prelude::*;
+//! use transport::{CcKind, FctCollector, Message, StackConfig};
+//!
+//! let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+//! let mut sim = Simulator::new(topo, SimConfig::default());
+//! let fct = FctCollector::new_shared();
+//! let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+//!
+//! // One 1 MB RDMA message from host 0 to host 1, starting at t = 0.
+//! transport::schedule_message(
+//!     &mut sim, hosts[0], SimTime::ZERO,
+//!     Message::new(hosts[1], 1_000_000, CcKind::Dcqcn),
+//! );
+//! sim.run_until(SimTime::from_ms(10));
+//! assert_eq!(fct.borrow().completed().count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod dcqcn;
+pub mod msg;
+pub mod stack;
+pub mod stats;
+pub mod window;
+
+pub use app::{AppHook, CompletedMsg};
+pub use dcqcn::DcqcnConfig;
+pub use msg::{CcKind, Message};
+pub use stack::{HostStack, StackConfig};
+pub use stats::{FctCollector, FctStats, FlowRecord, SharedFct};
+pub use window::WindowConfig;
+
+use netsim::prelude::*;
+
+/// Install a [`HostStack`] with `cfg` on every host of `sim`, all reporting
+/// into `fct`. Returns the host ids in topology order.
+pub fn install_stacks(sim: &mut Simulator, cfg: StackConfig, fct: &SharedFct) -> Vec<NodeId> {
+    let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+    for &h in &hosts {
+        sim.set_driver(h, Box::new(HostStack::new(h, cfg.clone(), fct.clone())));
+    }
+    hosts
+}
+
+/// Schedule `msg` to start from `host` at absolute time `at`.
+pub fn schedule_message(sim: &mut Simulator, host: NodeId, at: SimTime, msg: Message) {
+    sim.with_driver(host, |d, ctx| {
+        d.as_any_mut()
+            .downcast_mut::<HostStack>()
+            .expect("driver is not a HostStack")
+            .schedule_message(ctx, at, msg);
+    });
+}
+
+/// Attach a shared application hook to every host stack (see [`AppHook`]).
+pub fn set_app_hook(sim: &mut Simulator, hook: std::rc::Rc<std::cell::RefCell<dyn AppHook>>) {
+    let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+    for &h in &hosts {
+        sim.with_driver(h, |d, _ctx| {
+            d.as_any_mut()
+                .downcast_mut::<HostStack>()
+                .expect("driver is not a HostStack")
+                .set_app_hook(hook.clone());
+        });
+    }
+}

@@ -1,0 +1,88 @@
+//! Application-level messages handed to a [`crate::HostStack`].
+
+use netsim::ids::{PRIO_RDMA, PRIO_TCP};
+use netsim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which congestion control a message's flow uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CcKind {
+    /// RoCEv2/DCQCN on the lossless RDMA class.
+    Dcqcn,
+    /// DCTCP on the best-effort class (ECT-marked).
+    Dctcp,
+    /// ECN-unaware TCP Reno on the best-effort class (drop-tail).
+    Reno,
+}
+
+impl CcKind {
+    /// The traffic class this transport's data travels on.
+    pub fn prio(self) -> Prio {
+        match self {
+            CcKind::Dcqcn => PRIO_RDMA,
+            CcKind::Dctcp | CcKind::Reno => PRIO_TCP,
+        }
+    }
+
+    /// Whether data packets carry ECT (are markable by RED).
+    pub fn ect(self) -> bool {
+        !matches!(self, CcKind::Reno)
+    }
+}
+
+/// A message (one flow) to transfer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes to deliver.
+    pub bytes: u64,
+    /// Transport to use.
+    pub cc: CcKind,
+    /// Opaque tag made visible to [`crate::AppHook`] on completion.
+    pub tag: u64,
+}
+
+impl Message {
+    /// A message with tag 0.
+    pub fn new(dst: NodeId, bytes: u64, cc: CcKind) -> Message {
+        Message {
+            dst,
+            bytes,
+            cc,
+            tag: 0,
+        }
+    }
+
+    /// Set the application tag.
+    pub fn with_tag(mut self, tag: u64) -> Message {
+        self.tag = tag;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prio_mapping() {
+        assert_eq!(CcKind::Dcqcn.prio(), PRIO_RDMA);
+        assert_eq!(CcKind::Dctcp.prio(), PRIO_TCP);
+        assert_eq!(CcKind::Reno.prio(), PRIO_TCP);
+    }
+
+    #[test]
+    fn ect_mapping() {
+        assert!(CcKind::Dcqcn.ect());
+        assert!(CcKind::Dctcp.ect());
+        assert!(!CcKind::Reno.ect());
+    }
+
+    #[test]
+    fn builder() {
+        let m = Message::new(NodeId(5), 123, CcKind::Dcqcn).with_tag(9);
+        assert_eq!(m.dst, NodeId(5));
+        assert_eq!(m.tag, 9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Flow-completion-time collection and summary statistics.
+//!
+//! Every flow started anywhere in the simulation registers here; the
+//! receiving stack marks it complete when the last in-order byte lands.
+//! Experiment harnesses then slice the records by size class / time window /
+//! priority to produce the paper's FCT tables.
+
+use netsim::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One flow's life record.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Globally unique flow id.
+    pub flow: FlowId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Traffic class the data travelled on.
+    pub prio: Prio,
+    /// Application-defined tag (used by closed-loop app models).
+    pub tag: u64,
+    /// Time the sender started the flow.
+    pub start: SimTime,
+    /// Time the receiver consumed the final in-order byte, if finished.
+    pub end: Option<SimTime>,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<SimTime> {
+        self.end.map(|e| e - self.start)
+    }
+}
+
+/// Shared, interior-mutable handle to an [`FctCollector`].
+pub type SharedFct = Rc<RefCell<FctCollector>>;
+
+/// Central registry of all flows in a run.
+#[derive(Default, Debug)]
+pub struct FctCollector {
+    records: HashMap<u64, FlowRecord>,
+    order: Vec<u64>,
+    completed_count: usize,
+}
+
+impl FctCollector {
+    /// Create an empty collector behind the usual shared handle.
+    pub fn new_shared() -> SharedFct {
+        Rc::new(RefCell::new(FctCollector::default()))
+    }
+
+    /// Register a new flow at start time.
+    pub fn register(&mut self, rec: FlowRecord) {
+        let prev = self.records.insert(rec.flow.0, rec);
+        debug_assert!(prev.is_none(), "duplicate flow id {}", rec.flow);
+        self.order.push(rec.flow.0);
+    }
+
+    /// Mark `flow` complete at `now`.
+    pub fn complete(&mut self, flow: FlowId, now: SimTime) {
+        let rec = self
+            .records
+            .get_mut(&flow.0)
+            .expect("completing unregistered flow");
+        debug_assert!(rec.end.is_none(), "flow completed twice");
+        rec.end = Some(now);
+        self.completed_count += 1;
+    }
+
+    /// Look up one flow.
+    pub fn get(&self, flow: FlowId) -> Option<&FlowRecord> {
+        self.records.get(&flow.0)
+    }
+
+    /// All records in registration order.
+    pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.order.iter().map(move |id| &self.records[id])
+    }
+
+    /// Completed flows only.
+    pub fn completed(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.records().filter(|r| r.end.is_some())
+    }
+
+    /// Flows that were started but never finished (should be empty at the
+    /// end of a well-formed experiment unless it was cut short).
+    pub fn unfinished(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.records().filter(|r| r.end.is_none())
+    }
+
+    /// Number of completed flows.
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Total number of registered flows.
+    pub fn total_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Summarise the completed flows that match `filter`.
+    pub fn stats(&self, filter: impl Fn(&FlowRecord) -> bool) -> FctStats {
+        let fcts: Vec<f64> = self
+            .completed()
+            .filter(|r| filter(r))
+            .map(|r| r.fct().unwrap().as_us_f64())
+            .collect();
+        FctStats::from_us(fcts)
+    }
+
+    /// Summarise completed flows whose size is in `[lo, hi)` bytes.
+    pub fn stats_by_size(&self, lo: u64, hi: u64) -> FctStats {
+        self.stats(|r| r.bytes >= lo && r.bytes < hi)
+    }
+}
+
+/// FCT summary in microseconds.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FctStats {
+    /// Number of flows summarised.
+    pub count: usize,
+    /// Mean FCT (us).
+    pub avg_us: f64,
+    /// Median FCT (us).
+    pub p50_us: f64,
+    /// 99th percentile FCT (us).
+    pub p99_us: f64,
+    /// 99.9th percentile FCT (us).
+    pub p999_us: f64,
+    /// Max FCT (us).
+    pub max_us: f64,
+}
+
+impl FctStats {
+    /// Build from raw FCT samples in microseconds.
+    pub fn from_us(mut fcts: Vec<f64>) -> FctStats {
+        if fcts.is_empty() {
+            return FctStats::default();
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        FctStats {
+            count: fcts.len(),
+            avg_us: netsim::util::mean(&fcts),
+            p50_us: netsim::util::percentile_sorted(&fcts, 50.0),
+            p99_us: netsim::util::percentile_sorted(&fcts, 99.0),
+            p999_us: netsim::util::percentile_sorted(&fcts, 99.9),
+            max_us: *fcts.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, bytes: u64, start_us: u64, end_us: Option<u64>) -> FlowRecord {
+        FlowRecord {
+            flow: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            bytes,
+            prio: 1,
+            tag: 0,
+            start: SimTime::from_us(start_us),
+            end: end_us.map(SimTime::from_us),
+        }
+    }
+
+    #[test]
+    fn register_complete_roundtrip() {
+        let mut c = FctCollector::default();
+        c.register(rec(1, 1000, 0, None));
+        assert_eq!(c.total_count(), 1);
+        assert_eq!(c.completed_count(), 0);
+        c.complete(FlowId(1), SimTime::from_us(42));
+        assert_eq!(c.completed_count(), 1);
+        let r = c.get(FlowId(1)).unwrap();
+        assert_eq!(r.fct(), Some(SimTime::from_us(42)));
+        assert_eq!(c.unfinished().count(), 0);
+    }
+
+    #[test]
+    fn stats_by_size_slices() {
+        let mut c = FctCollector::default();
+        for i in 0..10u64 {
+            let mut r = rec(i, if i < 5 { 1_000 } else { 10_000_000 }, 0, Some(10 * (i + 1)));
+            r.flow = FlowId(i);
+            c.register(r);
+            c.completed_count += 1; // records created pre-completed
+        }
+        let mice = c.stats_by_size(0, 100_000);
+        let elephants = c.stats_by_size(10_000_000, u64::MAX);
+        assert_eq!(mice.count, 5);
+        assert_eq!(elephants.count, 5);
+        assert!((mice.avg_us - 30.0).abs() < 1e-9); // (10+20+30+40+50)/5
+        assert!((elephants.avg_us - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FctStats::from_us(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_us, 0.0);
+    }
+
+    #[test]
+    fn percentiles_ordering() {
+        let s = FctStats::from_us((1..=1000).map(|x| x as f64).collect());
+        assert!(s.p50_us <= s.p99_us && s.p99_us <= s.p999_us && s.p999_us <= s.max_us);
+        assert_eq!(s.p99_us, 990.0);
+        assert_eq!(s.max_us, 1000.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Heavy-tailed flow-size distributions (Fig. 11).
+//!
+//! The paper drives its large-scale simulations with the two canonical DCN
+//! workloads: *Web Search* (from the DCTCP measurement study) and
+//! *Data Mining* (from the VL2 study). Both are heavy-tailed — most flows
+//! are mice, most bytes belong to elephants. We encode them as piecewise
+//! log-linear empirical CDFs whose knot points approximate the published
+//! curves (the exact traces are not public; the approximation preserves the
+//! properties the experiments depend on: the mice/elephant split, the mean,
+//! and the tail weight). Data-mining flow sizes are capped at 30 MB to keep
+//! packet-level simulation tractable — the same cap DCN simulators commonly
+//! apply.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An empirical flow-size distribution: piecewise-linear CDF over size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SizeDist {
+    name: String,
+    /// `(size_bytes, cdf)` knots, strictly increasing in both coordinates,
+    /// first cdf 0.0, last cdf 1.0.
+    points: Vec<(u64, f64)>,
+}
+
+impl SizeDist {
+    /// Build from explicit CDF knots.
+    pub fn new(name: impl Into<String>, points: Vec<(u64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two knots");
+        assert_eq!(points[0].1, 0.0, "CDF must start at 0");
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-12,
+            "CDF must end at 1"
+        );
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase");
+            assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+        SizeDist {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The Web-Search-style workload: mean ≈ 1.6 MB, ~60% of flows under
+    /// 100 KB but ~95% of bytes in flows over 1 MB.
+    pub fn web_search() -> Self {
+        SizeDist::new(
+            "WebSearch",
+            vec![
+                (1_000, 0.0),
+                (10_000, 0.15),
+                (20_000, 0.20),
+                (30_000, 0.30),
+                (50_000, 0.40),
+                (80_000, 0.53),
+                (200_000, 0.60),
+                (1_000_000, 0.70),
+                (2_000_000, 0.80),
+                (5_000_000, 0.90),
+                (10_000_000, 0.97),
+                (30_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// The Data-Mining-style workload: ~80% of flows under 10 KB, the rest
+    /// of the mass far out in the tail (capped at 30 MB).
+    pub fn data_mining() -> Self {
+        SizeDist::new(
+            "DataMining",
+            vec![
+                (100, 0.0),
+                (350, 0.10),
+                (600, 0.20),
+                (1_000, 0.30),
+                (2_000, 0.50),
+                (10_000, 0.60),
+                (100_000, 0.70),
+                (1_000_000, 0.80),
+                (10_000_000, 0.90),
+                (30_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// The storage-stress message mix used in the paper's end-to-end
+    /// micro-benchmark (§5.2): uniform choice among
+    /// {1 KB, 10 KB, 100 KB, 1 MB, 10 MB}.
+    pub fn message_mix() -> Self {
+        // Encoded as a (nearly) stepwise CDF: each size gets 20% of mass.
+        SizeDist::new(
+            "MsgMix",
+            vec![
+                (999, 0.0),
+                (1_000, 0.2),
+                (10_000, 0.4),
+                (100_000, 0.6),
+                (1_000_000, 0.8),
+                (10_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// Name for experiment output.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The CDF knots.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Sample one flow size.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        // Find the segment containing u and interpolate in log-size space
+        // (heavy-tailed data is linear-ish in log space).
+        for w in self.points.windows(2) {
+            let (s0, c0) = w[0];
+            let (s1, c1) = w[1];
+            if u <= c1 {
+                if c1 == c0 {
+                    return s1;
+                }
+                let f = (u - c0) / (c1 - c0);
+                let ls0 = (s0 as f64).ln();
+                let ls1 = (s1 as f64).ln();
+                let s = (ls0 + f * (ls1 - ls0)).exp();
+                return (s.round() as u64).clamp(s0, s1).max(1);
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// CDF value at `bytes` (linear interpolation in log-size space).
+    pub fn cdf(&self, bytes: u64) -> f64 {
+        if bytes <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for w in self.points.windows(2) {
+            let (s0, c0) = w[0];
+            let (s1, c1) = w[1];
+            if bytes <= s1 {
+                let f = ((bytes as f64).ln() - (s0 as f64).ln())
+                    / ((s1 as f64).ln() - (s0 as f64).ln());
+                return c0 + f * (c1 - c0);
+            }
+        }
+        1.0
+    }
+
+    /// Analytic mean of the log-linear interpolated distribution, estimated
+    /// by fine numeric integration (cheap, called once per experiment).
+    pub fn mean_bytes(&self) -> f64 {
+        // E[S] = ∫ S dCDF; integrate each segment with small steps in cdf.
+        let mut mean = 0.0;
+        for w in self.points.windows(2) {
+            let (s0, c0) = w[0];
+            let (s1, c1) = w[1];
+            let dc = c1 - c0;
+            if dc == 0.0 {
+                continue;
+            }
+            const STEPS: usize = 64;
+            let ls0 = (s0 as f64).ln();
+            let ls1 = (s1 as f64).ln();
+            for i in 0..STEPS {
+                let f = (i as f64 + 0.5) / STEPS as f64;
+                let s = (ls0 + f * (ls1 - ls0)).exp();
+                mean += s * dc / STEPS as f64;
+            }
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_workloads_are_heavy_tailed() {
+        let ws = SizeDist::web_search();
+        let dm = SizeDist::data_mining();
+        // Mice fraction (<100KB): WebSearch ~60%+, DataMining ~70%+.
+        assert!(ws.cdf(100_000) >= 0.5);
+        assert!(dm.cdf(100_000) >= 0.65);
+        // Yet the mean is dominated by the tail (way above the median).
+        assert!(ws.mean_bytes() > 1_000_000.0);
+        assert!(dm.mean_bytes() > 1_000_000.0);
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        let dist = SizeDist::web_search();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut below_100k = 0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let s = dist.sample(&mut rng);
+            assert!((1_000..=30_000_000).contains(&s));
+            if s <= 100_000 {
+                below_100k += 1;
+            }
+            sum += s as f64;
+        }
+        let frac = below_100k as f64 / n as f64;
+        let expect = dist.cdf(100_000);
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "empirical {frac} vs cdf {expect}"
+        );
+        let mean = sum / n as f64;
+        let amean = dist.mean_bytes();
+        assert!(
+            (mean - amean).abs() / amean < 0.1,
+            "empirical mean {mean} vs analytic {amean}"
+        );
+    }
+
+    #[test]
+    fn message_mix_hits_the_five_sizes() {
+        let dist = SizeDist::message_mix();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut small = 0;
+        for _ in 0..10_000 {
+            let s = dist.sample(&mut rng);
+            assert!((999..=10_000_000).contains(&s));
+            if s <= 1_000 {
+                small += 1;
+            }
+        }
+        // ~20% of samples should be the 1KB step.
+        assert!((small as f64 / 10_000.0 - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must start")]
+    fn invalid_cdf_rejected() {
+        SizeDist::new("bad", vec![(10, 0.5), (20, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let dist = SizeDist::data_mining();
+        let mut prev = -1.0;
+        for s in [1u64, 100, 1_000, 10_000, 1_000_000, 100_000_000] {
+            let c = dist.cdf(s);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(dist.cdf(u64::MAX), 1.0);
+    }
+}

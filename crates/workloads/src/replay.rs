@@ -1,0 +1,172 @@
+//! Workload trace record/replay (§4.3: ACC's offline training uses
+//! "realistic traffic traces collected from prevailing RDMA applications").
+//!
+//! A [`WorkloadTrace`] is a serializable list of flow arrivals. Generators
+//! produce them, [`WorkloadTrace::save`]/[`WorkloadTrace::load`] persist them as JSON, and
+//! [`crate::gen::apply_arrivals`] replays them into any simulation —
+//! so a trace captured once (or exported from production telemetry in the
+//! same shape) drives reproducible training and evaluation runs.
+
+use crate::gen::Arrival;
+use netsim::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use transport::{CcKind, Message};
+
+/// Serializable form of one arrival.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TraceEntry {
+    /// Sending host (topology index).
+    pub src: u32,
+    /// Receiving host (topology index).
+    pub dst: u32,
+    /// Start time in picoseconds (full simulator precision).
+    pub at_ps: u64,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Transport.
+    pub cc: CcKind,
+    /// Application tag.
+    pub tag: u64,
+}
+
+/// A recorded workload: metadata plus the arrival list.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct WorkloadTrace {
+    /// Free-form description (generator, parameters, date).
+    pub description: String,
+    /// The arrivals, in any order (replay sorts by time implicitly via the
+    /// event queue).
+    pub entries: Vec<TraceEntry>,
+}
+
+impl WorkloadTrace {
+    /// Capture a generated arrival list.
+    pub fn from_arrivals(description: impl Into<String>, arrivals: &[Arrival]) -> Self {
+        WorkloadTrace {
+            description: description.into(),
+            entries: arrivals
+                .iter()
+                .map(|a| TraceEntry {
+                    src: a.src.0,
+                    dst: a.msg.dst.0,
+                    at_ps: a.at.as_ps(),
+                    bytes: a.msg.bytes,
+                    cc: a.msg.cc,
+                    tag: a.msg.tag,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct the arrival list for replay.
+    pub fn to_arrivals(&self) -> Vec<Arrival> {
+        self.entries
+            .iter()
+            .map(|e| Arrival {
+                src: NodeId(e.src),
+                at: SimTime::from_ps(e.at_ps),
+                msg: Message {
+                    dst: NodeId(e.dst),
+                    bytes: e.bytes,
+                    cc: e.cc,
+                    tag: e.tag,
+                },
+            })
+            .collect()
+    }
+
+    /// Total bytes offered by the trace.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Time span covered (first to last arrival).
+    pub fn span(&self) -> SimTime {
+        let lo = self.entries.iter().map(|e| e.at_ps).min().unwrap_or(0);
+        let hi = self.entries.iter().map(|e| e.at_ps).max().unwrap_or(0);
+        SimTime::from_ps(hi - lo)
+    }
+
+    /// Persist as pretty JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("trace serializes"))
+    }
+
+    /// Load from JSON.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{incast_wave, PoissonGen};
+    use crate::SizeDist;
+
+    fn hosts(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_arrivals() {
+        let hs = hosts(6);
+        let arr = incast_wave(&hs[..4], hs[5], 3, 50_000, CcKind::Dcqcn, SimTime::from_us(7));
+        let trace = WorkloadTrace::from_arrivals("test incast", &arr);
+        assert_eq!(trace.entries.len(), 12);
+        assert_eq!(trace.total_bytes(), 12 * 50_000);
+        let back = trace.to_arrivals();
+        assert_eq!(back.len(), arr.len());
+        for (a, b) in arr.iter().zip(&back) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.msg.dst, b.msg.dst);
+            assert_eq!(a.msg.bytes, b.msg.bytes);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let hs = hosts(8);
+        let g = PoissonGen::new(SizeDist::data_mining(), 0.4, CcKind::Dcqcn, 3);
+        let arr = g.generate(&hs, 25_000_000_000, SimTime::ZERO, SimTime::from_ms(5));
+        let trace = WorkloadTrace::from_arrivals("poisson dm 40%", &arr);
+        let path = std::env::temp_dir().join("acc_trace_test.json");
+        trace.save(&path).unwrap();
+        let loaded = WorkloadTrace::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.description, "poisson dm 40%");
+        assert_eq!(loaded.entries, trace.entries);
+        assert!(loaded.span() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn replayed_trace_drives_a_simulation_identically() {
+        use transport::{FctCollector, StackConfig};
+        let topo_hosts: Vec<NodeId> =
+            TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500))
+                .build()
+                .hosts()
+                .to_vec();
+        let run = |arr: &[Arrival]| -> usize {
+            let topo =
+                TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
+            let mut sim = Simulator::new(topo, SimConfig::default());
+            let fct = FctCollector::new_shared();
+            let _hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+            crate::gen::apply_arrivals(&mut sim, arr);
+            sim.run_until(SimTime::from_ms(30));
+            let n = fct.borrow().completed_count();
+            n
+        };
+        let g = PoissonGen::new(SizeDist::web_search(), 0.3, CcKind::Dcqcn, 5);
+        let arr = g.generate(&topo_hosts, 25_000_000_000, SimTime::ZERO, SimTime::from_ms(3));
+        let trace = WorkloadTrace::from_arrivals("x", &arr);
+        let replayed = trace.to_arrivals();
+        assert!(!replayed.is_empty());
+        assert_eq!(run(&arr), run(&replayed));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workloads::SizeDist;
+
+/// Strategy producing a valid random CDF (monotone sizes and masses).
+fn arb_cdf() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1u64..1_000_000, n),
+            prop::collection::vec(0.01f64..1.0, n - 1),
+        )
+            .prop_map(|(mut sizes, weights)| {
+                sizes.sort_unstable();
+                sizes.dedup();
+                while sizes.len() < 2 {
+                    sizes.push(sizes.last().unwrap() + 1);
+                }
+                let total: f64 = weights.iter().take(sizes.len() - 1).sum();
+                let mut points = vec![(sizes[0], 0.0)];
+                let mut acc = 0.0;
+                for (i, s) in sizes.iter().enumerate().skip(1) {
+                    acc += weights[(i - 1) % weights.len()] / total;
+                    points.push((*s, acc.min(1.0)));
+                }
+                points.last_mut().unwrap().1 = 1.0;
+                points
+            })
+    })
+}
+
+proptest! {
+    /// Samples always land inside the distribution's support.
+    #[test]
+    fn samples_within_support(points in arb_cdf(), seed in any::<u64>()) {
+        let dist = SizeDist::new("random", points.clone());
+        let lo = points.first().unwrap().0;
+        let hi = points.last().unwrap().0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = dist.sample(&mut rng);
+            prop_assert!(s >= lo.min(1) && s <= hi, "sample {s} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The CDF is monotone and hits 0/1 at the support edges.
+    #[test]
+    fn cdf_is_monotone(points in arb_cdf(), x1 in 0u64..2_000_000, x2 in 0u64..2_000_000) {
+        let dist = SizeDist::new("random", points.clone());
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(dist.cdf(lo) <= dist.cdf(hi) + 1e-12);
+        prop_assert_eq!(dist.cdf(0), 0.0);
+        prop_assert_eq!(dist.cdf(u64::MAX), 1.0);
+    }
+
+    /// The analytic mean is inside the support and consistent with sampling.
+    #[test]
+    fn mean_is_consistent(points in arb_cdf()) {
+        let dist = SizeDist::new("random", points.clone());
+        let lo = points.first().unwrap().0 as f64;
+        let hi = points.last().unwrap().0 as f64;
+        let m = dist.mean_bytes();
+        prop_assert!(m >= lo * 0.99 && m <= hi * 1.01, "mean {m} outside [{lo}, {hi}]");
+    }
+
+    /// Incast generation produces exactly senders x flows arrivals, all to
+    /// the receiver.
+    #[test]
+    fn incast_counts(n_senders in 1usize..20, flows in 1usize..20, bytes in 1u64..1_000_000) {
+        use netsim::prelude::*;
+        let senders: Vec<NodeId> = (0..n_senders as u32).map(NodeId).collect();
+        let receiver = NodeId(1000);
+        let arr = workloads::gen::incast_wave(
+            &senders, receiver, flows, bytes, transport::CcKind::Dcqcn, SimTime::ZERO,
+        );
+        prop_assert_eq!(arr.len(), n_senders * flows);
+        prop_assert!(arr.iter().all(|a| a.msg.dst == receiver && a.msg.bytes == bytes));
+    }
+
+    /// Poisson load scales roughly linearly with the requested load.
+    #[test]
+    fn poisson_load_scales(seed in any::<u64>()) {
+        use netsim::prelude::*;
+        use transport::CcKind;
+        use workloads::gen::PoissonGen;
+        let hosts: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let dur = SimTime::from_ms(100);
+        let total = |load: f64| -> f64 {
+            let g = PoissonGen::new(SizeDist::web_search(), load, CcKind::Dcqcn, seed);
+            g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur)
+                .iter()
+                .map(|a| a.msg.bytes as f64)
+                .sum()
+        };
+        let b30 = total(0.3);
+        let b90 = total(0.9);
+        let ratio = b90 / b30.max(1.0);
+        prop_assert!((1.8..5.0).contains(&ratio), "offered bytes ratio {ratio}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Deep-dive with the structured tracer (the simulator's "tcpdump"):
+//! watch a single hot queue during an incast burst under ACC — every
+//! enqueue/dequeue, every CE mark, every PFC pause — and print a compact
+//! timeline of how the controller's threshold interacts with the queue.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example deep_dive_trace
+//! ```
+
+use acc::core::{controller, ActionSpace};
+use acc::netsim::ids::PRIO_RDMA;
+use acc::netsim::prelude::*;
+use acc::transport::{self, CcKind, FctCollector, StackConfig};
+use acc::workloads::gen;
+
+fn main() {
+    // 16 hosts on a 25G switch; ACC learns online.
+    let topo = TopologySpec::single_switch(16, 25_000_000_000, SimTime::from_ns(500)).build();
+    let cfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, cfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    let mut acc_cfg = controller::AccConfig::default();
+    acc_cfg.ddqn.min_replay = 32;
+    controller::install_acc(&mut sim, &acc_cfg, &ActionSpace::templates());
+
+    // Watch the receiver's egress queue only.
+    let sw = sim.core().topo.switches()[0];
+    let hot_port = PortId(15);
+    sim.set_tracer(Tracer::new(
+        TraceFilter::queue(sw, hot_port, PRIO_RDMA),
+        200_000,
+    ));
+
+    // Background flows plus a 12:1 burst in the middle.
+    let receiver = hosts[15];
+    gen::apply_arrivals(
+        &mut sim,
+        &gen::incast_wave(&hosts[..3], receiver, 2, 2_000_000, CcKind::Dcqcn, SimTime::from_ms(1)),
+    );
+    gen::apply_arrivals(
+        &mut sim,
+        &gen::incast_wave(&hosts[..12], receiver, 6, 400_000, CcKind::Dcqcn, SimTime::from_ms(4)),
+    );
+    sim.run_until(SimTime::from_ms(12));
+
+    // Summarise the trace into 500 us buckets.
+    let events = sim.tracer_mut().unwrap().take();
+    println!(
+        "captured {} events on the hot queue ({} total matched)\n",
+        events.len(),
+        events.len()
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "t(us)", "enq", "deq", "marks", "pauses", "max q(KB)"
+    );
+    let bucket = SimTime::from_us(500);
+    let mut idx = 0u64;
+    let mut stats = (0u64, 0u64, 0u64, 0u64, 0u64); // enq, deq, mark, pause, maxq
+    for ev in &events {
+        let b = ev.at.as_ps() / bucket.as_ps();
+        if b != idx {
+            if stats != (0, 0, 0, 0, 0) {
+                println!(
+                    "{:>10} {:>8} {:>8} {:>8} {:>8} {:>12.1}",
+                    idx * 500,
+                    stats.0,
+                    stats.1,
+                    stats.2,
+                    stats.3,
+                    stats.4 as f64 / 1024.0
+                );
+            }
+            idx = b;
+            stats = (0, 0, 0, 0, 0);
+        }
+        match ev.kind {
+            TraceKind::Enqueue => stats.0 += 1,
+            TraceKind::Dequeue => stats.1 += 1,
+            TraceKind::CeMark => stats.2 += 1,
+            TraceKind::PfcPause => stats.3 += 1,
+            _ => {}
+        }
+        stats.4 = stats.4.max(ev.qlen_bytes);
+    }
+    println!(
+        "\nflows completed: {} / {}",
+        fct.borrow().completed_count(),
+        fct.borrow().total_count()
+    );
+    println!("write the full trace with Tracer::to_jsonl() for offline analysis.");
+}

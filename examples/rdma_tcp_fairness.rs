@@ -1,0 +1,88 @@
+//! RDMA/TCP coexistence (§5.2, Fig. 8): the switch allocates bandwidth
+//! 70:30 between the RDMA and TCP classes with DWRR, but TCP's slower
+//! control loop and drop-tail greed steal RDMA's share under static ECN.
+//! ACC restores the configured split by keeping the RDMA class marked just
+//! enough to stay at its allocation without building queue.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example rdma_tcp_fairness
+//! ```
+
+use acc::core::{controller, ActionSpace, StaticEcnPolicy};
+use acc::core::static_ecn::install_static;
+use acc::netsim::prelude::*;
+use acc::transport::{self, CcKind, FctCollector, Message, StackConfig};
+
+/// Returns (rdma_share, tcp_share) of delivered bytes at the receiver.
+fn run(n_senders: usize, use_acc: bool) -> (f64, f64) {
+    // 8 hosts, 100G links, single switch; DWRR 70% RDMA / 30% TCP.
+    let mut cfg = SimConfig::default();
+    cfg.port = PortConfig::default().with_tcp_rdma_split(30, 70);
+    cfg.control_interval = Some(SimTime::from_us(50));
+    let topo = TopologySpec::single_switch(8, 100_000_000_000, SimTime::from_ns(500)).build();
+    let mut sim = Simulator::new(topo, cfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+
+    if use_acc {
+        let mut acc_cfg = controller::AccConfig::default();
+        acc_cfg.ddqn.min_replay = 32;
+        controller::install_acc(&mut sim, &acc_cfg, &ActionSpace::templates());
+    } else {
+        install_static(&mut sim, StaticEcnPolicy::Secn1);
+    }
+
+    // Each sender pushes both an RDMA and a TCP elephant at the receiver.
+    let receiver = hosts[7];
+    for s in 0..n_senders {
+        transport::schedule_message(
+            &mut sim,
+            hosts[s],
+            SimTime::ZERO,
+            Message::new(receiver, 200_000_000, CcKind::Dcqcn),
+        );
+        transport::schedule_message(
+            &mut sim,
+            hosts[s],
+            SimTime::ZERO,
+            Message::new(receiver, 200_000_000, CcKind::Reno),
+        );
+    }
+    let horizon = SimTime::from_ms(30);
+    sim.run_until(horizon);
+
+    // Delivered bytes per class at the receiver's access port.
+    let sw = sim.core().topo.switches()[0];
+    let rx_port = PortId(7);
+    let rdma = sim.core().queue(sw, rx_port, acc::netsim::ids::PRIO_RDMA).telem.tx_bytes;
+    let tcp = sim.core().queue(sw, rx_port, acc::netsim::ids::PRIO_TCP).telem.tx_bytes;
+    let total = (rdma + tcp) as f64;
+    (rdma as f64 / total, tcp as f64 / total)
+}
+
+fn main() {
+    println!("RDMA/TCP weighted fair sharing (DWRR 70/30) on a 100G switch\n");
+    println!(
+        "{:<10} {:<8} {:>12} {:>12}",
+        "policy", "incast", "RDMA share", "TCP share"
+    );
+    for &(n, label) in &[(2usize, "2:1"), (7usize, "7:1")] {
+        let (r_static, t_static) = run(n, false);
+        let (r_acc, t_acc) = run(n, true);
+        println!(
+            "{:<10} {:<8} {:>11.1}% {:>11.1}%",
+            "SECN",
+            label,
+            r_static * 100.0,
+            t_static * 100.0
+        );
+        println!(
+            "{:<10} {:<8} {:>11.1}% {:>11.1}%   (target 70/30)",
+            "ACC",
+            label,
+            r_acc * 100.0,
+            t_acc * 100.0
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! A distributed SSD-storage cluster on a leaf-spine fabric (§5.3.1):
+//! 18 compute nodes issue reads/writes against 6 storage nodes under the
+//! Table-1 OLTP profile; compare IOPS with the vendor static ECN setting vs
+//! ACC tuning the switches.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example storage_cluster
+//! ```
+
+use acc::core::{controller, ActionSpace, StaticEcnPolicy};
+use acc::core::static_ecn::install_static;
+use acc::netsim::prelude::*;
+use acc::transport::{self, FctCollector, StackConfig};
+use acc::workloads::gen::apply_arrivals;
+use acc::workloads::{StorageCluster, StorageConfig, StorageProfile};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run(use_acc: bool, io_depth: usize) -> (f64, f64) {
+    // 24 servers, two-tier Clos (the paper's testbed scale).
+    let topo = TopologySpec::paper_testbed().build();
+    let cfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+    let mut sim = Simulator::new(topo, cfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+
+    if use_acc {
+        let mut acc_cfg = controller::AccConfig::default();
+        acc_cfg.ddqn.min_replay = 32;
+        controller::install_acc(&mut sim, &acc_cfg, &ActionSpace::templates());
+    } else {
+        install_static(&mut sim, StaticEcnPolicy::Vendor);
+    }
+
+    let storage_cfg = StorageConfig {
+        profile: StorageProfile::oltp(),
+        io_depth,
+        ..Default::default()
+    };
+    let cluster = Rc::new(RefCell::new(StorageCluster::new(&hosts, storage_cfg)));
+    transport::set_app_hook(&mut sim, cluster.clone());
+    let init = cluster.borrow_mut().initial_arrivals(SimTime::ZERO);
+    apply_arrivals(&mut sim, &init);
+
+    let horizon = SimTime::from_ms(80);
+    sim.run_until(horizon);
+    let c = cluster.borrow();
+    // Skip the first 20 ms as warm-up.
+    (
+        c.iops(SimTime::from_ms(20), horizon),
+        c.mean_latency_us(),
+    )
+}
+
+fn main() {
+    println!("Distributed storage (OLTP profile) on the 24-server Clos testbed\n");
+    println!(
+        "{:<10} {:<10} {:>12} {:>16}",
+        "policy", "io_depth", "IOPS", "mean IO lat(us)"
+    );
+    for &depth in &[8usize, 32, 128] {
+        let (vendor_iops, vendor_lat) = run(false, depth);
+        let (acc_iops, acc_lat) = run(true, depth);
+        println!(
+            "{:<10} {:<10} {:>12.0} {:>16.1}",
+            "Vendor", depth, vendor_iops, vendor_lat
+        );
+        println!(
+            "{:<10} {:<10} {:>12.0} {:>16.1}   ({:+.1}% IOPS)",
+            "ACC",
+            depth,
+            acc_iops,
+            acc_lat,
+            (acc_iops / vendor_iops - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # acc — automatic ECN tuning for high-speed datacenter networks
+//!
+//! An open-source Rust reproduction of **ACC** (Yan et al., SIGCOMM 2021):
+//! a per-switch deep-reinforcement-learning controller that continuously
+//! retunes the RED/ECN marking thresholds `{Kmin, Kmax, Pmax}` from local
+//! telemetry, delivering low flow-completion times for mice flows while
+//! keeping elephant flows at line rate — without touching end hosts.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`netsim`] — the deterministic packet-level datacenter fabric
+//!   (switches with shared buffers, RED/ECN, PFC, DWRR, ECMP, Clos
+//!   topologies);
+//! * [`transport`] — DCQCN (RoCEv2), DCTCP and TCP-Reno host stacks;
+//! * [`rl`] — the from-scratch MLP + Adam + Double-DQN machinery;
+//! * [`core`](mod@core) — ACC itself: state/action/reward design, the
+//!   distributed per-switch controller, C-ACC, static baselines and
+//!   offline-training helpers;
+//! * [`workloads`] — WebSearch/DataMining traffic, incast generators, the
+//!   closed-loop storage and parameter-server application models.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the `acc-bench`
+//! binary for the full paper-reproduction harness.
+
+pub use acc_core as core;
+pub use netsim;
+pub use rl;
+pub use transport;
+pub use workloads;
+
+/// Crate version, for experiment provenance lines.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

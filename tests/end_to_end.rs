@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: fabric + transports + control policies
+//! working together end to end.
+
+use acc::core::{controller, static_ecn, ActionSpace, StaticEcnPolicy};
+use acc::netsim::ids::PRIO_RDMA;
+use acc::netsim::prelude::*;
+use acc::transport::{self, CcKind, FctCollector, Message, StackConfig};
+use acc::workloads::gen;
+
+fn clos_sim(control: Option<SimTime>) -> (Simulator, Vec<NodeId>, transport::SharedFct) {
+    let topo = TopologySpec::paper_testbed().build();
+    let mut cfg = SimConfig::default();
+    cfg.control_interval = control;
+    let mut sim = Simulator::new(topo, cfg);
+    let fct = FctCollector::new_shared();
+    let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+    (sim, hosts, fct)
+}
+
+#[test]
+fn cross_rack_transfer_achieves_line_rate() {
+    let (mut sim, hosts, fct) = clos_sim(None);
+    // Host 0 (rack 0) to the last host (rack 3): two switch hops.
+    let dst = hosts[hosts.len() - 1];
+    transport::schedule_message(
+        &mut sim,
+        hosts[0],
+        SimTime::ZERO,
+        Message::new(dst, 20_000_000, CcKind::Dcqcn),
+    );
+    sim.run_until(SimTime::from_ms(40));
+    let f = fct.borrow();
+    assert_eq!(f.completed_count(), 1);
+    let fct_s = f.completed().next().unwrap().fct().unwrap().as_secs_f64();
+    let goodput = 20_000_000.0 * 8.0 / fct_s;
+    assert!(
+        goodput > 0.9 * 25e9,
+        "cross-rack goodput {:.2} Gbps",
+        goodput / 1e9
+    );
+    assert_eq!(sim.core().total_drops, 0);
+}
+
+#[test]
+fn rdma_class_is_lossless_under_heavy_incast() {
+    let (mut sim, hosts, fct) = clos_sim(Some(SimTime::from_us(50)));
+    static_ecn::install_static(&mut sim, StaticEcnPolicy::Secn1);
+    // 16-to-1 incast across racks, 8 flows each.
+    let receiver = hosts[0];
+    let arr = gen::incast_wave(
+        &hosts[1..17],
+        receiver,
+        8,
+        500_000,
+        CcKind::Dcqcn,
+        SimTime::ZERO,
+    );
+    gen::apply_arrivals(&mut sim, &arr);
+    sim.run_until(SimTime::from_ms(80));
+    assert_eq!(sim.core().lossless_drops, 0, "PFC must protect RDMA");
+    assert_eq!(
+        fct.borrow().completed_count(),
+        16 * 8,
+        "all incast flows must finish"
+    );
+    // Every stack saw in-order delivery.
+    for &h in &hosts {
+        sim.with_driver(h, |d, _| {
+            let st = d
+                .as_any_mut()
+                .downcast_mut::<transport::HostStack>()
+                .unwrap();
+            assert_eq!(st.rdma_sequence_errors, 0);
+        });
+    }
+}
+
+#[test]
+fn dcqcn_flows_share_bottleneck_fairly() {
+    let (mut sim, hosts, fct) = clos_sim(Some(SimTime::from_us(50)));
+    static_ecn::install_static(&mut sim, StaticEcnPolicy::Secn1);
+    // 4 same-rack senders, one receiver, one big flow each.
+    let receiver = hosts[5]; // same leaf as hosts[0..5]
+    for s in 0..4 {
+        transport::schedule_message(
+            &mut sim,
+            hosts[s],
+            SimTime::ZERO,
+            Message::new(receiver, 5_000_000, CcKind::Dcqcn),
+        );
+    }
+    sim.run_until(SimTime::from_ms(60));
+    let f = fct.borrow();
+    assert_eq!(f.completed_count(), 4);
+    let fcts: Vec<f64> = f
+        .completed()
+        .map(|r| r.fct().unwrap().as_secs_f64())
+        .collect();
+    let min = fcts.iter().cloned().fold(f64::MAX, f64::min);
+    let max = fcts.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        max / min < 1.8,
+        "flows should finish within ~2x of each other: {fcts:?}"
+    );
+}
+
+#[test]
+fn acc_controller_improves_over_mismatched_static() {
+    // Sustained heavy incast against a badly mismatched legacy setting
+    // (single 10 MB threshold — marking effectively disabled, the queue
+    // rides the PFC ceiling). ACC learning online from scratch must end up
+    // with a visibly shorter time-average queue at the hot port while
+    // keeping comparable goodput.
+    fn avg_queue(with_acc: bool) -> (f64, u64) {
+        let topo =
+            TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+        let cfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+        let mut sim = Simulator::new(topo, cfg);
+        let fct = FctCollector::new_shared();
+        let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
+        if with_acc {
+            let mut acc = controller::AccConfig::default();
+            acc.ddqn.min_replay = 32;
+            controller::install_acc(&mut sim, &acc, &ActionSpace::templates());
+        } else {
+            static_ecn::install_static(
+                &mut sim,
+                StaticEcnPolicy::Fixed(acc::netsim::queues::EcnConfig::new(
+                    10 * 1024 * 1024,
+                    10 * 1024 * 1024,
+                    1.0,
+                )),
+            );
+        }
+        let arr = gen::incast_wave(
+            &hosts[..8],
+            hosts[8],
+            8,
+            1_000_000_000,
+            CcKind::Dcqcn,
+            SimTime::ZERO,
+        );
+        gen::apply_arrivals(&mut sim, &arr);
+        let horizon = SimTime::from_ms(40);
+        sim.run_until(horizon);
+        let sw = sim.core().topo.switches()[0];
+        let q = sim.core_mut().queue_mut(sw, PortId(8), PRIO_RDMA);
+        q.sync_clock(horizon);
+        let avg = q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64;
+        (avg, q.telem.tx_bytes)
+    }
+    let (static_q, static_tx) = avg_queue(false);
+    let (acc_q, acc_tx) = avg_queue(true);
+    assert!(
+        acc_q < 0.8 * static_q,
+        "ACC should keep a clearly shorter queue: acc={acc_q:.0}B static={static_q:.0}B"
+    );
+    assert!(
+        acc_tx as f64 > 0.85 * static_tx as f64,
+        "the shorter queue must not come from idling: acc={acc_tx}B static={static_tx}B"
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    fn run() -> (usize, u64, Vec<(u64, u64)>) {
+        let (mut sim, hosts, fct) = clos_sim(Some(SimTime::from_us(50)));
+        let mut acc = controller::AccConfig::default();
+        acc.ddqn.min_replay = 32;
+        controller::install_acc(&mut sim, &acc, &ActionSpace::templates());
+        let g = acc::workloads::gen::PoissonGen::new(
+            acc::workloads::SizeDist::web_search(),
+            0.5,
+            CcKind::Dcqcn,
+            99,
+        );
+        let arr = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, SimTime::from_ms(5));
+        gen::apply_arrivals(&mut sim, &arr);
+        sim.run_until(SimTime::from_ms(10));
+        let f = fct.borrow();
+        let fcts = f
+            .completed()
+            .map(|r| (r.flow.0, r.fct().unwrap().as_ps()))
+            .collect();
+        (f.completed_count(), sim.core().events_processed, fcts)
+    }
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1, "event counts must match exactly");
+    assert_eq!(a.2, b.2, "every FCT must match exactly");
+}
+
+#[test]
+fn mixed_tcp_and_rdma_survive_on_shared_fabric() {
+    let (mut sim, hosts, fct) = clos_sim(Some(SimTime::from_us(50)));
+    static_ecn::install_static(&mut sim, StaticEcnPolicy::Secn1);
+    let dst = hosts[12];
+    for (i, &h) in hosts[..6].iter().enumerate() {
+        let cc = match i % 3 {
+            0 => CcKind::Dcqcn,
+            1 => CcKind::Dctcp,
+            _ => CcKind::Reno,
+        };
+        transport::schedule_message(
+            &mut sim,
+            h,
+            SimTime::from_us(i as u64 * 10),
+            Message::new(dst, 2_000_000, cc),
+        );
+    }
+    sim.run_until(SimTime::from_ms(200));
+    assert_eq!(fct.borrow().completed_count(), 6);
+}
