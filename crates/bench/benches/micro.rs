@@ -86,9 +86,7 @@ fn bench_rl(c: &mut Criterion) {
         });
     }
     g.bench_function("ddqn_train_step_batch32", |b| b.iter(|| agent.train_step()));
-    g.bench_function("ddqn_select_action", |b| {
-        b.iter(|| agent.best_action(&x))
-    });
+    g.bench_function("ddqn_select_action", |b| b.iter(|| agent.best_action(&x)));
     g.finish();
 }
 

@@ -28,9 +28,7 @@ struct Cell {
 
 fn run_cell(k: usize, dt: SimTime, w1: f64, scale: Scale) -> Cell {
     let topo = TopologySpec::single_switch(16, 25_000_000_000, SimTime::from_ns(500)).build();
-    let simcfg = SimConfig::default()
-        .with_seed(23)
-        .with_control_interval(dt);
+    let simcfg = SimConfig::default().with_seed(23).with_control_interval(dt);
     let mut sim = Simulator::new(topo, simcfg);
     let fct = FctCollector::new_shared();
     let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
@@ -80,9 +78,7 @@ fn run_cell(k: usize, dt: SimTime, w1: f64, scale: Scale) -> Cell {
     let window = total - measure_from;
     let goodput = (tx1 - tx0) as f64 * 8.0 / window.as_secs_f64() / 1e9;
     let avg_q = (int1 - int0) as f64 / window.as_ps() as f64;
-    let reward = cfg
-        .reward
-        .reward(goodput * 1e9 / 25e9, avg_q as u64);
+    let reward = cfg.reward.reward(goodput * 1e9 / 25e9, avg_q as u64);
     Cell {
         goodput_gbps: goodput,
         avg_queue_kb: avg_q / 1024.0,
@@ -99,7 +95,10 @@ pub fn run(scale: Scale) -> Value {
     let mut out = serde_json::Map::new();
 
     println!("\n-- history length k (paper picks 3) --");
-    println!("{:<6} {:>14} {:>16} {:>10}", "k", "goodput(Gbps)", "avg queue(KB)", "reward");
+    println!(
+        "{:<6} {:>14} {:>16} {:>10}",
+        "k", "goodput(Gbps)", "avg queue(KB)", "reward"
+    );
     let mut rows = Vec::new();
     for k in [1usize, 3, 5] {
         let c = run_cell(k, SimTime::from_us(50), 0.7, scale);
@@ -113,7 +112,10 @@ pub fn run(scale: Scale) -> Value {
     out.insert("history_k".into(), Value::Array(rows));
 
     println!("\n-- control interval delta_t (paper: ~10x RTT = 50 us here) --");
-    println!("{:<8} {:>14} {:>16} {:>10}", "dt", "goodput(Gbps)", "avg queue(KB)", "reward");
+    println!(
+        "{:<8} {:>14} {:>16} {:>10}",
+        "dt", "goodput(Gbps)", "avg queue(KB)", "reward"
+    );
     let mut rows = Vec::new();
     for dt_us in [10u64, 50, 200, 1000] {
         let c = run_cell(3, SimTime::from_us(dt_us), 0.7, scale);
@@ -130,7 +132,10 @@ pub fn run(scale: Scale) -> Value {
     out.insert("delta_t".into(), Value::Array(rows));
 
     println!("\n-- reward weights w1 (throughput) / w2 (delay) --");
-    println!("{:<10} {:>14} {:>16}", "w1/w2", "goodput(Gbps)", "avg queue(KB)");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "w1/w2", "goodput(Gbps)", "avg queue(KB)"
+    );
     let mut rows = Vec::new();
     for w1 in [0.5f64, 0.7, 0.9] {
         let c = run_cell(3, SimTime::from_us(50), w1, scale);

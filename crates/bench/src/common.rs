@@ -10,7 +10,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rl::Mlp;
 use serde_json::{json, Value};
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::sync::OnceLock;
+use telemetry::{JsonlSink, RunManifest, RunRecorder, SharedRecorder};
 use transport::{FctCollector, FctStats, SharedFct, StackConfig};
 use workloads::gen::{self, Arrival, PoissonGen};
 use workloads::SizeDist;
@@ -168,14 +171,8 @@ fn train_offline(scale: Scale) -> Mlp {
         let start = seg.mul(i as u64);
         match i % 5 {
             0 => {
-                let arr = gen::random_incast(
-                    &hosts,
-                    16,
-                    32,
-                    transport::CcKind::Dcqcn,
-                    start,
-                    &mut rng,
-                );
+                let arr =
+                    gen::random_incast(&hosts, 16, 32, transport::CcKind::Dcqcn, start, &mut rng);
                 gen::apply_arrivals(&mut sim, &arr);
             }
             1 => {
@@ -189,8 +186,7 @@ fn train_offline(scale: Scale) -> Mlp {
                     .filter(|&h| h != recv)
                     .take(n)
                     .collect();
-                let bytes = (seg.as_secs_f64() * 25e9 / 8.0
-                    / (n * flows) as f64) as u64;
+                let bytes = (seg.as_secs_f64() * 25e9 / 8.0 / (n * flows) as f64) as u64;
                 let arr = gen::incast_wave(
                     &senders,
                     recv,
@@ -256,6 +252,66 @@ pub fn buckets(fct: &SharedFct, from: SimTime) -> FctBuckets {
     }
 }
 
+/// Process-wide flight-recorder context, armed by `--metrics-dir` (or
+/// [`enable_metrics`] from tests). While armed, every scenario built by
+/// [`scenario`] records queue/agent JSONL plus a `manifest.json` into a
+/// fresh numbered subdirectory.
+struct MetricsCtx {
+    dir: PathBuf,
+    interval: SimTime,
+    experiment: String,
+    runs: u64,
+}
+
+thread_local! {
+    static METRICS: RefCell<Option<MetricsCtx>> = const { RefCell::new(None) };
+}
+
+/// Arm the flight recorder: subsequent [`scenario`] runs record telemetry
+/// under `dir`, sampling queues every `interval`.
+pub fn enable_metrics(dir: impl Into<PathBuf>, interval: SimTime) {
+    assert!(
+        interval > SimTime::ZERO,
+        "sampling interval must be positive"
+    );
+    METRICS.with(|m| {
+        *m.borrow_mut() = Some(MetricsCtx {
+            dir: dir.into(),
+            interval,
+            experiment: String::new(),
+            runs: 0,
+        });
+    });
+}
+
+/// Disarm the flight recorder.
+pub fn disable_metrics() {
+    METRICS.with(|m| *m.borrow_mut() = None);
+}
+
+/// Label subsequent recorded runs with the experiment id (the CLI sets this
+/// before dispatching each experiment).
+pub fn set_metrics_experiment(id: &str) {
+    METRICS.with(|m| {
+        if let Some(ctx) = m.borrow_mut().as_mut() {
+            ctx.experiment = id.to_string();
+        }
+    });
+}
+
+/// Live telemetry of one recorded scenario; finalised into a manifest when
+/// the scenario is dropped.
+struct RunTelemetry {
+    rec: SharedRecorder,
+    dir: PathBuf,
+    experiment: String,
+    run: String,
+    policy: String,
+    seed: u64,
+    scale: String,
+    started: std::time::Instant,
+}
+
 /// A built scenario ready to run.
 pub struct Scenario {
     /// The simulator (stacks installed, policy installed, traffic queued).
@@ -264,6 +320,64 @@ pub struct Scenario {
     pub hosts: Vec<NodeId>,
     /// The FCT collector.
     pub fct: SharedFct,
+    /// Flight recorder state when metrics are armed.
+    telem: Option<RunTelemetry>,
+}
+
+impl Scenario {
+    /// The flight recorder attached to this scenario, if metrics are armed.
+    pub fn recorder(&self) -> Option<&SharedRecorder> {
+        self.telem.as_ref().map(|t| &t.rec)
+    }
+
+    /// The directory this scenario records into, if metrics are armed.
+    pub fn metrics_dir(&self) -> Option<&std::path::Path> {
+        self.telem.as_ref().map(|t| t.dir.as_path())
+    }
+}
+
+impl Drop for Scenario {
+    /// Finalise the recording: flush the sinks and write `manifest.json`.
+    fn drop(&mut self) {
+        let Some(t) = self.telem.take() else { return };
+        if let Err(e) = t.rec.borrow_mut().flush() {
+            eprintln!("[metrics] flush failed for {}: {e}", t.dir.display());
+        }
+        let wall = t.started.elapsed().as_secs_f64();
+        let core = self.sim.core();
+        let summary = self.fct.borrow().summary();
+        let rec = t.rec.borrow();
+        let manifest = RunManifest {
+            experiment: t.experiment.clone(),
+            run: t.run.clone(),
+            policy: t.policy.clone(),
+            seed: t.seed,
+            scale: t.scale.clone(),
+            hosts: core.topo.host_count(),
+            switches: core.topo.switches().len(),
+            sim_time_us: self.sim.now().as_us_f64(),
+            wall_time_s: wall,
+            events_processed: core.events_processed,
+            events_per_sec: if wall > 0.0 {
+                core.events_processed as f64 / wall
+            } else {
+                0.0
+            },
+            queue_samples: rec.queue_samples,
+            agent_samples: rec.agent_samples,
+            flows_total: summary.total,
+            flows_completed: summary.completed,
+            fct: serde_json::to_value(&summary).unwrap_or(Value::Null),
+            config: serde_json::to_value(&core.cfg).unwrap_or(Value::Null),
+        };
+        match manifest.save(&t.dir) {
+            Ok(()) => eprintln!("[metrics] recorded {}", t.dir.display()),
+            Err(e) => eprintln!(
+                "[metrics] could not write manifest in {}: {e}",
+                t.dir.display()
+            ),
+        }
+    }
 }
 
 /// Build a simulator over `spec` with host stacks, `policy`, and `arrivals`.
@@ -283,7 +397,46 @@ pub fn scenario(
     let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
     install_policy(&mut sim, policy, scale);
     gen::apply_arrivals(&mut sim, arrivals);
-    Scenario { sim, hosts, fct }
+
+    // Arm the flight recorder for this run when metrics are enabled.
+    let telem = METRICS.with(|m| {
+        let mut m = m.borrow_mut();
+        let ctx = m.as_mut()?;
+        ctx.runs += 1;
+        let exp = if ctx.experiment.is_empty() {
+            "run"
+        } else {
+            &ctx.experiment
+        };
+        let run = format!("{exp}_{:04}_{}_seed{seed}", ctx.runs, policy.name());
+        let dir = ctx.dir.join(&run);
+        let sink = match JsonlSink::create(&dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[metrics] cannot create {}: {e}", dir.display());
+                return None;
+            }
+        };
+        let rec = RunRecorder::new().with_sink(Box::new(sink)).into_shared();
+        telemetry::install_queue_sampler(&mut sim, ctx.interval, rec.clone());
+        controller::attach_recorder(&mut sim, &rec);
+        Some(RunTelemetry {
+            rec,
+            dir,
+            experiment: exp.to_string(),
+            run,
+            policy: policy.name().to_string(),
+            seed,
+            scale: if scale.quick { "quick" } else { "full" }.to_string(),
+            started: std::time::Instant::now(),
+        })
+    });
+    Scenario {
+        sim,
+        hosts,
+        fct,
+        telem,
+    }
 }
 
 /// Periodically sampled statistics of one egress queue.
@@ -338,7 +491,12 @@ pub fn run_sampling_queue(
 pub fn node_tx_bytes(sim: &Simulator, node: NodeId, prio: Prio) -> u64 {
     let nports = sim.core().topo.node(node).ports.len();
     (0..nports)
-        .map(|p| sim.core().queue(node, PortId(p as u16), prio).telem.tx_bytes)
+        .map(|p| {
+            sim.core()
+                .queue(node, PortId(p as u16), prio)
+                .telem
+                .tx_bytes
+        })
         .sum()
 }
 
@@ -357,7 +515,11 @@ pub fn queue_time_avg(sim: &mut Simulator, node: NodeId, port: PortId, prio: Pri
 /// or `results/quick/<name>.json` (quick scale), so smoke runs and
 /// `cargo bench` never clobber full-scale records.
 pub fn save_results_scaled(name: &str, value: &Value, scale: Scale) {
-    let dir = if scale.quick { "results/quick" } else { "results" };
+    let dir = if scale.quick {
+        "results/quick"
+    } else {
+        "results"
+    };
     let _ = std::fs::create_dir_all(dir);
     let path = format!("{dir}/{name}.json");
     match std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {

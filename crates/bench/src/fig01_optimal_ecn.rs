@@ -75,11 +75,17 @@ fn run_case(senders: usize, flows: usize, k: u64, scale: Scale) -> Outcome {
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
     common::banner("fig1", "optimal static ECN threshold per incast workload");
-    let cases = [("8:1 x 32 flows", 8usize, 32usize), ("15:1 x 8 flows", 15, 8)];
+    let cases = [
+        ("8:1 x 32 flows", 8usize, 32usize),
+        ("15:1 x 8 flows", 15, 8),
+    ];
     let mut out = Vec::new();
     for (name, senders, flows) in cases {
         println!("\n-- {name}, sustained --");
-        println!("{:<10} {:>16} {:>16}", "K", "goodput(Gbps)", "avg queue(KB)");
+        println!(
+            "{:<10} {:>16} {:>16}",
+            "K", "goodput(Gbps)", "avg queue(KB)"
+        );
         let mut rows = Vec::new();
         let mut best: Option<(u64, f64)> = None;
         for n in 0..10 {

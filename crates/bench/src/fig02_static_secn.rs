@@ -23,7 +23,10 @@ fn avg_fct(policy: Policy, dist: &SizeDist, load: f64, scale: Scale) -> f64 {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig2", "FCT under static DCQCN parameter sets (normalised by SECN0)");
+    common::banner(
+        "fig2",
+        "FCT under static DCQCN parameter sets (normalised by SECN0)",
+    );
     let load = 0.6;
     let mut out = Vec::new();
     for (name, dist) in [

@@ -81,10 +81,8 @@ pub fn run(scale: Scale) -> Value {
     let mut summary = Vec::new();
     for p in policies {
         let phases = run_policy(p, scale);
-        let mean_q: f64 =
-            phases.iter().map(|r| r.avg_queue_kb).sum::<f64>() / phases.len() as f64;
-        let mean_g: f64 =
-            phases.iter().map(|r| r.goodput_gbps).sum::<f64>() / phases.len() as f64;
+        let mean_q: f64 = phases.iter().map(|r| r.avg_queue_kb).sum::<f64>() / phases.len() as f64;
+        let mean_g: f64 = phases.iter().map(|r| r.goodput_gbps).sum::<f64>() / phases.len() as f64;
         for (i, r) in phases.iter().enumerate() {
             println!(
                 "{:<10} {:>7} {:>16.1} {:>16.2}",

@@ -29,7 +29,12 @@ fn run_one(policy: Policy, load: f64, scale: Scale) -> Row {
     // Two senders to one receiver, as in the paper's end-to-end test. The
     // load is offered against the receiver's 25G access link.
     let g = PoissonGen::new(SizeDist::message_mix(), load, CcKind::Dcqcn, 31);
-    let mut arrivals = g.generate(&[hosts[0], hosts[1], receiver], 25_000_000_000, SimTime::ZERO, dur);
+    let mut arrivals = g.generate(
+        &[hosts[0], hosts[1], receiver],
+        25_000_000_000,
+        SimTime::ZERO,
+        dur,
+    );
     // Force all traffic towards the single receiver.
     for a in &mut arrivals {
         if a.src == receiver {
@@ -64,7 +69,10 @@ fn run_one(policy: Policy, load: f64, scale: Scale) -> Row {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig7", "FCT by size class at 20%/60% load + queue statistics");
+    common::banner(
+        "fig7",
+        "FCT by size class at 20%/60% load + queue statistics",
+    );
     let mut out = Vec::new();
     for load in [0.2, 0.6] {
         println!("\n-- load {:.0}% --", load * 100.0);

@@ -44,16 +44,16 @@ fn run_one(n_senders: usize, policy: Policy, scale: Scale) -> Outcome {
 
     let receiver = hosts[8];
     let elephant = scale.pick(400_000_000u64, 80_000_000);
-    for s in 0..n_senders {
+    for &h in hosts.iter().take(n_senders) {
         transport::schedule_message(
             &mut sim,
-            hosts[s],
+            h,
             SimTime::ZERO,
             Message::new(receiver, elephant, CcKind::Dcqcn),
         );
         transport::schedule_message(
             &mut sim,
-            hosts[s],
+            h,
             SimTime::ZERO,
             Message::new(receiver, elephant, CcKind::Reno),
         );
@@ -89,7 +89,10 @@ fn run_one(n_senders: usize, policy: Policy, scale: Scale) -> Outcome {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig8", "RDMA/TCP bandwidth shares (target 70/30) and RDMA latency");
+    common::banner(
+        "fig8",
+        "RDMA/TCP bandwidth shares (target 70/30) and RDMA latency",
+    );
     println!(
         "{:<8} {:<8} {:>11} {:>11} {:>13} {:>13}",
         "incast", "policy", "RDMA share", "TCP share", "probe avg us", "probe p99 us"

@@ -38,7 +38,10 @@ fn run_one(profile: StorageProfile, io_depth: usize, policy: Policy, scale: Scal
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig9", "storage IOPS per Table-1 profile (ACC vs vendor static)");
+    common::banner(
+        "fig9",
+        "storage IOPS per Table-1 profile (ACC vs vendor static)",
+    );
     let depths: Vec<usize> = scale.pick(vec![8, 32, 128], vec![8, 32]);
     println!("Table 1 profiles: read:write ratio and block sizes");
     for p in StorageProfile::all() {

@@ -65,7 +65,10 @@ fn run_one(cfg: TrainingConfig, policy: Policy, scale: Scale) -> Outcome {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig10", "distributed training speed, PFC pauses, RTT probes");
+    common::banner(
+        "fig10",
+        "distributed training speed, PFC pauses, RTT probes",
+    );
     // Model sizes scaled 10x down (see workloads::training docs); the
     // AlexNet job is communication-bound, ResNet-50 closer to balanced.
     let jobs = [

@@ -24,7 +24,8 @@ fn run_one(policy: Policy, load: f64, scale: Scale) -> FctBuckets {
     let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
     let mut sc = scenario(&spec, policy, scale, 9, &arrivals);
     // Generous drain margin so elephants can finish.
-    sc.sim.run_until(dur + scale.pick(SimTime::from_ms(20), SimTime::from_ms(12)));
+    sc.sim
+        .run_until(dur + scale.pick(SimTime::from_ms(20), SimTime::from_ms(12)));
     buckets(&sc.fct, SimTime::ZERO)
 }
 

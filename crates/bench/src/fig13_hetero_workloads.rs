@@ -45,7 +45,10 @@ fn run_one(policy: Policy, dist: &SizeDist, seed: u64, scale: Scale) -> FctBucke
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig13", "heterogeneous traffic across workloads (multi-run average)");
+    common::banner(
+        "fig13",
+        "heterogeneous traffic across workloads (multi-run average)",
+    );
     let runs = scale.pick(2u64, 1);
     let mut rows = Vec::new();
     for (wname, dist) in [

@@ -65,8 +65,14 @@ fn run_one(which: &str, scale: Scale) -> (f64, f64) {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig14", "FCT of centralized (C-ACC) vs distributed (D-ACC) design");
-    println!("{:<8} {:>14} {:>14}", "policy", "avg FCT(us)", "p99 FCT(us)");
+    common::banner(
+        "fig14",
+        "FCT of centralized (C-ACC) vs distributed (D-ACC) design",
+    );
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "policy", "avg FCT(us)", "p99 FCT(us)"
+    );
     let mut rows = Vec::new();
     for which in ["SECN1", "SECN2", "C-ACC", "D-ACC", "H-ACC"] {
         let (avg, p99) = run_one(which, scale);

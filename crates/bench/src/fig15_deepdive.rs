@@ -50,7 +50,10 @@ pub fn run(scale: Scale) -> Value {
     let horizon = SimTime::from_ms(24);
     let step = SimTime::from_us(250);
     let mut series = Vec::new();
-    println!("{:>10} {:>12} {:>10} {:>10}", "t(us)", "queue(KB)", "Kmin(KB)", "Kmax(KB)");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "t(us)", "queue(KB)", "Kmin(KB)", "Kmax(KB)"
+    );
     while sc.sim.now() < horizon {
         let t = (sc.sim.now() + step).min(horizon);
         sc.sim.run_until(t);
@@ -90,7 +93,11 @@ pub fn run(scale: Scale) -> Value {
     };
     let calm = kmin_at(2_000.0, 6_000.0);
     let burst = kmin_at(6_500.0, 12_000.0);
-    println!("\nmean Kmin before burst: {:.0} KB, during burst: {:.0} KB", calm / 1024.0, burst / 1024.0);
+    println!(
+        "\nmean Kmin before burst: {:.0} KB, during burst: {:.0} KB",
+        calm / 1024.0,
+        burst / 1024.0
+    );
 
     sc.sim.with_controller(sw, |c, _| {
         let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();

@@ -86,7 +86,13 @@ fn run_one(penalty: QueuePenalty, scale: Scale) -> (Vec<u64>, f64, f64, Vec<f64>
             cnt[t.action] += 1;
         }
         (0..10)
-            .map(|a| if cnt[a] > 0 { sum[a] / cnt[a] as f64 } else { 0.0 })
+            .map(|a| {
+                if cnt[a] > 0 {
+                    sum[a] / cnt[a] as f64
+                } else {
+                    0.0
+                }
+            })
             .collect::<Vec<f64>>()
     });
     let _ = &fct;
@@ -109,7 +115,10 @@ fn run_one(penalty: QueuePenalty, scale: Scale) -> (Vec<u64>, f64, f64, Vec<f64>
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
-    common::banner("fig17", "reward ablation: converged action choice, step vs linear D(L)");
+    common::banner(
+        "fig17",
+        "reward ablation: converged action choice, step vs linear D(L)",
+    );
     let mut out = Vec::new();
     for (name, penalty) in [
         ("step (paper)", QueuePenalty::Step),

@@ -32,6 +32,7 @@ pub mod fig14_cacc;
 pub mod fig15_deepdive;
 pub mod fig16_unseen;
 pub mod fig17_reward;
+pub mod report;
 pub mod resources;
 
 pub use common::Scale;

@@ -1,6 +1,16 @@
-//! CLI entry point: `acc-bench <experiment|all|list> [--quick]`.
+//! CLI entry point: `acc-bench <experiment|all|list|train|report> [flags]`.
+//!
+//! Flags:
+//! * `--quick` / `-q` — shrink durations/topologies for a fast smoke run;
+//! * `--metrics-dir <dir>` — arm the flight recorder: every scenario the
+//!   selected experiments build records queue/agent JSONL time-series and a
+//!   `manifest.json` into a numbered subdirectory of `<dir>`;
+//! * `--metrics-interval-us <n>` — queue-sampling cadence (default 100 µs).
+//!
+//! Unknown flags are rejected with exit code 2 rather than silently ignored.
 
 use acc_bench::{experiments, Scale};
+use netsim::prelude::SimTime;
 
 /// Train the offline model and save it as a deployable bundle.
 fn train(scale: Scale, out: &str) {
@@ -19,46 +29,108 @@ fn train(scale: Scale, out: &str) {
     println!("wrote deployable bundle to {out}");
 }
 
+fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
+    println!("usage: acc-bench <id>... [--quick] [--metrics-dir <dir>]");
+    println!("       acc-bench all [--quick]");
+    println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle");
+    println!("       acc-bench report <dir>                 # summarise recorded telemetry\n");
+    println!("flags: --quick|-q                 smoke scale");
+    println!("       --metrics-dir <dir>        record queue/agent JSONL + manifests");
+    println!("       --metrics-interval-us <n>  queue sampling cadence (default 100)\n");
+    println!("{:<10} description", "id");
+    for (id, desc, _) in all {
+        println!("{id:<10} {desc}");
+    }
+}
+
+/// Exit with code 2 over a bad flag, pointing at `list` for help.
+fn bad_flag(msg: &str) -> ! {
+    eprintln!("{msg} — try `acc-bench list`");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+
+    // Strict flag parsing: every `-`-prefixed argument must be recognised.
+    let mut quick = false;
+    let mut metrics_dir: Option<String> = None;
+    let mut interval_us: u64 = 100;
+    let mut which: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--metrics-dir" => match it.next() {
+                Some(d) => metrics_dir = Some(d.clone()),
+                None => bad_flag("flag '--metrics-dir' needs a directory argument"),
+            },
+            "--metrics-interval-us" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => interval_us = n,
+                _ => bad_flag("flag '--metrics-interval-us' needs a positive integer"),
+            },
+            flag if flag.starts_with('-') => {
+                if let Some(d) = flag.strip_prefix("--metrics-dir=") {
+                    metrics_dir = Some(d.to_string());
+                } else if let Some(n) = flag.strip_prefix("--metrics-interval-us=") {
+                    match n.parse::<u64>() {
+                        Ok(n) if n > 0 => interval_us = n,
+                        _ => bad_flag("flag '--metrics-interval-us' needs a positive integer"),
+                    }
+                } else {
+                    bad_flag(&format!("unknown flag '{flag}'"));
+                }
+            }
+            _ => which.push(a.clone()),
+        }
+    }
     let scale = if quick { Scale::QUICK } else { Scale::FULL };
-    let which: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .collect();
 
     let all = experiments();
     if which.is_empty() || which[0] == "list" {
-        println!("usage: acc-bench <id>... [--quick]   or   acc-bench all [--quick]");
-        println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle\n");
-        println!("{:<10} description", "id");
-        for (id, desc, _) in &all {
-            println!("{id:<10} {desc}");
-        }
+        usage(&all);
         return;
     }
     if which[0] == "train" {
-        let out = which.get(1).map(|s| s.as_str()).unwrap_or("acc_model_bundle.json");
+        let out = which
+            .get(1)
+            .map(|s| s.as_str())
+            .unwrap_or("acc_model_bundle.json");
         train(scale, out);
         return;
     }
+    if which[0] == "report" {
+        let Some(dir) = which.get(1) else {
+            eprintln!("usage: acc-bench report <metrics-dir>");
+            std::process::exit(2);
+        };
+        if let Err(e) = acc_bench::report::print_report(std::path::Path::new(dir)) {
+            eprintln!("report failed for {dir}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(dir) = &metrics_dir {
+        acc_bench::common::enable_metrics(dir, SimTime::from_us(interval_us));
+        eprintln!("[metrics] recording runs under {dir} (queue sample every {interval_us} us)");
+    }
 
     let start = std::time::Instant::now();
-    if which.iter().any(|w| *w == "all") {
+    let run_one = |id: &str, f: fn(Scale) -> serde_json::Value| {
+        acc_bench::common::set_metrics_experiment(id);
+        let t = std::time::Instant::now();
+        f(scale);
+        eprintln!("[{id}] finished in {:.1}s", t.elapsed().as_secs_f64());
+    };
+    if which.iter().any(|w| w == "all") {
         for (id, _, f) in &all {
-            let t = std::time::Instant::now();
-            f(scale);
-            eprintln!("[{id}] finished in {:.1}s", t.elapsed().as_secs_f64());
+            run_one(id, *f);
         }
     } else {
         for w in &which {
-            match all.iter().find(|(id, _, _)| id == *w) {
-                Some((id, _, f)) => {
-                    let t = std::time::Instant::now();
-                    f(scale);
-                    eprintln!("[{id}] finished in {:.1}s", t.elapsed().as_secs_f64());
-                }
+            match all.iter().find(|(id, _, _)| id == w) {
+                Some((id, _, f)) => run_one(id, *f),
                 None => {
                     eprintln!("unknown experiment '{w}' — try `acc-bench list`");
                     std::process::exit(2);

@@ -1,0 +1,308 @@
+//! `acc-bench report <dir>` — render recorded flight-recorder telemetry.
+//!
+//! Walks `<dir>` for run subdirectories (anything containing a
+//! `manifest.json`), parses the queue/agent JSONL time-series, and prints a
+//! human-readable recap per run: the manifest header, the hottest queues by
+//! ECN marks / drops / PFC pause time, an agent-convergence table, and the
+//! FCT summary captured in the manifest.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead};
+use std::path::{Path, PathBuf};
+use telemetry::{AgentSample, QueueSample, RunManifest};
+
+/// Per-queue totals accumulated over a run's `queues.jsonl`.
+#[derive(Clone, Copy, Debug, Default)]
+struct QueueTotals {
+    samples: u64,
+    max_qlen: u64,
+    tx_bytes: u64,
+    marked_pkts: u64,
+    drops: u64,
+    pause_ps: u64,
+}
+
+/// Per-agent (switch queue under ACC control) convergence digest.
+#[derive(Clone, Debug, Default)]
+struct AgentDigest {
+    samples: u64,
+    eps_first: f64,
+    eps_last: f64,
+    rewards: Vec<f64>,
+    train_steps: u64,
+    replay_len: usize,
+}
+
+/// One parsed run directory.
+struct Run {
+    dir: PathBuf,
+    manifest: RunManifest,
+    queues: BTreeMap<(u32, u16, u8), QueueTotals>,
+    agents: BTreeMap<(u32, u16, u8), AgentDigest>,
+}
+
+/// Find run directories: immediate subdirectories of `root` that hold a
+/// `manifest.json`, plus `root` itself if it is one. Sorted by path so the
+/// report order is deterministic.
+fn find_runs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.join("manifest.json").is_file() {
+        out.push(root.to_path_buf());
+    }
+    if root.is_dir() {
+        for entry in std::fs::read_dir(root)? {
+            let p = entry?.path();
+            if p.is_dir() && p.join("manifest.json").is_file() {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Stream a JSONL file, feeding each parsed record to `f`. Missing files are
+/// fine (a run recorded with no traffic writes no rows; the file still
+/// exists, but tolerate hand-pruned directories too).
+fn for_each_line<T: serde::Deserialize>(path: &Path, mut f: impl FnMut(T)) -> io::Result<()> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for (i, line) in io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<T>(&line) {
+            Ok(rec) => f(rec),
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn load_run(dir: &Path) -> io::Result<Run> {
+    let manifest = RunManifest::load(&dir.join("manifest.json"))?;
+    let mut queues: BTreeMap<(u32, u16, u8), QueueTotals> = BTreeMap::new();
+    for_each_line(&dir.join("queues.jsonl"), |s: QueueSample| {
+        let t = queues.entry((s.node, s.port, s.prio)).or_default();
+        t.samples += 1;
+        t.max_qlen = t.max_qlen.max(s.qlen_bytes);
+        t.tx_bytes += s.d_tx_bytes;
+        t.marked_pkts += s.d_marked_pkts;
+        t.drops += s.d_drops;
+        t.pause_ps += s.d_pause_ps;
+    })?;
+    let mut agents: BTreeMap<(u32, u16, u8), AgentDigest> = BTreeMap::new();
+    for_each_line(&dir.join("agents.jsonl"), |s: AgentSample| {
+        let d = agents.entry((s.node, s.port, s.prio)).or_default();
+        if d.samples == 0 {
+            d.eps_first = s.epsilon;
+        }
+        d.samples += 1;
+        d.eps_last = s.epsilon;
+        d.rewards.push(s.reward);
+        d.train_steps = s.train_steps;
+        d.replay_len = s.replay_len;
+    })?;
+    Ok(Run {
+        dir: dir.to_path_buf(),
+        manifest,
+        queues,
+        agents,
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 10_000_000 {
+        format!("{:.1} MB", b as f64 / 1e6)
+    } else if b >= 10_000 {
+        format!("{:.1} KB", b as f64 / 1e3)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Print the top `n` queues ranked by `key` (descending), skipping zeros.
+fn top_queues(
+    queues: &BTreeMap<(u32, u16, u8), QueueTotals>,
+    n: usize,
+    label: &str,
+    key: impl Fn(&QueueTotals) -> u64,
+    show: impl Fn(&QueueTotals) -> String,
+) {
+    let mut rows: Vec<_> = queues.iter().filter(|(_, t)| key(t) > 0).collect();
+    rows.sort_by_key(|(k, t)| (std::cmp::Reverse(key(t)), **k));
+    if rows.is_empty() {
+        println!("  {label}: none");
+        return;
+    }
+    println!("  top queues by {label}:");
+    for (&(node, port, prio), t) in rows.into_iter().take(n) {
+        println!(
+            "    n{node}/p{port}/q{prio}: {}  (max qlen {}, tx {})",
+            show(t),
+            fmt_bytes(t.max_qlen),
+            fmt_bytes(t.tx_bytes),
+        );
+    }
+}
+
+fn print_run(run: &Run) {
+    let m = &run.manifest;
+    println!("── {} ──", run.dir.display());
+    println!(
+        "  {} | policy {} | seed {} | scale {} | {} hosts / {} switches",
+        if m.experiment.is_empty() {
+            "(unlabelled)"
+        } else {
+            &m.experiment
+        },
+        m.policy,
+        m.seed,
+        m.scale,
+        m.hosts,
+        m.switches,
+    );
+    println!(
+        "  simulated {:.1} us in {:.2} s wall ({} events, {:.0} ev/s)",
+        m.sim_time_us, m.wall_time_s, m.events_processed, m.events_per_sec
+    );
+    println!(
+        "  recorded {} queue samples over {} queues, {} agent decisions over {} agents",
+        m.queue_samples,
+        run.queues.len(),
+        m.agent_samples,
+        run.agents.len()
+    );
+
+    top_queues(
+        &run.queues,
+        5,
+        "ECN marks",
+        |t| t.marked_pkts,
+        |t| format!("{} marked pkts", t.marked_pkts),
+    );
+    top_queues(
+        &run.queues,
+        5,
+        "drops",
+        |t| t.drops,
+        |t| format!("{} drops", t.drops),
+    );
+    top_queues(
+        &run.queues,
+        5,
+        "PFC pause time",
+        |t| t.pause_ps,
+        |t| format!("{:.1} us paused", t.pause_ps as f64 / 1e6),
+    );
+
+    if !run.agents.is_empty() {
+        println!("  agent convergence (ε first→last, mean reward early→late):");
+        for (&(node, port, prio), d) in &run.agents {
+            let half = d.rewards.len() / 2;
+            let (early, late) = d.rewards.split_at(half.max(1).min(d.rewards.len()));
+            println!(
+                "    n{node}/p{port}/q{prio}: {} decisions, ε {:.3}→{:.3}, reward {:+.3}→{:+.3}, {} train steps, replay {}",
+                d.samples,
+                d.eps_first,
+                d.eps_last,
+                mean(early),
+                if late.is_empty() { mean(early) } else { mean(late) },
+                d.train_steps,
+                d.replay_len,
+            );
+        }
+    }
+
+    println!(
+        "  flows: {} total, {} completed",
+        m.flows_total, m.flows_completed
+    );
+    if let Some(overall) = m.fct.get("overall") {
+        let g = |k: &str| overall.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if g("count") > 0.0 {
+            println!(
+                "  FCT: avg {:.1} us, p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+                g("avg_us"),
+                g("p50_us"),
+                g("p99_us"),
+                g("max_us")
+            );
+        }
+    }
+    println!();
+}
+
+/// Summarise every recorded run under `root` to stdout.
+pub fn print_report(root: &Path) -> io::Result<()> {
+    let dirs = find_runs(root)?;
+    if dirs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no run directories (with manifest.json) under {}",
+                root.display()
+            ),
+        ));
+    }
+    println!(
+        "flight-recorder report: {} run(s) under {}\n",
+        dirs.len(),
+        root.display()
+    );
+    for dir in &dirs {
+        print_run(&load_run(dir)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_dir_is_an_error() {
+        let err = print_report(Path::new("target/definitely-missing-metrics")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn top_queue_ranking_is_stable() {
+        let mut q = BTreeMap::new();
+        q.insert(
+            (1u32, 0u16, 3u8),
+            QueueTotals {
+                marked_pkts: 10,
+                ..Default::default()
+            },
+        );
+        q.insert(
+            (2u32, 1u16, 3u8),
+            QueueTotals {
+                marked_pkts: 10,
+                ..Default::default()
+            },
+        );
+        let mut rows: Vec<_> = q.iter().collect();
+        rows.sort_by_key(|(k, t)| (std::cmp::Reverse(t.marked_pkts), **k));
+        // Equal counts fall back to key order: lowest node first.
+        assert_eq!(*rows[0].0, (1, 0, 3));
+    }
+}

@@ -28,7 +28,10 @@ pub fn run(scale: Scale) -> Value {
     let telemetry_bps = (ports * queues_per_port * 16) as f64 / interval_s * 8.0;
 
     println!("model parameters:        {params}");
-    println!("model memory:            {:.1} KB (paper: ~30 KB)", model_bytes as f64 / 1024.0);
+    println!(
+        "model memory:            {:.1} KB (paper: ~30 KB)",
+        model_bytes as f64 / 1024.0
+    );
     println!("FLOPs per inference:     {flops}");
     println!(
         "inference load (48p/500us): {:.2} GFLOP/s (paper: ~1 GFLOP/s)",

@@ -83,8 +83,7 @@ impl CentralBrain {
         ddqn: DdqnConfig,
         reward: RewardConfig,
         space: ActionSpace,
-        #[allow(dead_code)]
-    n_switches: usize,
+        #[allow(dead_code)] n_switches: usize,
         history_k: usize,
         online_training: bool,
         seed: u64,
@@ -218,8 +217,8 @@ impl CentralizedAcc {
 impl QueueController for CentralizedAcc {
     fn on_tick(&mut self, view: &mut SwitchView<'_>) {
         let layer = *self.layer.get_or_insert_with(|| {
-            let host_facing = (0..view.num_ports())
-                .any(|p| view.port_is_host_facing(PortId(p as u16)));
+            let host_facing =
+                (0..view.num_ports()).any(|p| view.port_is_host_facing(PortId(p as u16)));
             if host_facing {
                 Layer::Leaf
             } else {
@@ -281,10 +280,7 @@ pub fn install_centralized(
     )));
     let last = *switches.last().expect("no switches");
     for sw in switches {
-        sim.set_controller(
-            sw,
-            Box::new(CentralizedAcc::new(brain.clone(), sw == last)),
-        );
+        sim.set_controller(sw, Box::new(CentralizedAcc::new(brain.clone(), sw == last)));
     }
     brain
 }
@@ -321,20 +317,34 @@ mod tests {
         // All leaves share one config; all spines share (possibly another).
         let leaves: Vec<NodeId> = sim.core().topo.switches()[..4].to_vec();
         let spines: Vec<NodeId> = sim.core().topo.switches()[4..].to_vec();
-        let leaf_cfg = sim.core().queue(leaves[0], PortId(0), PRIO_RDMA).ecn.unwrap();
+        let leaf_cfg = sim
+            .core()
+            .queue(leaves[0], PortId(0), PRIO_RDMA)
+            .ecn
+            .unwrap();
         for &l in &leaves {
             for p in 0..sim.core().topo.node(l).ports.len() {
                 assert_eq!(
-                    sim.core().queue(l, PortId(p as u16), PRIO_RDMA).ecn.unwrap(),
+                    sim.core()
+                        .queue(l, PortId(p as u16), PRIO_RDMA)
+                        .ecn
+                        .unwrap(),
                     leaf_cfg
                 );
             }
         }
-        let spine_cfg = sim.core().queue(spines[0], PortId(0), PRIO_RDMA).ecn.unwrap();
+        let spine_cfg = sim
+            .core()
+            .queue(spines[0], PortId(0), PRIO_RDMA)
+            .ecn
+            .unwrap();
         for &s in &spines {
             for p in 0..sim.core().topo.node(s).ports.len() {
                 assert_eq!(
-                    sim.core().queue(s, PortId(p as u16), PRIO_RDMA).ecn.unwrap(),
+                    sim.core()
+                        .queue(s, PortId(p as u16), PRIO_RDMA)
+                        .ecn
+                        .unwrap(),
                     spine_cfg
                 );
             }
@@ -348,15 +358,8 @@ mod tests {
         let space = ActionSpace::templates();
         let mut ddqn = DdqnConfig::default();
         ddqn.min_replay = 1000000; // never train; only schedule mechanics
-        let mut brain = CentralBrain::new(
-            ddqn,
-            RewardConfig::default(),
-            space.clone(),
-            2,
-            3,
-            false,
-            1,
-        );
+        let mut brain =
+            CentralBrain::new(ddqn, RewardConfig::default(), space.clone(), 2, 3, false, 1);
         let before = brain.applied;
         brain.finish_tick(SimTime::from_us(50));
         // First decision is still pending, applied unchanged.

@@ -122,6 +122,11 @@ pub struct AccController {
     pub stats: AccStats,
     /// Most recent rewards (for experiment traces): keyed like `queues`.
     pub last_rewards: HashMap<(u16, Prio), f64>,
+    /// Optional flight recorder: when attached, every decision emits an
+    /// [`telemetry::AgentSample`]. Disabled is one `Option` check.
+    recorder: Option<telemetry::SharedRecorder>,
+    /// TD loss of the most recent training minibatch.
+    last_td_loss: Option<f32>,
 }
 
 impl AccController {
@@ -133,11 +138,7 @@ impl AccController {
     }
 
     /// Create a controller around an existing (possibly shared) agent.
-    pub fn with_agent(
-        cfg: AccConfig,
-        space: ActionSpace,
-        agent: Rc<RefCell<DdqnAgent>>,
-    ) -> Self {
+    pub fn with_agent(cfg: AccConfig, space: ActionSpace, agent: Rc<RefCell<DdqnAgent>>) -> Self {
         {
             let a = agent.borrow();
             assert_eq!(
@@ -155,6 +156,8 @@ impl AccController {
             queues: HashMap::new(),
             stats: AccStats::default(),
             last_rewards: HashMap::new(),
+            recorder: None,
+            last_td_loss: None,
         }
     }
 
@@ -169,6 +172,12 @@ impl AccController {
     /// Attach the cross-switch global replay memory.
     pub fn set_global_replay(&mut self, g: Rc<RefCell<ReplayBuffer>>) {
         self.global_replay = Some(g);
+    }
+
+    /// Attach a flight recorder: every decision will emit an
+    /// [`telemetry::AgentSample`].
+    pub fn set_recorder(&mut self, rec: telemetry::SharedRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// The action space in use.
@@ -222,8 +231,7 @@ impl AccController {
         }
         let tx_bytes = snap.telem.tx_bytes - q.prev_telem.tx_bytes;
         let tx_marked = snap.telem.tx_marked_bytes - q.prev_telem.tx_marked_bytes;
-        let qlen_integral =
-            snap.telem.qlen_integral_byte_ps - q.prev_telem.qlen_integral_byte_ps;
+        let qlen_integral = snap.telem.qlen_integral_byte_ps - q.prev_telem.qlen_integral_byte_ps;
         let avg_qlen = (qlen_integral / dt.as_ps() as u128) as u64;
         let utilization = if snap.link_bps > 0 {
             (tx_bytes as f64 * 8.0) / (snap.link_bps as f64 * dt.as_secs_f64())
@@ -300,6 +308,25 @@ impl AccController {
             agent.best_action(&state)
         };
         self.stats.inferences += 1;
+        if let Some(rec) = &self.recorder {
+            let ecn = self.space.get(action);
+            rec.borrow_mut().record_agent(&telemetry::AgentSample {
+                t_ps: now.as_ps(),
+                node: view.node().0,
+                port: port.0,
+                prio,
+                state: state.clone(),
+                action_idx: action,
+                kmin_bytes: ecn.kmin_bytes,
+                kmax_bytes: ecn.kmax_bytes,
+                pmax: ecn.pmax,
+                epsilon: agent.epsilon(),
+                reward,
+                td_loss: self.last_td_loss.map(|l| l as f64),
+                replay_len: agent.replay.len(),
+                train_steps: agent.train_steps(),
+            });
+        }
         drop(agent);
         q.prev = Some((state, action));
         q.action_idx = action;
@@ -311,7 +338,10 @@ impl AccController {
             return;
         };
         if self.cfg.exchange_every_ticks == 0
-            || !self.stats.ticks.is_multiple_of(self.cfg.exchange_every_ticks)
+            || !self
+                .stats
+                .ticks
+                .is_multiple_of(self.cfg.exchange_every_ticks)
         {
             return;
         }
@@ -343,8 +373,9 @@ impl QueueController for AccController {
         if self.cfg.online_training {
             let mut agent = self.agent.borrow_mut();
             for _ in 0..self.cfg.trains_per_tick {
-                if agent.train_step().is_some() {
+                if let Some(loss) = agent.train_step() {
                     self.stats.train_steps += 1;
+                    self.last_td_loss = Some(loss);
                 }
             }
         }
@@ -378,6 +409,22 @@ pub fn install_acc(
         sim.set_controller(sw, Box::new(ctl));
     }
     global
+}
+
+/// Attach a flight recorder to every [`AccController`] installed in `sim`.
+/// Switches without a controller, or with a non-ACC controller (static
+/// baselines, C-ACC), are left untouched.
+pub fn attach_recorder(sim: &mut Simulator, rec: &telemetry::SharedRecorder) {
+    for sw in sim.core().topo.switches().to_vec() {
+        if !sim.has_controller(sw) {
+            continue;
+        }
+        sim.with_controller(sw, |c, _| {
+            if let Some(acc) = c.as_any_mut().downcast_mut::<AccController>() {
+                acc.set_recorder(rec.clone());
+            }
+        });
+    }
 }
 
 /// Install ACC controllers that all start from `model`.
@@ -464,7 +511,10 @@ mod tests {
         let sw = sim.core().topo.switches()[0];
         let mut cfg = small_cfg();
         cfg.idle_optimization = false;
-        sim.set_controller(sw, Box::new(AccController::new(cfg, ActionSpace::templates())));
+        sim.set_controller(
+            sw,
+            Box::new(AccController::new(cfg, ActionSpace::templates())),
+        );
         sim.run_until(SimTime::from_ms(5));
         sim.with_controller(sw, |c, _| {
             let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();

@@ -64,7 +64,11 @@ impl DeployBundle {
             history_k * crate::state::FEATURES_PER_OBS,
             "model inputs must match k x 4 features"
         );
-        let digest = fnv1a(serde_json::to_string(&model).expect("model serializes").as_bytes());
+        let digest = fnv1a(
+            serde_json::to_string(&model)
+                .expect("model serializes")
+                .as_bytes(),
+        );
         DeployBundle {
             version: BUNDLE_VERSION,
             provenance: provenance.into(),
@@ -90,8 +94,11 @@ impl DeployBundle {
         if self.model.input_dim() != self.history_k * crate::state::FEATURES_PER_OBS {
             return Err("model inputs != k x 4 features".into());
         }
-        let digest =
-            fnv1a(serde_json::to_string(&self.model).expect("model serializes").as_bytes());
+        let digest = fnv1a(
+            serde_json::to_string(&self.model)
+                .expect("model serializes")
+                .as_bytes(),
+        );
         if digest != self.digest {
             return Err("model digest mismatch (corrupted bundle)".into());
         }
@@ -114,7 +121,10 @@ impl DeployBundle {
 
     /// Persist as JSON.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, serde_json::to_string(self).expect("bundle serializes"))
+        std::fs::write(
+            path,
+            serde_json::to_string(self).expect("bundle serializes"),
+        )
     }
 
     /// Load and validate from JSON.
@@ -136,13 +146,7 @@ mod tests {
     fn bundle() -> DeployBundle {
         let space = ActionSpace::templates();
         let model = Mlp::new(&[12, 40, 40, space.len()], 3);
-        DeployBundle::new(
-            "unit test",
-            model,
-            space,
-            RewardConfig::default(),
-            3,
-        )
+        DeployBundle::new("unit test", model, space, RewardConfig::default(), 3)
     }
 
     #[test]

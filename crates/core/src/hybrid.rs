@@ -110,7 +110,12 @@ pub struct HybridAcc {
 
 impl HybridAcc {
     /// Build the per-switch stub.
-    pub fn new(cfg: AccConfig, space: ActionSpace, trainer: SharedTrainer, sync_ticks: u64) -> Self {
+    pub fn new(
+        cfg: AccConfig,
+        space: ActionSpace,
+        trainer: SharedTrainer,
+        sync_ticks: u64,
+    ) -> Self {
         let state_dim = cfg.history_k * crate::state::FEATURES_PER_OBS;
         let mut local = DdqnAgent::new(state_dim, space.len(), cfg.ddqn.clone(), cfg.seed);
         local.load_model(&trainer.borrow().model());
@@ -227,7 +232,12 @@ pub fn install_hybrid(
         c.seed = cfg.seed.wrapping_add(i as u64);
         sim.set_controller(
             sw,
-            Box::new(HybridAcc::new(c, space.clone(), trainer.clone(), sync_ticks)),
+            Box::new(HybridAcc::new(
+                c,
+                space.clone(),
+                trainer.clone(),
+                sync_ticks,
+            )),
         );
     }
     trainer

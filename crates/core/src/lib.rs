@@ -47,9 +47,9 @@ pub mod trainer;
 
 pub use action::ActionSpace;
 pub use centralized::{CentralBrain, CentralizedAcc};
-pub use hybrid::{CentralTrainer, HybridAcc};
 pub use controller::{AccConfig, AccController};
 pub use deploy::DeployBundle;
+pub use hybrid::{CentralTrainer, HybridAcc};
 pub use reward::{e_n, ladder_index, QueuePenalty, RewardConfig};
 pub use state::{QueueObs, StateWindow, FEATURES_PER_OBS};
 pub use static_ecn::StaticEcnPolicy;

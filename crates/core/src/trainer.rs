@@ -44,6 +44,21 @@ pub fn install_shared_training(
     agent
 }
 
+/// [`install_shared_training`] plus a flight recorder on every controller:
+/// offline-training runs then leave the same agent time-series
+/// (ε/reward/TD-loss curves) as online runs, so training convergence can be
+/// audited with `acc-bench report`.
+pub fn install_shared_training_recorded(
+    sim: &mut Simulator,
+    cfg: &AccConfig,
+    space: &ActionSpace,
+    rec: &telemetry::SharedRecorder,
+) -> Rc<RefCell<DdqnAgent>> {
+    let agent = install_shared_training(sim, cfg, space);
+    crate::controller::attach_recorder(sim, rec);
+    agent
+}
+
 /// Extract the trained model from any switch of a simulation that runs
 /// [`AccController`]s.
 pub fn extract_model(sim: &mut Simulator, switch: NodeId) -> Mlp {
@@ -119,10 +134,7 @@ mod tests {
         let frozen = frozen_config(&small_acc());
         let ctl = AccController::from_model(frozen, space, &model);
         let s = vec![0.5f32; 12];
-        assert_eq!(
-            ctl.agent().borrow().q_values(&s),
-            model.forward(&s)
-        );
+        assert_eq!(ctl.agent().borrow().q_values(&s), model.forward(&s));
     }
 
     #[test]

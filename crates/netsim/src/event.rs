@@ -49,6 +49,10 @@ pub enum Event {
     },
     /// Periodic control-plane tick: switch controllers run.
     ControlTick,
+    /// Periodic telemetry sampling tick: the installed sampler hook runs
+    /// (see [`crate::sim::Simulator::set_sampler`]). Never scheduled unless
+    /// a sampler is installed, so runs without telemetry pay nothing.
+    TelemetrySample,
 }
 
 /// An event with its activation time and a monotone sequence number used to
@@ -147,7 +151,11 @@ mod tests {
         let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.time).collect();
         assert_eq!(
             times,
-            vec![SimTime::from_us(1), SimTime::from_us(2), SimTime::from_us(3)]
+            vec![
+                SimTime::from_us(1),
+                SimTime::from_us(2),
+                SimTime::from_us(3)
+            ]
         );
     }
 

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use crate::queues::EcnConfig;
     pub use crate::sim::Simulator;
     pub use crate::time::{tx_time, SimTime};
-    pub use crate::trace::{TraceEvent, TraceFilter, TraceKind, Tracer};
     pub use crate::topology::{NodeKind, Topology, TopologySpec};
+    pub use crate::trace::{TraceEvent, TraceFilter, TraceKind, Tracer};
 }
 
 pub use prelude::*;

@@ -109,7 +109,15 @@ impl Packet {
     }
 
     /// Build an ACK travelling from `src` (the data receiver) to `dst`.
-    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, prio: Prio, cum_ack: u64, ce_echo: bool, fin: bool) -> Packet {
+    pub fn ack(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        prio: Prio,
+        cum_ack: u64,
+        ce_echo: bool,
+        fin: bool,
+    ) -> Packet {
         Packet {
             flow,
             src,

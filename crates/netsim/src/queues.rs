@@ -291,8 +291,7 @@ impl Dwrr {
     pub fn pick(&mut self, heads: &[Option<u32>], paused: u8) -> Option<usize> {
         let n = self.weights.len();
         debug_assert_eq!(heads.len(), n);
-        let avail =
-            |i: usize| heads[i].is_some() && (paused & (1u8 << (i as u8 & 7))) == 0;
+        let avail = |i: usize| heads[i].is_some() && (paused & (1u8 << (i as u8 & 7))) == 0;
 
         // Strict-priority classes first, highest index wins.
         for i in (0..n).rev() {
@@ -405,8 +404,7 @@ mod tests {
         assert_eq!(q.bytes(), 0);
         q.sync_clock(t2);
         // 1000 bytes held for 10 us then 0 for 10 us -> avg 500 bytes over 20us.
-        let avg =
-            q.telem.qlen_integral_byte_ps as f64 / SimTime::from_us(20).as_ps() as f64;
+        let avg = q.telem.qlen_integral_byte_ps as f64 / SimTime::from_us(20).as_ps() as f64;
         assert!((avg - 500.0).abs() < 1e-9);
         assert_eq!(q.telem.tx_bytes, 1000);
         assert_eq!(q.telem.tx_pkts, 1);
@@ -418,7 +416,13 @@ mod tests {
         let mut q = EgressQueue::new(1 << 20, None);
         let mut p = pkt(952);
         p.ecn = Ecn::Ce;
-        q.push(QItem { pkt: p, ingress: None }, SimTime::ZERO);
+        q.push(
+            QItem {
+                pkt: p,
+                ingress: None,
+            },
+            SimTime::ZERO,
+        );
         q.pop(SimTime::from_ns(1)).unwrap();
         assert_eq!(q.telem.tx_marked_pkts, 1);
         assert_eq!(q.telem.tx_marked_bytes, 1000);
@@ -445,8 +449,20 @@ mod tests {
         let mut inst = EgressQueue::new(1 << 20, Some(EcnConfig::new(1_000, 2_000, 1.0)));
         for i in 0..20 {
             let t = SimTime::from_us(i);
-            q.push(QItem { pkt: pkt(952), ingress: None }, t);
-            inst.push(QItem { pkt: pkt(952), ingress: None }, t);
+            q.push(
+                QItem {
+                    pkt: pkt(952),
+                    ingress: None,
+                },
+                t,
+            );
+            inst.push(
+                QItem {
+                    pkt: pkt(952),
+                    ingress: None,
+                },
+                t,
+            );
         }
         assert_eq!(inst.marking_qlen(), 20_000, "instantaneous sees the burst");
         assert!(
@@ -456,10 +472,19 @@ mod tests {
         );
         // Sustained occupancy eventually converges.
         for i in 20..400 {
-            q.push(QItem { pkt: pkt(952), ingress: None }, SimTime::from_us(i));
+            q.push(
+                QItem {
+                    pkt: pkt(952),
+                    ingress: None,
+                },
+                SimTime::from_us(i),
+            );
             q.pop(SimTime::from_us(i)).unwrap();
         }
-        assert!(q.marking_qlen() > 15_000, "EWMA converges under sustained load");
+        assert!(
+            q.marking_qlen() > 15_000,
+            "EWMA converges under sustained load"
+        );
     }
 
     #[test]

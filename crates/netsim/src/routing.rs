@@ -27,10 +27,7 @@ impl RouteTable {
     /// Build the table considering only links for which `is_up` returns
     /// true (queried once per direction). Used to recompute routing after
     /// link failures.
-    pub fn build_filtered(
-        topo: &Topology,
-        is_up: impl Fn(NodeId, PortId) -> bool,
-    ) -> Self {
+    pub fn build_filtered(topo: &Topology, is_up: impl Fn(NodeId, PortId) -> bool) -> Self {
         let n = topo.nodes.len();
         let hosts = topo.hosts();
         let mut host_rank = vec![None; n];

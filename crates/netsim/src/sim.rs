@@ -47,6 +47,12 @@ pub(crate) struct PortState {
     in_flight: Option<InFlight>,
     /// PAUSE events sent from the ingress side of this port.
     pfc_pause_events: u64,
+    /// Cumulative time each class of this port's transmitter has spent
+    /// paused by received PFC frames, in picoseconds.
+    pause_ps: Vec<u64>,
+    /// When the currently active pause of each class began (None = not
+    /// paused); lets `pause_ps` include the in-progress pause on read.
+    pause_since: Vec<Option<SimTime>>,
     /// Administrative/physical link state (fault injection).
     link_up: bool,
 }
@@ -66,6 +72,8 @@ impl PortState {
             dwrr: Dwrr::new(pc.weights.clone()),
             in_flight: None,
             pfc_pause_events: 0,
+            pause_ps: vec![0; pc.num_prios],
+            pause_since: vec![None; pc.num_prios],
             link_up: true,
         }
     }
@@ -110,7 +118,10 @@ pub struct SimCore {
 impl SimCore {
     fn new(topo: Topology, cfg: SimConfig) -> Self {
         cfg.validate();
-        assert!(cfg.port.num_prios <= 8, "at most 8 traffic classes (PFC bitmask)");
+        assert!(
+            cfg.port.num_prios <= 8,
+            "at most 8 traffic classes (PFC bitmask)"
+        );
         let nodes = topo
             .nodes
             .iter()
@@ -147,7 +158,15 @@ impl SimCore {
     }
 
     #[inline]
-    fn trace(&mut self, kind: TraceKind, node: NodeId, port: PortId, prio: Prio, flow: crate::ids::FlowId, qlen: u64) {
+    fn trace(
+        &mut self,
+        kind: TraceKind,
+        node: NodeId,
+        port: PortId,
+        prio: Prio,
+        flow: crate::ids::FlowId,
+        qlen: u64,
+    ) {
         if let Some(t) = self.tracer.as_mut() {
             t.record(TraceEvent {
                 at: self.now,
@@ -196,6 +215,23 @@ impl SimCore {
             .sum()
     }
 
+    /// PFC PAUSE events sent upstream from the ingress side of one port.
+    pub fn pfc_pauses_of_port(&self, node: NodeId, port: PortId) -> u64 {
+        self.nodes[node.idx()].ports[port.idx()].pfc_pause_events
+    }
+
+    /// Cumulative time class `prio` of (`node`, `port`)'s transmitter has
+    /// spent paused by received PFC frames, including any pause still in
+    /// progress at the current simulated time.
+    pub fn pfc_pause_time(&self, node: NodeId, port: PortId, prio: Prio) -> SimTime {
+        let ps = &self.nodes[node.idx()].ports[port.idx()];
+        let mut total = ps.pause_ps[prio as usize];
+        if let Some(since) = ps.pause_since[prio as usize] {
+            total += (self.now - since).as_ps();
+        }
+        SimTime::from_ps(total)
+    }
+
     pub(crate) fn host_backlog(&self, host: NodeId, prio: Prio) -> u64 {
         self.nodes[host.idx()].ports[0].queues[prio as usize].bytes()
     }
@@ -229,7 +265,9 @@ impl SimCore {
             return;
         };
         let now = self.now;
-        let item = ps.queues[prio].pop(now).expect("dwrr picked an empty queue");
+        let item = ps.queues[prio]
+            .pop(now)
+            .expect("dwrr picked an empty queue");
         ps.in_flight = Some(InFlight {
             size: item.pkt.size,
             ingress: item.ingress,
@@ -317,10 +355,17 @@ impl SimCore {
 
     fn on_pfc_update(&mut self, node: NodeId, port: PortId, prio: Prio, pause: bool) {
         let bit = 1u8 << (prio & 7);
+        let now = self.now;
         let ps = &mut self.nodes[node.idx()].ports[port.idx()];
         if pause {
+            if ps.paused & bit == 0 {
+                ps.pause_since[prio as usize] = Some(now);
+            }
             ps.paused |= bit;
         } else {
+            if let Some(since) = ps.pause_since[prio as usize].take() {
+                ps.pause_ps[prio as usize] += (now - since).as_ps();
+            }
             ps.paused &= !bit;
             self.try_send(node, port);
         }
@@ -413,6 +458,21 @@ impl SimCore {
         let peer = *self.topo.port(node, port);
         self.nodes[node.idx()].ports[port.idx()].link_up = up;
         self.nodes[peer.peer_node.idx()].ports[peer.peer_port.idx()].link_up = up;
+        let kind = if up {
+            TraceKind::LinkUp
+        } else {
+            TraceKind::LinkDown
+        };
+        // One record per endpoint, so per-node trace filters see the change.
+        self.trace(kind, node, port, 0, crate::ids::FlowId(0), 0);
+        self.trace(
+            kind,
+            peer.peer_node,
+            peer.peer_port,
+            0,
+            crate::ids::FlowId(0),
+            0,
+        );
         // Rebuild routing honouring every port's current state.
         let states: Vec<Vec<bool>> = self
             .nodes
@@ -442,12 +502,19 @@ impl SimCore {
     }
 }
 
+/// A periodic telemetry sampling hook (see [`Simulator::set_sampler`]).
+struct Sampler {
+    interval: SimTime,
+    hook: Box<dyn FnMut(&mut SimCore)>,
+}
+
 /// The user-facing simulator: the core plus the pluggable host drivers and
 /// switch controllers.
 pub struct Simulator {
     core: SimCore,
     drivers: Vec<Option<Box<dyn NicDriver>>>,
     controllers: Vec<Option<Box<dyn QueueController>>>,
+    sampler: Option<Sampler>,
 }
 
 impl Simulator {
@@ -466,7 +533,26 @@ impl Simulator {
             core,
             drivers: (0..n).map(|_| None).collect(),
             controllers: (0..n).map(|_| None).collect(),
+            sampler: None,
         }
+    }
+
+    /// Install a periodic telemetry sampler: `hook` runs against the core
+    /// every `interval`, starting one interval from now. The hook must only
+    /// *read* simulation state (counters, queue depths); sampling must never
+    /// perturb the packet trajectory, so two identical seeded runs with and
+    /// without a sampler stay identical. Without a sampler no
+    /// [`Event::TelemetrySample`] is ever scheduled.
+    pub fn set_sampler(&mut self, interval: SimTime, hook: Box<dyn FnMut(&mut SimCore)>) {
+        assert!(
+            interval > SimTime::ZERO,
+            "sampling interval must be positive"
+        );
+        let first = self.core.now + interval;
+        if self.sampler.is_none() {
+            self.core.schedule(first, Event::TelemetrySample);
+        }
+        self.sampler = Some(Sampler { interval, hook });
     }
 
     /// Read-only access to the core (telemetry, topology, counters).
@@ -499,6 +585,11 @@ impl Simulator {
     pub fn set_driver(&mut self, host: NodeId, driver: Box<dyn NicDriver>) {
         assert!(self.core.topo.is_host(host), "drivers attach to hosts");
         self.drivers[host.idx()] = Some(driver);
+    }
+
+    /// Whether `node` currently has a controller installed.
+    pub fn has_controller(&self, node: NodeId) -> bool {
+        self.controllers[node.idx()].is_some()
     }
 
     /// Install the control-plane logic for `switch`.
@@ -615,6 +706,14 @@ impl Simulator {
                 if let Some(dt) = self.core.cfg.control_interval {
                     let at = self.core.now + dt;
                     self.core.schedule(at, Event::ControlTick);
+                }
+            }
+            Event::TelemetrySample => {
+                if let Some(mut s) = self.sampler.take() {
+                    (s.hook)(&mut self.core);
+                    let at = self.core.now + s.interval;
+                    self.core.schedule(at, Event::TelemetrySample);
+                    self.sampler = Some(s);
                 }
             }
         }
@@ -750,8 +849,7 @@ mod tests {
         // marked.
         let topo = TopologySpec::single_switch(3, 25_000_000_000, SimTime::from_ns(500)).build();
         let mut cfg = SimConfig::default();
-        cfg.port.ecn[PRIO_RDMA as usize] =
-            Some(crate::queues::EcnConfig::new(2_000, 2_000, 1.0));
+        cfg.port.ecn[PRIO_RDMA as usize] = Some(crate::queues::EcnConfig::new(2_000, 2_000, 1.0));
         let mut sim = Simulator::new(topo, cfg);
         let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
         let got = Rc::new(RefCell::new(Vec::new()));
@@ -902,7 +1000,12 @@ mod tests {
         let mut sim = Simulator::new(topo, cfg);
         let sw = sim.core().topo.switches()[0];
         let ticks = Rc::new(RefCell::new(0));
-        sim.set_controller(sw, Box::new(Tuner { ticks: ticks.clone() }));
+        sim.set_controller(
+            sw,
+            Box::new(Tuner {
+                ticks: ticks.clone(),
+            }),
+        );
         sim.run_until(SimTime::from_ms(1));
         assert_eq!(*ticks.borrow(), 10);
         let q = sim.core().queue(sw, PortId(0), PRIO_RDMA);
@@ -966,5 +1069,98 @@ mod tests {
             }
         ));
         assert!(matches!(kinds[1], PacketKind::Cnp));
+    }
+
+    #[test]
+    fn sampler_fires_at_cadence() {
+        let topo = TopologySpec::single_switch(2, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.control_interval = None;
+        let mut sim = Simulator::new(topo, cfg);
+        let times: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let t2 = times.clone();
+        sim.set_sampler(
+            SimTime::from_us(100),
+            Box::new(move |core| t2.borrow_mut().push(core.now())),
+        );
+        sim.run_until(SimTime::from_ms(1));
+        let times = times.borrow();
+        assert_eq!(times.len(), 10);
+        for (i, t) in times.iter().enumerate() {
+            assert_eq!(*t, SimTime::from_us(100 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn sampler_does_not_perturb_the_run() {
+        let (mut s1, g1) = two_host_sim(25_000_000_000);
+        let (mut s2, g2) = two_host_sim(25_000_000_000);
+        s2.set_sampler(SimTime::from_us(10), Box::new(|_| {}));
+        s1.run_until(SimTime::from_ms(1));
+        s2.run_until(SimTime::from_ms(1));
+        assert_eq!(
+            *g1.borrow(),
+            *g2.borrow(),
+            "sampling must not change delivery"
+        );
+        assert_eq!(s1.core().total_drops, s2.core().total_drops);
+    }
+
+    #[test]
+    fn pfc_pause_time_accumulates() {
+        // Same overload as pfc_prevents_loss: the switch pauses the sending
+        // hosts, so their NIC ports accumulate pause time on the RDMA class.
+        let topo = TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut cfg = SimConfig::default();
+        cfg.buffer_bytes = 512 * 1024;
+        let mut sim = Simulator::new(topo, cfg);
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_driver(hosts[8], Box::new(Sink { got: got.clone() }));
+        for (i, &h) in hosts[..8].iter().enumerate() {
+            sim.set_driver(
+                h,
+                Box::new(Blaster {
+                    dst: hosts[8],
+                    n: 1000,
+                    flow: i as u64 + 1,
+                    ecn: Ecn::Ect,
+                }),
+            );
+            sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        }
+        sim.run_until(SimTime::from_ms(50));
+        assert!(sim.core().total_pfc_pauses > 0);
+        let paused_total: u64 = hosts[..8]
+            .iter()
+            .map(|&h| sim.core().pfc_pause_time(h, PortId(0), PRIO_RDMA).as_ps())
+            .sum();
+        assert!(paused_total > 0, "hosts must have spent time paused");
+        // Pause time on any one port cannot exceed the run length.
+        for &h in &hosts[..8] {
+            assert!(sim.core().pfc_pause_time(h, PortId(0), PRIO_RDMA) <= SimTime::from_ms(50));
+        }
+    }
+
+    #[test]
+    fn link_state_changes_are_traced() {
+        let topo = TopologySpec::single_switch(3, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        sim.set_tracer(Tracer::new(crate::trace::TraceFilter::default(), 64));
+        let sw = sim.core().topo.switches()[0];
+        sim.core_mut().set_link_state(sw, PortId(0), false);
+        sim.core_mut().set_link_state(sw, PortId(0), true);
+        let events = sim.tracer_mut().unwrap().take();
+        let downs = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::LinkDown)
+            .count();
+        let ups = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::LinkUp)
+            .count();
+        assert_eq!(downs, 2, "one LinkDown per endpoint");
+        assert_eq!(ups, 2, "one LinkUp per endpoint");
+        assert!(events.iter().any(|e| e.node == sw && e.port == PortId(0)));
     }
 }

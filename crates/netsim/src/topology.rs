@@ -150,11 +150,7 @@ impl TopologyBuilder {
     /// Finish building.
     pub fn build(self) -> Topology {
         for (i, n) in self.topo.nodes.iter().enumerate() {
-            assert!(
-                !n.ports.is_empty(),
-                "node {i} ({}) has no links",
-                n.name
-            );
+            assert!(!n.ports.is_empty(), "node {i} ({}) has no links", n.name);
             if n.kind == NodeKind::Host {
                 assert_eq!(
                     n.ports.len(),
@@ -278,8 +274,9 @@ impl TopologySpec {
                 fabric_delay,
             } => {
                 assert!(n_leaf >= 1 && n_spine >= 1 && hosts_per_leaf >= 1);
-                let leaves: Vec<_> =
-                    (0..n_leaf).map(|i| b.add_switch(format!("leaf{i}"))).collect();
+                let leaves: Vec<_> = (0..n_leaf)
+                    .map(|i| b.add_switch(format!("leaf{i}")))
+                    .collect();
                 let spines: Vec<_> = (0..n_spine)
                     .map(|i| b.add_switch(format!("spine{i}")))
                     .collect();

@@ -29,6 +29,10 @@ pub enum TraceKind {
     PfcPause,
     /// PFC RESUME sent upstream from this (node, port).
     PfcResume,
+    /// The link attached to (node, port) was administratively failed.
+    LinkDown,
+    /// The link attached to (node, port) was restored.
+    LinkUp,
 }
 
 /// One trace record.
@@ -226,10 +230,9 @@ mod tests {
         t.record(ev(TraceKind::Drop, 0, 0, 0));
         t.record(ev(TraceKind::PfcPause, 0, 0, 0));
         assert_eq!(t.len(), 3);
-        assert!(t.events().all(|e| !matches!(
-            e.kind,
-            TraceKind::Enqueue | TraceKind::Dequeue
-        )));
+        assert!(t
+            .events()
+            .all(|e| !matches!(e.kind, TraceKind::Enqueue | TraceKind::Dequeue)));
     }
 
     #[test]

@@ -203,7 +203,10 @@ fn pfc_pause_resume_cycles_and_buffer_returns_to_zero() {
     }
     sim.run_until(SimTime::from_ms(20));
     let sw = sim.core().topo.switches()[0];
-    assert!(sim.core().total_pfc_pauses >= 2, "both ingresses must pause");
+    assert!(
+        sim.core().total_pfc_pauses >= 2,
+        "both ingresses must pause"
+    );
     assert_eq!(sim.core().lossless_drops, 0);
     assert_eq!(
         sim.core().buffer_used(sw),
@@ -242,7 +245,12 @@ fn strict_priority_control_class_preempts_data() {
         }
     }
     let got = Rc::new(RefCell::new(None));
-    sim.set_driver(hosts[2], Box::new(TimedSink { got_ctrl: got.clone() }));
+    sim.set_driver(
+        hosts[2],
+        Box::new(TimedSink {
+            got_ctrl: got.clone(),
+        }),
+    );
     sim.set_driver(
         hosts[0],
         Box::new(Saturator {
@@ -261,7 +269,12 @@ fn strict_priority_control_class_preempts_data() {
     impl NicDriver for OneCtrl {
         fn on_packet(&mut self, _p: &Packet, _c: &mut HostCtx<'_>) {}
         fn on_timer(&mut self, _t: u64, ctx: &mut HostCtx<'_>) {
-            ctx.send(Packet::cnp(FlowId(9), ctx.host(), self.dst, netsim::ids::PRIO_CTRL));
+            ctx.send(Packet::cnp(
+                FlowId(9),
+                ctx.host(),
+                self.dst,
+                netsim::ids::PRIO_CTRL,
+            ));
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self

@@ -55,7 +55,7 @@ impl SumTree {
         while i < self.leaves {
             let left = self.tree[2 * i];
             if target < left {
-                i = 2 * i;
+                i *= 2;
             } else {
                 target -= left;
                 i = 2 * i + 1;

@@ -1,0 +1,140 @@
+//! The two record types the flight recorder emits.
+
+use serde::{Deserialize, Serialize};
+
+/// One periodic sample of one switch egress queue.
+///
+/// `d_*` fields are deltas since the previous sample of the same queue
+/// (since the start of the run for the first sample); the rest are
+/// instantaneous readings. Quiet rows — empty queue, no traffic, no PFC
+/// activity in the interval — are elided by the sampler to bound file size.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueSample {
+    /// Sample time in picoseconds of simulated time.
+    pub t_ps: u64,
+    /// Switch the queue lives on.
+    pub node: u32,
+    /// Egress port.
+    pub port: u16,
+    /// Traffic class.
+    pub prio: u8,
+    /// Instantaneous queue depth, bytes.
+    pub qlen_bytes: u64,
+    /// Bytes transmitted this interval.
+    pub d_tx_bytes: u64,
+    /// Packets transmitted this interval.
+    pub d_tx_pkts: u64,
+    /// CE-marked packets transmitted this interval.
+    pub d_marked_pkts: u64,
+    /// CE-marked bytes transmitted this interval.
+    pub d_marked_bytes: u64,
+    /// Packets dropped at this queue this interval.
+    pub d_drops: u64,
+    /// Packets enqueued this interval.
+    pub d_enq_pkts: u64,
+    /// PFC PAUSE frames sent upstream from this *port* this interval
+    /// (port-level counter, repeated on every prio row of the port).
+    pub d_pfc_pauses: u64,
+    /// Time this queue's transmitter spent paused by received PFC frames
+    /// this interval, picoseconds.
+    pub d_pause_ps: u64,
+    /// Instantaneous shared-buffer occupancy of the whole switch, bytes
+    /// (switch-level, repeated on every row of the switch).
+    pub buffer_used_bytes: u64,
+}
+
+/// One ACC decision: everything the agent saw and did on one control tick
+/// for one queue.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AgentSample {
+    /// Decision time in picoseconds of simulated time.
+    pub t_ps: u64,
+    /// Switch the controller runs on.
+    pub node: u32,
+    /// Port of the tuned queue.
+    pub port: u16,
+    /// Traffic class of the tuned queue.
+    pub prio: u8,
+    /// The state vector fed to the DDQN (k intervals x 4 features).
+    pub state: Vec<f32>,
+    /// Index of the chosen action in the action space.
+    pub action_idx: usize,
+    /// Kmin of the applied `{Kmin, Kmax, Pmax}` template, bytes.
+    pub kmin_bytes: u64,
+    /// Kmax of the applied template, bytes.
+    pub kmax_bytes: u64,
+    /// Pmax of the applied template.
+    pub pmax: f64,
+    /// Exploration rate at decision time.
+    pub epsilon: f64,
+    /// Reward computed for the *previous* action over the last interval.
+    pub reward: f64,
+    /// TD loss of the most recent minibatch (None before training starts).
+    pub td_loss: Option<f64>,
+    /// Transitions currently in this agent's replay memory.
+    pub replay_len: usize,
+    /// Cumulative training minibatches run by this agent.
+    pub train_steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sample_roundtrip() {
+        let s = QueueSample {
+            t_ps: 1_000_000,
+            node: 3,
+            port: 7,
+            prio: 1,
+            qlen_bytes: 4096,
+            d_tx_bytes: 10_000,
+            d_tx_pkts: 10,
+            d_marked_pkts: 2,
+            d_marked_bytes: 2096,
+            d_drops: 0,
+            d_enq_pkts: 11,
+            d_pfc_pauses: 1,
+            d_pause_ps: 500,
+            buffer_used_bytes: 8192,
+        };
+        let text = serde_json::to_string(&s).unwrap();
+        let back: QueueSample = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn agent_sample_roundtrip_with_and_without_loss() {
+        let mut s = AgentSample {
+            t_ps: 50_000_000,
+            node: 1,
+            port: 2,
+            prio: 1,
+            state: vec![0.5, 0.25, 0.0, 1.0],
+            action_idx: 9,
+            kmin_bytes: 20 * 1024,
+            kmax_bytes: 1024 * 1024,
+            pmax: 0.05,
+            epsilon: 0.08,
+            reward: 0.75,
+            td_loss: None,
+            replay_len: 128,
+            train_steps: 64,
+        };
+        let back: AgentSample = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        s.td_loss = Some(0.011718750);
+        let back: AgentSample = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let s = QueueSample::default();
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            serde_json::to_string(&s).unwrap()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Pluggable destinations for telemetry records.
+
+use crate::samples::{AgentSample, QueueSample};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A destination for telemetry records. Sinks must be cheap on the hot
+/// path; anything expensive belongs in `flush`.
+pub trait TelemetrySink {
+    /// Accept one queue sample.
+    fn on_queue(&mut self, s: &QueueSample);
+    /// Accept one agent sample.
+    fn on_agent(&mut self, s: &AgentSample);
+    /// Push any buffered output to its destination.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-memory bounded ring: keeps the most recent `cap` records of each
+/// kind, counting evictions — a true flight recorder for tests and
+/// interactive inspection.
+#[derive(Debug)]
+pub struct MemorySink {
+    cap: usize,
+    queues: VecDeque<QueueSample>,
+    agents: VecDeque<AgentSample>,
+    /// Queue samples evicted because the ring was full.
+    pub queues_evicted: u64,
+    /// Agent samples evicted because the ring was full.
+    pub agents_evicted: u64,
+}
+
+impl MemorySink {
+    /// A ring keeping at most `cap` records of each kind.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        MemorySink {
+            cap,
+            queues: VecDeque::new(),
+            agents: VecDeque::new(),
+            queues_evicted: 0,
+            agents_evicted: 0,
+        }
+    }
+
+    /// Retained queue samples, oldest first.
+    pub fn queues(&self) -> impl Iterator<Item = &QueueSample> {
+        self.queues.iter()
+    }
+
+    /// Retained agent samples, oldest first.
+    pub fn agents(&self) -> impl Iterator<Item = &AgentSample> {
+        self.agents.iter()
+    }
+
+    /// Number of retained queue samples.
+    pub fn queue_len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Number of retained agent samples.
+    pub fn agent_len(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn on_queue(&mut self, s: &QueueSample) {
+        if self.queues.len() == self.cap {
+            self.queues.pop_front();
+            self.queues_evicted += 1;
+        }
+        self.queues.push_back(s.clone());
+    }
+
+    fn on_agent(&mut self, s: &AgentSample) {
+        if self.agents.len() == self.cap {
+            self.agents.pop_front();
+            self.agents_evicted += 1;
+        }
+        self.agents.push_back(s.clone());
+    }
+}
+
+/// Streams records as JSON lines into `queues.jsonl` and `agents.jsonl`
+/// inside a run directory. Serialization is deterministic (fixed field
+/// order, fixed number formatting), so identical runs produce byte-identical
+/// files.
+#[derive(Debug)]
+pub struct JsonlSink {
+    queues: BufWriter<File>,
+    agents: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) `queues.jsonl` and `agents.jsonl` under `dir`,
+    /// creating the directory first if needed.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(JsonlSink {
+            queues: BufWriter::new(File::create(dir.join("queues.jsonl"))?),
+            agents: BufWriter::new(File::create(dir.join("agents.jsonl"))?),
+        })
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn on_queue(&mut self, s: &QueueSample) {
+        let line = serde_json::to_string(s).expect("queue sample serializes");
+        let _ = writeln!(self.queues, "{line}");
+    }
+
+    fn on_agent(&mut self, s: &AgentSample) {
+        let line = serde_json::to_string(s).expect("agent sample serializes");
+        let _ = writeln!(self.agents, "{line}");
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.queues.flush()?;
+        self.agents.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_evicts_oldest() {
+        let mut m = MemorySink::new(3);
+        for i in 0..5u64 {
+            let mut s = QueueSample::default();
+            s.t_ps = i;
+            m.on_queue(&s);
+        }
+        assert_eq!(m.queue_len(), 3);
+        assert_eq!(m.queues_evicted, 2);
+        let times: Vec<u64> = m.queues().map(|s| s.t_ps).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("acc-telem-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = JsonlSink::create(&dir).unwrap();
+        sink.on_queue(&QueueSample::default());
+        sink.on_agent(&AgentSample::default());
+        sink.flush().unwrap();
+        let q = std::fs::read_to_string(dir.join("queues.jsonl")).unwrap();
+        let a = std::fs::read_to_string(dir.join("agents.jsonl")).unwrap();
+        assert_eq!(q.lines().count(), 1);
+        assert_eq!(a.lines().count(), 1);
+        let back: QueueSample = serde_json::from_str(q.lines().next().unwrap()).unwrap();
+        assert_eq!(back, QueueSample::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -69,14 +69,12 @@ struct SendFlow {
     cc: CcState,
 }
 
-#[derive(Debug)]
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct RecvFlow {
     expected: u64,
     last_cnp: Option<SimTime>,
     done: bool,
 }
-
 
 struct PendingMsg {
     at: SimTime,
@@ -276,7 +274,14 @@ impl HostStack {
         let payload = mtu.min((f.bytes - f.snd_nxt) as u32);
         let last = f.snd_nxt + payload as u64 == f.bytes;
         let pkt = Packet::data(
-            f.flow, self.host, f.dst, f.prio, f.snd_nxt, payload, last, Ecn::Ect,
+            f.flow,
+            self.host,
+            f.dst,
+            f.prio,
+            f.snd_nxt,
+            payload,
+            last,
+            Ecn::Ect,
         );
         f.snd_nxt += payload as u64;
         let wire = (payload + HEADER_BYTES) as u64;
@@ -442,17 +447,16 @@ impl HostStack {
                 // Stray retransmission after completion: re-ACK so the
                 // sender can clean up (TCP classes only; RDMA is lossless).
                 if pkt.prio != PRIO_RDMA {
-                    let ack =
-                        Packet::ack(pkt.flow, self.host, pkt.src, pkt.prio, r.expected, false, true);
+                    let ack = Packet::ack(
+                        pkt.flow, self.host, pkt.src, pkt.prio, r.expected, false, true,
+                    );
                     ctx.send(ack);
                 }
                 return;
             }
             if pkt.prio == PRIO_RDMA {
                 // DCQCN notification point: at most one CNP per interval.
-                if pkt.ecn == Ecn::Ce
-                    && r.last_cnp.is_none_or(|t| now - t >= cnp_interval)
-                {
+                if pkt.ecn == Ecn::Ce && r.last_cnp.is_none_or(|t| now - t >= cnp_interval) {
                     r.last_cnp = Some(now);
                     self.cnp_tx += 1;
                     let cnp = Packet::cnp(pkt.flow, self.host, pkt.src, PRIO_CTRL);
@@ -466,8 +470,9 @@ impl HostStack {
                 if last {
                     r.done = true;
                     completed = Some(r.expected);
-                    let fin =
-                        Packet::ack(pkt.flow, self.host, pkt.src, PRIO_CTRL, r.expected, false, true);
+                    let fin = Packet::ack(
+                        pkt.flow, self.host, pkt.src, PRIO_CTRL, r.expected, false, true,
+                    );
                     ctx.send(fin);
                 }
             } else {
@@ -528,7 +533,14 @@ impl HostStack {
         }
     }
 
-    fn on_ack(&mut self, pkt: &Packet, cum_ack: u64, ce_echo: bool, fin: bool, ctx: &mut HostCtx<'_>) {
+    fn on_ack(
+        &mut self,
+        pkt: &Packet,
+        cum_ack: u64,
+        ce_echo: bool,
+        fin: bool,
+        ctx: &mut HostCtx<'_>,
+    ) {
         let seq = pkt.flow.0 & 0xffff_ffff;
         let now = ctx.now();
         let wcfg = self.cfg.window.clone();
@@ -640,8 +652,7 @@ mod tests {
         host_bps: u64,
         cfg: SimConfig,
     ) -> (Simulator, Vec<NodeId>, SharedFct) {
-        let topo =
-            TopologySpec::single_switch(n_hosts, host_bps, SimTime::from_ns(500)).build();
+        let topo = TopologySpec::single_switch(n_hosts, host_bps, SimTime::from_ns(500)).build();
         let mut sim = Simulator::new(topo, cfg);
         let fct = FctCollector::new_shared();
         let hosts = crate::install_stacks(&mut sim, StackConfig::default(), &fct);

@@ -56,8 +56,13 @@ impl FctCollector {
         Rc::new(RefCell::new(FctCollector::default()))
     }
 
-    /// Register a new flow at start time.
+    /// Register a new flow at start time. Records that arrive already
+    /// completed (replayed traces, synthetic fixtures) count towards
+    /// [`FctCollector::completed_count`] immediately.
     pub fn register(&mut self, rec: FlowRecord) {
+        if rec.end.is_some() {
+            self.completed_count += 1;
+        }
         let prev = self.records.insert(rec.flow.0, rec);
         debug_assert!(prev.is_none(), "duplicate flow id {}", rec.flow);
         self.order.push(rec.flow.0);
@@ -119,6 +124,29 @@ impl FctCollector {
     pub fn stats_by_size(&self, lo: u64, hi: u64) -> FctStats {
         self.stats(|r| r.bytes >= lo && r.bytes < hi)
     }
+
+    /// Export a whole-run summary — the hook run manifests use.
+    pub fn summary(&self) -> FctSummary {
+        FctSummary {
+            total: self.total_count(),
+            completed: self.completed_count(),
+            unfinished: self.total_count() - self.completed_count(),
+            overall: self.stats(|_| true),
+        }
+    }
+}
+
+/// Whole-run FCT recap exported into run manifests.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FctSummary {
+    /// Flows registered.
+    pub total: usize,
+    /// Flows that completed.
+    pub completed: usize,
+    /// Flows still in flight at the end of the run.
+    pub unfinished: usize,
+    /// FCT statistics over all completed flows.
+    pub overall: FctStats,
 }
 
 /// FCT summary in microseconds.
@@ -190,11 +218,16 @@ mod tests {
     fn stats_by_size_slices() {
         let mut c = FctCollector::default();
         for i in 0..10u64 {
-            let mut r = rec(i, if i < 5 { 1_000 } else { 10_000_000 }, 0, Some(10 * (i + 1)));
+            let mut r = rec(
+                i,
+                if i < 5 { 1_000 } else { 10_000_000 },
+                0,
+                Some(10 * (i + 1)),
+            );
             r.flow = FlowId(i);
             c.register(r);
-            c.completed_count += 1; // records created pre-completed
         }
+        assert_eq!(c.completed_count(), 10, "pre-completed records count");
         let mice = c.stats_by_size(0, 100_000);
         let elephants = c.stats_by_size(10_000_000, u64::MAX);
         assert_eq!(mice.count, 5);

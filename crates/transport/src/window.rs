@@ -252,7 +252,7 @@ mod tests {
     fn dctcp_alpha_tracks_mark_fraction() {
         let (cfg, mut s) = mkstate(WindowFlavor::Dctcp);
         s.ssthresh = 1.0; // force CA so growth is small
-        // Simulate many windows fully marked: alpha -> 1.
+                          // Simulate many windows fully marked: alpha -> 1.
         let mut una = 0u64;
         for _ in 0..200 {
             let nxt = una + 10_000;

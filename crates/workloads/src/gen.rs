@@ -109,7 +109,10 @@ pub fn incast_wave(
     cc: CcKind,
     start: SimTime,
 ) -> Vec<Arrival> {
-    assert!(!senders.contains(&receiver), "receiver cannot send to itself");
+    assert!(
+        !senders.contains(&receiver),
+        "receiver cannot send to itself"
+    );
     let mut out = Vec::with_capacity(senders.len() * flows_per_sender);
     for &s in senders {
         for _ in 0..flows_per_sender {
@@ -138,11 +141,7 @@ pub fn random_incast(
     let recv_idx = rng.gen_range(0..hosts.len());
     let receiver = hosts[recv_idx];
     let n_senders = rng.gen_range(2..=max_senders.min(hosts.len() - 1));
-    let mut senders: Vec<NodeId> = hosts
-        .iter()
-        .copied()
-        .filter(|&h| h != receiver)
-        .collect();
+    let mut senders: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != receiver).collect();
     // Deterministic partial shuffle.
     for i in 0..n_senders {
         let j = rng.gen_range(i..senders.len());
@@ -205,7 +204,14 @@ mod tests {
     #[test]
     fn incast_wave_shape() {
         let hs = hosts(9);
-        let arr = incast_wave(&hs[..8], hs[8], 32, 64_000, CcKind::Dcqcn, SimTime::from_us(5));
+        let arr = incast_wave(
+            &hs[..8],
+            hs[8],
+            32,
+            64_000,
+            CcKind::Dcqcn,
+            SimTime::from_us(5),
+        );
         assert_eq!(arr.len(), 8 * 32);
         assert!(arr.iter().all(|a| a.msg.dst == hs[8]));
         assert!(arr.iter().all(|a| a.at == SimTime::from_us(5)));
@@ -229,7 +235,9 @@ mod tests {
             let senders: std::collections::HashSet<_> = arr.iter().map(|a| a.src).collect();
             assert!(senders.len() >= 2 && senders.len() <= 16);
             assert!(!senders.contains(&recv));
-            assert!(arr.iter().all(|a| (10_000..=10_000_000).contains(&a.msg.bytes)));
+            assert!(arr
+                .iter()
+                .all(|a| (10_000..=10_000_000).contains(&a.msg.bytes)));
         }
     }
 }

@@ -90,7 +90,10 @@ impl WorkloadTrace {
 
     /// Persist as pretty JSON.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("trace serializes"))
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(self).expect("trace serializes"),
+        )
     }
 
     /// Load from JSON.
@@ -114,7 +117,14 @@ mod tests {
     #[test]
     fn round_trip_preserves_arrivals() {
         let hs = hosts(6);
-        let arr = incast_wave(&hs[..4], hs[5], 3, 50_000, CcKind::Dcqcn, SimTime::from_us(7));
+        let arr = incast_wave(
+            &hs[..4],
+            hs[5],
+            3,
+            50_000,
+            CcKind::Dcqcn,
+            SimTime::from_us(7),
+        );
         let trace = WorkloadTrace::from_arrivals("test incast", &arr);
         assert_eq!(trace.entries.len(), 12);
         assert_eq!(trace.total_bytes(), 12 * 50_000);
@@ -163,7 +173,12 @@ mod tests {
             n
         };
         let g = PoissonGen::new(SizeDist::web_search(), 0.3, CcKind::Dcqcn, 5);
-        let arr = g.generate(&topo_hosts, 25_000_000_000, SimTime::ZERO, SimTime::from_ms(3));
+        let arr = g.generate(
+            &topo_hosts,
+            25_000_000_000,
+            SimTime::ZERO,
+            SimTime::from_ms(3),
+        );
         let trace = WorkloadTrace::from_arrivals("x", &arr);
         let replayed = trace.to_arrivals();
         assert!(!replayed.is_empty());

@@ -236,7 +236,11 @@ impl StorageCluster {
         for ci in 0..self.compute.len() {
             for _ in 0..self.cfg.io_depth {
                 let (src, msg) = self.issue_io(ci, start);
-                out.push(crate::gen::Arrival { src, at: start, msg });
+                out.push(crate::gen::Arrival {
+                    src,
+                    at: start,
+                    msg,
+                });
             }
         }
         out
@@ -431,8 +435,7 @@ mod tests {
     use transport::{FctCollector, StackConfig};
 
     fn run_cluster(profile: StorageProfile, io_depth: usize, ms: u64) -> (f64, usize) {
-        let topo =
-            TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
+        let topo = TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
         let mut sim = Simulator::new(topo, SimConfig::default());
         let fct = FctCollector::new_shared();
         let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
@@ -480,8 +483,7 @@ mod tests {
 
     #[test]
     fn reads_and_writes_both_complete() {
-        let topo =
-            TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
+        let topo = TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
         let mut sim = Simulator::new(topo, SimConfig::default());
         let fct = FctCollector::new_shared();
         let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);

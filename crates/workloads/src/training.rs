@@ -173,8 +173,7 @@ mod tests {
 
     #[test]
     fn synchronous_iterations_progress() {
-        let topo =
-            TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
+        let topo = TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
         let mut sim = Simulator::new(topo, SimConfig::default());
         let fct = FctCollector::new_shared();
         let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
@@ -205,8 +204,7 @@ mod tests {
     fn iteration_time_lower_bound() {
         // One iteration >= compute + 7 gradients serialized into one PS link
         // + model broadcast out of the same link.
-        let topo =
-            TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
+        let topo = TopologySpec::single_switch(8, 25_000_000_000, SimTime::from_ns(500)).build();
         let mut sim = Simulator::new(topo, SimConfig::default());
         let fct = FctCollector::new_shared();
         let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);

@@ -37,11 +37,25 @@ fn main() {
     let receiver = hosts[15];
     gen::apply_arrivals(
         &mut sim,
-        &gen::incast_wave(&hosts[..3], receiver, 2, 2_000_000, CcKind::Dcqcn, SimTime::from_ms(1)),
+        &gen::incast_wave(
+            &hosts[..3],
+            receiver,
+            2,
+            2_000_000,
+            CcKind::Dcqcn,
+            SimTime::from_ms(1),
+        ),
     );
     gen::apply_arrivals(
         &mut sim,
-        &gen::incast_wave(&hosts[..12], receiver, 6, 400_000, CcKind::Dcqcn, SimTime::from_ms(4)),
+        &gen::incast_wave(
+            &hosts[..12],
+            receiver,
+            6,
+            400_000,
+            CcKind::Dcqcn,
+            SimTime::from_ms(4),
+        ),
     );
     sim.run_until(SimTime::from_ms(12));
 

@@ -74,7 +74,10 @@ fn run(which: &str) -> (f64, f64) {
 
 fn main() {
     println!("H-ACC vs D-ACC vs static on random incast bursts (24-host Clos)\n");
-    println!("{:<8} {:>14} {:>22}", "policy", "avg FCT(us)", "fabric avg queue(KB)");
+    println!(
+        "{:<8} {:>14} {:>22}",
+        "policy", "avg FCT(us)", "fabric avg queue(KB)"
+    );
     for which in ["SECN1", "D-ACC", "H-ACC"] {
         let (fct, q) = run(which);
         println!("{which:<8} {fct:>14.1} {q:>22.2}");

@@ -12,8 +12,8 @@
 //! cargo run --release --example incast_tuning
 //! ```
 
-use acc::core::{controller, reward::e_n, ActionSpace, StaticEcnPolicy};
 use acc::core::static_ecn::install_static;
+use acc::core::{controller, reward::e_n, ActionSpace, StaticEcnPolicy};
 use acc::netsim::ids::PRIO_RDMA;
 use acc::netsim::prelude::*;
 use acc::netsim::queues::EcnConfig;
@@ -58,17 +58,12 @@ fn run(n_senders: usize, flows: usize, policy: Option<EcnConfig>, acc: bool) -> 
     let horizon = SimTime::from_ms(145);
     sim.run_until(horizon);
 
-    let delivered: u64 = fct
-        .borrow()
-        .completed()
-        .map(|r| r.bytes)
-        .sum();
+    let delivered: u64 = fct.borrow().completed().map(|r| r.bytes).sum();
     let goodput_gbps = delivered as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
     let sw = sim.core().topo.switches()[0];
     let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
     q.sync_clock(horizon);
-    let avg_queue_kb =
-        q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
+    let avg_queue_kb = q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
     Outcome {
         goodput_gbps,
         avg_queue_kb,
@@ -77,15 +72,13 @@ fn run(n_senders: usize, flows: usize, policy: Option<EcnConfig>, acc: bool) -> 
 
 fn sweep(name: &str, senders: usize, flows: usize) {
     println!("--- {name}: {senders} senders x {flows} flows, 1MB each ---");
-    println!("{:<12} {:>16} {:>16}", "K", "goodput(Gbps)", "avg queue(KB)");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "K", "goodput(Gbps)", "avg queue(KB)"
+    );
     for n in 0..10 {
         let k = e_n(n);
-        let o = run(
-            senders,
-            flows,
-            Some(EcnConfig::new(k, k, 1.0)),
-            false,
-        );
+        let o = run(senders, flows, Some(EcnConfig::new(k, k, 1.0)), false);
         println!(
             "{:<12} {:>16.2} {:>16.1}",
             format!("{}KB", k / 1024),

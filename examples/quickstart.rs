@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use acc::core::{controller, ActionSpace, StaticEcnPolicy};
 use acc::core::static_ecn;
+use acc::core::{controller, ActionSpace, StaticEcnPolicy};
 use acc::netsim::ids::PRIO_RDMA;
 use acc::netsim::prelude::*;
 use acc::transport::{self, CcKind, FctCollector, StackConfig};
@@ -59,8 +59,7 @@ fn run(policy: &str) -> (f64, f64, f64) {
     let sw = sim.core().topo.switches()[0];
     let q = sim.core_mut().queue_mut(sw, PortId(8), PRIO_RDMA);
     q.sync_clock(horizon);
-    let avg_q_kb =
-        q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
+    let avg_q_kb = q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
     (stats.avg_us, stats.p99_us, avg_q_kb)
 }
 

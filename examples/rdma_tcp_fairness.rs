@@ -9,8 +9,8 @@
 //! cargo run --release --example rdma_tcp_fairness
 //! ```
 
-use acc::core::{controller, ActionSpace, StaticEcnPolicy};
 use acc::core::static_ecn::install_static;
+use acc::core::{controller, ActionSpace, StaticEcnPolicy};
 use acc::netsim::prelude::*;
 use acc::transport::{self, CcKind, FctCollector, Message, StackConfig};
 
@@ -35,16 +35,16 @@ fn run(n_senders: usize, use_acc: bool) -> (f64, f64) {
 
     // Each sender pushes both an RDMA and a TCP elephant at the receiver.
     let receiver = hosts[7];
-    for s in 0..n_senders {
+    for &h in hosts.iter().take(n_senders) {
         transport::schedule_message(
             &mut sim,
-            hosts[s],
+            h,
             SimTime::ZERO,
             Message::new(receiver, 200_000_000, CcKind::Dcqcn),
         );
         transport::schedule_message(
             &mut sim,
-            hosts[s],
+            h,
             SimTime::ZERO,
             Message::new(receiver, 200_000_000, CcKind::Reno),
         );
@@ -55,8 +55,16 @@ fn run(n_senders: usize, use_acc: bool) -> (f64, f64) {
     // Delivered bytes per class at the receiver's access port.
     let sw = sim.core().topo.switches()[0];
     let rx_port = PortId(7);
-    let rdma = sim.core().queue(sw, rx_port, acc::netsim::ids::PRIO_RDMA).telem.tx_bytes;
-    let tcp = sim.core().queue(sw, rx_port, acc::netsim::ids::PRIO_TCP).telem.tx_bytes;
+    let rdma = sim
+        .core()
+        .queue(sw, rx_port, acc::netsim::ids::PRIO_RDMA)
+        .telem
+        .tx_bytes;
+    let tcp = sim
+        .core()
+        .queue(sw, rx_port, acc::netsim::ids::PRIO_TCP)
+        .telem
+        .tx_bytes;
     let total = (rdma + tcp) as f64;
     (rdma as f64 / total, tcp as f64 / total)
 }

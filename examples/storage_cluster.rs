@@ -8,8 +8,8 @@
 //! cargo run --release --example storage_cluster
 //! ```
 
-use acc::core::{controller, ActionSpace, StaticEcnPolicy};
 use acc::core::static_ecn::install_static;
+use acc::core::{controller, ActionSpace, StaticEcnPolicy};
 use acc::netsim::prelude::*;
 use acc::transport::{self, FctCollector, StackConfig};
 use acc::workloads::gen::apply_arrivals;
@@ -47,10 +47,7 @@ fn run(use_acc: bool, io_depth: usize) -> (f64, f64) {
     sim.run_until(horizon);
     let c = cluster.borrow();
     // Skip the first 20 ms as warm-up.
-    (
-        c.iops(SimTime::from_ms(20), horizon),
-        c.mean_latency_us(),
-    )
+    (c.iops(SimTime::from_ms(20), horizon), c.mean_latency_us())
 }
 
 fn main() {

@@ -81,10 +81,10 @@ fn dcqcn_flows_share_bottleneck_fairly() {
     static_ecn::install_static(&mut sim, StaticEcnPolicy::Secn1);
     // 4 same-rack senders, one receiver, one big flow each.
     let receiver = hosts[5]; // same leaf as hosts[0..5]
-    for s in 0..4 {
+    for &h in hosts.iter().take(4) {
         transport::schedule_message(
             &mut sim,
-            hosts[s],
+            h,
             SimTime::ZERO,
             Message::new(receiver, 5_000_000, CcKind::Dcqcn),
         );
@@ -112,8 +112,7 @@ fn acc_controller_improves_over_mismatched_static() {
     // with a visibly shorter time-average queue at the hot port while
     // keeping comparable goodput.
     fn avg_queue(with_acc: bool) -> (f64, u64) {
-        let topo =
-            TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+        let topo = TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
         let cfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
         let mut sim = Simulator::new(topo, cfg);
         let fct = FctCollector::new_shared();

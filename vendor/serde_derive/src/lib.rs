@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline build environment, so this crate parses the derive input at
+//! the raw `proc_macro::TokenTree` level and emits impls as source strings.
+//!
+//! The generated impls target the vendored `serde` crate's simplified data
+//! model: `Serialize::to_value(&self) -> serde::Value` and
+//! `Deserialize::from_value(&serde::Value) -> Result<Self, serde::Error>`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields (incl. `#[serde(default)]` fields)
+//! - tuple structs (newtypes and multi-field)
+//! - enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde: unit -> `"Variant"`, data -> `{"Variant": ...}`)
+//!
+//! Unsupported constructs (generics, renames, skips) panic at expansion time
+//! so misuse fails the build loudly instead of miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` or an `Option<..>` type: missing key is not an error.
+    lenient: bool,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i, &mut false);
+    skip_vis(&toks, &mut i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {:?}", other),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {:?}", other),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline derive");
+        }
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(split_top_level(g.stream()).len())
+            }
+            other => panic!("serde_derive: unit struct `{name}` not supported ({other:?})"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}` ({other:?})"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+/// Skip (and inspect) a run of outer attributes. Sets `lenient` when a
+/// `#[serde(default)]` is seen; panics on serde attributes this stub cannot
+/// honor.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, lenient: &mut bool) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let g = match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute ({other:?})"),
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(a) = t {
+                            match a.to_string().as_str() {
+                                "default" => *lenient = true,
+                                "rename" | "rename_all" | "skip" | "flatten" | "tag"
+                                | "untagged" | "with" | "skip_serializing"
+                                | "skip_deserializing" => panic!(
+                                    "serde_derive: #[serde({a})] is not supported by the \
+                                     offline derive"
+                                ),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Split a token stream on commas that sit at angle-bracket depth zero
+/// (commas inside `Vec<(u64, f64)>`-style generic args must not split).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            let mut lenient = false;
+            skip_attrs(&chunk, &mut i, &mut lenient);
+            skip_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            };
+            i += 1;
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("serde_derive: expected `:` after field `{name}` ({other:?})"),
+            }
+            // An `Option<..>` type makes a missing key deserialize as None
+            // (matching real serde's behavior for Option fields).
+            if type_is_option(&chunk[i + 1..]) {
+                lenient = true;
+            }
+            Field { name, lenient }
+        })
+        .collect()
+}
+
+fn type_is_option(ty: &[TokenTree]) -> bool {
+    // The ident immediately preceding the first top-level `<` names the outer
+    // type constructor; `Option<..>` / `option::Option<..>` both end on
+    // `Option`.
+    let mut last_ident: Option<String> = None;
+    for t in ty {
+        match t {
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == '<' => break,
+            _ => {}
+        }
+    }
+    last_ident.as_deref() == Some("Option")
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs(&chunk, &mut i, &mut false);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                    "serde_derive: explicit discriminants are not supported (variant `{name}`)"
+                ),
+                other => panic!("serde_derive: malformed variant `{name}` ({other:?})"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn named_fields_to_map(map_var: &str, fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::new();
+    if fields.is_empty() {
+        s.push_str(&format!("let {map_var} = ::serde::Map::new();\n"));
+        return s;
+    }
+    s.push_str(&format!("let mut {map_var} = ::serde::Map::new();\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{map_var}.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({a}));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = named_fields_to_map("__m", fields, |f| format!("&self.{f}"));
+            s.push_str("::serde::Value::Object(__m)\n");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)\n".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])\n", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = named_fields_to_map("__inner", fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            b = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__t{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__t0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            b = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Build a `Name { field: .., .. }` constructor body reading from map `__m`.
+fn named_fields_from_map(ctor: &str, type_label: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = if f.lenient {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::new(\
+                 \"{type_label}: missing field `{n}`\"))"
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match __m.get(\"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n"
+        ));
+    }
+    format!("::std::result::Result::Ok({ctor} {{\n{inits}}})\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::new(\"{name}: expected object\"))?;\n{}",
+                named_fields_from_map(name, name, fields)
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+        ),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::new(\"{name}: expected array\"))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::new(\
+                 \"{name}: expected array of length {n}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({e}))\n",
+                e = elems.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut s = String::new();
+            let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
+            let has_data = variants.iter().any(|v| !matches!(v.kind, VariantKind::Unit));
+            if has_unit {
+                let mut arms = String::new();
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                            vn = v.name
+                        ));
+                    }
+                }
+                s.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     return match __s {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::Error::new(\
+                     \"{name}: unknown variant\")),\n}};\n}}\n"
+                ));
+            }
+            if has_data {
+                s.push_str("if let ::std::option::Option::Some(__obj) = __v.as_object() {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {}
+                        VariantKind::Named(fields) => {
+                            let label = format!("{name}::{vn}");
+                            s.push_str(&format!(
+                                "if let ::std::option::Option::Some(__inner) = \
+                                 __obj.get(\"{vn}\") {{\n\
+                                 let __m = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::new(\"{label}: expected object\"))?;\n\
+                                 return {};\n}}\n",
+                                named_fields_from_map(&format!("{name}::{vn}"), &label, fields)
+                                    .trim_end()
+                            ));
+                        }
+                        VariantKind::Tuple(1) => {
+                            s.push_str(&format!(
+                                "if let ::std::option::Option::Some(__inner) = \
+                                 __obj.get(\"{vn}\") {{\n\
+                                 return ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__inner)?));\n}}\n"
+                            ));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                                .collect();
+                            s.push_str(&format!(
+                                "if let ::std::option::Option::Some(__inner) = \
+                                 __obj.get(\"{vn}\") {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::new(\"{name}::{vn}: expected array\"))?;\n\
+                                 if __a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::new(\
+                                 \"{name}::{vn}: wrong tuple arity\"));\n}}\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({e}));\n}}\n",
+                                e = elems.join(", ")
+                            ));
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "return ::std::result::Result::Err(::serde::Error::new(\
+                     \"{name}: unknown variant key\"));\n}}\n"
+                ));
+            }
+            s.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::new(\
+                 \"{name}: expected string or object\"))\n"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` crate's
+//! [`Value`] model. Provides the API subset this workspace uses:
+//! `to_string[_pretty]`, `from_str`, `to_value`/`from_value`, [`Map`],
+//! [`Value`] and the `json!` macro (a faithful reimplementation of the
+//! serde_json TT-muncher for literals with embedded expressions).
+
+pub use serde::value::{Map, Value};
+pub use serde::Error;
+
+use serde::{Deserialize, Serialize};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    T::from_value(&Value::parse_json(s)?)
+}
+
+/// Support point for `json!`: serialize an interpolated expression.
+#[doc(hidden)]
+pub fn __to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from a JSON literal with interpolated expressions.
+///
+/// Mirrors serde_json's macro: object keys are expressions convertible to
+/// `String` (usually literals), values are JSON literals or arbitrary
+/// `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- arrays --------------------------------------------------------
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----- objects -------------------------------------------------------
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the current entry followed by trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the last entry without trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Next value is `null`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    // Next value is `true`.
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    // Next value is `false`.
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    // Next value is an array.
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    // Next value is a map.
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // Next value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Last value is an expression with no trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch a token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) $copy);
+    };
+
+    // ----- entry points --------------------------------------------------
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::__to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3u64;
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, null, true, n * 2],
+            "nested": { "s": "hi", "arr": [{"k": n}] },
+            "expr": n as f64 * 0.5,
+        });
+        assert_eq!(
+            v.to_json(),
+            r#"{"a":1,"b":[1,2.5,null,true,6],"nested":{"s":"hi","arr":[{"k":3}]},"expr":1.5}"#
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_strings() {
+        let v = json!({"x": [1, 2, 3], "y": {"z": -4}});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output() {
+        let v = json!({"a": 1, "b": []});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1,\n  \"b\": []\n}\n");
+    }
+}
