@@ -2,6 +2,7 @@
 //! cache, FCT scenario runner, queue sampling, and result output.
 
 use acc_core::controller::{self, AccConfig};
+use acc_core::guard::{install_guarded_acc, GuardConfig};
 use acc_core::static_ecn::{install_static, StaticEcnPolicy};
 use acc_core::trainer;
 use acc_core::ActionSpace;
@@ -58,6 +59,12 @@ pub enum Policy {
     AccFresh,
     /// ACC with the pretrained model frozen (inference only).
     AccFrozen,
+    /// Fresh ACC wrapped in enforcing safe-mode guardrails.
+    AccGuarded,
+    /// Fresh ACC with guardrails in monitor-only mode: violations are
+    /// counted but the agent's configs stay live (the "raw ACC" arm of the
+    /// fault experiment — trajectory-identical to [`Policy::AccFresh`]).
+    AccMonitored,
 }
 
 impl Policy {
@@ -71,6 +78,8 @@ impl Policy {
             Policy::Acc => "ACC",
             Policy::AccFresh => "ACC-fresh",
             Policy::AccFrozen => "ACC-frozen",
+            Policy::AccGuarded => "ACC-guarded",
+            Policy::AccMonitored => "ACC-monitored",
         }
     }
 }
@@ -106,6 +115,21 @@ pub fn install_policy(sim: &mut Simulator, policy: Policy, scale: Scale) {
             let model = pretrained_model(scale);
             let cfg = trainer::frozen_config(&acc_config(17));
             controller::install_acc_with_model(sim, &cfg, &space, &model);
+        }
+        // Both guard arms wrap the same fresh agent as AccFresh (same seed,
+        // no pretrained model — keeps the comparison in-process
+        // deterministic and the exploration phase violation-rich).
+        Policy::AccGuarded => {
+            let cfg = acc_config(13);
+            install_guarded_acc(sim, &cfg, &space, &GuardConfig::default());
+        }
+        Policy::AccMonitored => {
+            let cfg = acc_config(13);
+            let guard = GuardConfig {
+                enforce: false,
+                ..GuardConfig::default()
+            };
+            install_guarded_acc(sim, &cfg, &space, &guard);
         }
     }
 }
@@ -267,6 +291,22 @@ thread_local! {
     static METRICS: RefCell<Option<MetricsCtx>> = const { RefCell::new(None) };
 }
 
+/// Set when any armed recording could not be written in full (sink
+/// creation, flush, or manifest save failed). The CLI checks this at exit
+/// so a run with lost telemetry finishes non-zero instead of silently
+/// reporting success.
+static METRICS_FAILED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn note_metrics_failure(what: &std::path::Path, e: &dyn std::fmt::Display) {
+    eprintln!("[metrics] ERROR: {}: {e}", what.display());
+    METRICS_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// True if any armed recording failed to persist during this process.
+pub fn metrics_failed() -> bool {
+    METRICS_FAILED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Arm the flight recorder: subsequent [`scenario`] runs record telemetry
 /// under `dir`, sampling queues every `interval`.
 pub fn enable_metrics(dir: impl Into<PathBuf>, interval: SimTime) {
@@ -340,8 +380,24 @@ impl Drop for Scenario {
     /// Finalise the recording: flush the sinks and write `manifest.json`.
     fn drop(&mut self) {
         let Some(t) = self.telem.take() else { return };
+        // Faults executed after the last sampling tick are still owed to
+        // the event timeline.
+        let tail = self.sim.core_mut().drain_fault_log();
+        {
+            let mut rec = t.rec.borrow_mut();
+            for f in tail {
+                rec.record_event(&telemetry::EventSample {
+                    t_ps: f.at.as_ps(),
+                    node: f.node.0,
+                    port: f.port.0,
+                    prio: u8::MAX,
+                    kind: f.kind.to_string(),
+                    detail: f.detail,
+                });
+            }
+        }
         if let Err(e) = t.rec.borrow_mut().flush() {
-            eprintln!("[metrics] flush failed for {}: {e}", t.dir.display());
+            note_metrics_failure(&t.dir, &e);
         }
         let wall = t.started.elapsed().as_secs_f64();
         let core = self.sim.core();
@@ -365,6 +421,7 @@ impl Drop for Scenario {
             },
             queue_samples: rec.queue_samples,
             agent_samples: rec.agent_samples,
+            event_samples: rec.event_samples,
             flows_total: summary.total,
             flows_completed: summary.completed,
             fct: serde_json::to_value(&summary).unwrap_or(Value::Null),
@@ -372,10 +429,7 @@ impl Drop for Scenario {
         };
         match manifest.save(&t.dir) {
             Ok(()) => eprintln!("[metrics] recorded {}", t.dir.display()),
-            Err(e) => eprintln!(
-                "[metrics] could not write manifest in {}: {e}",
-                t.dir.display()
-            ),
+            Err(e) => note_metrics_failure(&t.dir.join("manifest.json"), &e),
         }
     }
 }
@@ -413,7 +467,7 @@ pub fn scenario(
         let sink = match JsonlSink::create(&dir) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("[metrics] cannot create {}: {e}", dir.display());
+                note_metrics_failure(&dir, &e);
                 return None;
             }
         };

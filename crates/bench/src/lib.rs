@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod fault;
 pub mod fig01_optimal_ecn;
 pub mod fig02_static_secn;
 pub mod fig06_heterogeneous;
@@ -115,6 +116,11 @@ pub fn experiments() -> Vec<(&'static str, &'static str, fn(Scale) -> serde_json
             "ablations",
             "Design-choice sweeps: history k, delta_t, reward weights",
             ablations::run,
+        ),
+        (
+            "fault",
+            "Fault injection: raw ACC vs guarded ACC vs SECN1 under link flaps + telemetry faults",
+            fault::run,
         ),
     ]
 }

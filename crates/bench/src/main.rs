@@ -25,7 +25,10 @@ fn train(scale: Scale, out: &str) {
         acc_core::RewardConfig::default(),
         3,
     );
-    bundle.save(out).expect("write bundle");
+    if let Err(e) = bundle.save(out) {
+        eprintln!("could not write bundle to {out}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote deployable bundle to {out}");
 }
 
@@ -112,6 +115,12 @@ fn main() {
     }
 
     if let Some(dir) = &metrics_dir {
+        // Fail fast on an unwritable destination instead of discovering it
+        // after the experiments already ran.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create metrics dir {dir}: {e}");
+            std::process::exit(1);
+        }
         acc_bench::common::enable_metrics(dir, SimTime::from_us(interval_us));
         eprintln!("[metrics] recording runs under {dir} (queue sample every {interval_us} us)");
     }
@@ -139,4 +148,8 @@ fn main() {
         }
     }
     eprintln!("total: {:.1}s", start.elapsed().as_secs_f64());
+    if acc_bench::common::metrics_failed() {
+        eprintln!("ERROR: some recorded telemetry could not be written (see [metrics] lines)");
+        std::process::exit(1);
+    }
 }

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::io::{self, BufRead};
 use std::path::{Path, PathBuf};
-use telemetry::{AgentSample, QueueSample, RunManifest};
+use telemetry::{AgentSample, EventSample, QueueSample, RunManifest};
 
 /// Per-queue totals accumulated over a run's `queues.jsonl`.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,6 +39,7 @@ struct Run {
     manifest: RunManifest,
     queues: BTreeMap<(u32, u16, u8), QueueTotals>,
     agents: BTreeMap<(u32, u16, u8), AgentDigest>,
+    events: Vec<EventSample>,
 }
 
 /// Find run directories: immediate subdirectories of `root` that hold a
@@ -112,11 +113,16 @@ fn load_run(dir: &Path) -> io::Result<Run> {
         d.train_steps = s.train_steps;
         d.replay_len = s.replay_len;
     })?;
+    let mut events = Vec::new();
+    for_each_line(&dir.join("events.jsonl"), |s: EventSample| {
+        events.push(s);
+    })?;
     Ok(Run {
         dir: dir.to_path_buf(),
         manifest,
         queues,
         agents,
+        events,
     })
 }
 
@@ -228,6 +234,54 @@ fn print_run(run: &Run) {
                 d.train_steps,
                 d.replay_len,
             );
+        }
+    }
+
+    if !run.events.is_empty() {
+        // Totals per kind, then the timeline itself (guard_violation lines
+        // are summarised per detail rather than listed one-by-one — an
+        // exploring agent can rack up thousands).
+        let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &run.events {
+            *by_kind.entry(e.kind.as_str()).or_default() += 1;
+        }
+        let recap: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k} x{n}")).collect();
+        println!(
+            "  events ({} total): {}",
+            run.events.len(),
+            recap.join(", ")
+        );
+        let mut shown = 0usize;
+        let mut suppressed = 0usize;
+        println!("  timeline:");
+        for e in &run.events {
+            if e.kind == "guard_violation" {
+                suppressed += 1;
+                continue;
+            }
+            if shown >= 40 {
+                suppressed += 1;
+                continue;
+            }
+            shown += 1;
+            let loc = if e.port == u16::MAX {
+                format!("n{}", e.node)
+            } else {
+                format!("n{}/p{}", e.node, e.port)
+            };
+            let detail = if e.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", e.detail)
+            };
+            println!(
+                "    {:>10.1} us  {:<18} {loc}{detail}",
+                e.t_ps as f64 / 1e6,
+                e.kind
+            );
+        }
+        if suppressed > 0 {
+            println!("    ... {suppressed} more (violations summarised above)");
         }
     }
 

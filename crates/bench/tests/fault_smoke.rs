@@ -1,0 +1,102 @@
+//! Fault-injection smoke tests over the bench harness: the guarded policy
+//! keeps the fabric sane under the seeded fault schedule (zero violations
+//! live, all final configs valid, strictly fewer than raw ACC), and a
+//! recorded fault run is byte-identical across identical seeds — faults,
+//! guard trips and all.
+//!
+//! CI runs this as the `fault-smoke` job alongside the CLI-level
+//! `acc-bench fault --quick --metrics-dir` determinism check.
+
+use acc_bench::common::{self, Policy, Scale};
+use acc_bench::fault::{run_policy, FaultOutcome, FAULT_SEED};
+use netsim::prelude::SimTime;
+use std::path::{Path, PathBuf};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = Path::new("target").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run one fault arm with the flight recorder armed, returning the outcome
+/// and the numbered run directory the scenario recorded into.
+fn recorded_arm(policy: Policy, root: &Path) -> (FaultOutcome, PathBuf) {
+    common::enable_metrics(root, SimTime::from_us(100));
+    common::set_metrics_experiment("fault-smoke");
+    let outcome = run_policy(policy, Scale::QUICK, FAULT_SEED);
+    common::disable_metrics();
+    let mut runs: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("metrics root exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.join("manifest.json").is_file())
+        .collect();
+    assert_eq!(runs.len(), 1, "one arm records exactly one run dir");
+    (outcome, runs.pop().unwrap())
+}
+
+#[test]
+fn guardrails_hold_under_fault_schedule() {
+    let raw = run_policy(Policy::AccMonitored, Scale::QUICK, FAULT_SEED);
+    let guarded = run_policy(Policy::AccGuarded, Scale::QUICK, FAULT_SEED);
+
+    // The schedule actually bites: the unguarded agent leaves invalid
+    // configs live in the fabric and the guard sees enough telemetry abuse
+    // to trip into fallback at least once.
+    assert!(
+        raw.violations_applied() > 0,
+        "monitor arm detected no live violations — the fault schedule lost its teeth"
+    );
+    let g = guarded.guard.expect("guarded arm has guard stats");
+    assert!(g.trips > 0, "telemetry faults never tripped the fallback");
+    assert!(
+        g.recoveries > 0,
+        "fallback never recovered after the faults cleared"
+    );
+
+    // The acceptance criteria from the issue: enforcement keeps every
+    // config valid everywhere, strictly better than raw ACC.
+    assert_eq!(
+        guarded.violations_applied(),
+        0,
+        "guarded arm let violations reach the fabric"
+    );
+    assert!(guarded.violations_applied() < raw.violations_applied());
+    assert!(
+        guarded.final_configs_valid(),
+        "{} tuned queues ended with invalid ECN configs",
+        guarded.invalid_final_configs
+    );
+
+    // Both arms faced the identical plan.
+    assert_eq!(raw.faults_injected, guarded.faults_injected);
+    assert!(raw.fault_drops > 0, "injected faults dropped no packets");
+}
+
+#[test]
+fn recorded_fault_runs_are_byte_identical() {
+    let root = fresh_dir("fault-smoke-determinism");
+    let (o1, d1) = recorded_arm(Policy::AccGuarded, &root.join("a"));
+    let (o2, d2) = recorded_arm(Policy::AccGuarded, &root.join("b"));
+    assert_eq!(o1.completed, o2.completed);
+    assert_eq!(o1.fault_drops, o2.fault_drops);
+
+    for f in ["queues.jsonl", "agents.jsonl", "events.jsonl"] {
+        let a = std::fs::read(d1.join(f)).unwrap();
+        let b = std::fs::read(d2.join(f)).unwrap();
+        assert!(!a.is_empty(), "{f} recorded nothing");
+        assert_eq!(a, b, "{f} differs between identical seeded fault runs");
+    }
+
+    // The event log carries the injected faults and the guard's reactions.
+    let events = std::fs::read_to_string(d1.join("events.jsonl")).unwrap();
+    for kind in ["link_down", "link_up", "telem_freeze", "switch_reboot"] {
+        assert!(events.contains(kind), "events.jsonl missing fault '{kind}'");
+    }
+    assert!(events.contains("guard_trip"), "no guard trips recorded");
+    assert!(events.contains("guard_recover"), "no recoveries recorded");
+
+    let m = telemetry::RunManifest::load(&d1.join("manifest.json")).unwrap();
+    assert_eq!(m.policy, "ACC-guarded");
+    assert_eq!(m.seed, FAULT_SEED);
+    assert!(m.event_samples > 0, "manifest counted no event samples");
+}

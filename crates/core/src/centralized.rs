@@ -238,8 +238,12 @@ impl QueueController for CentralizedAcc {
                 let prev = prev.unwrap_or_default();
                 let obs = QueueObs {
                     qlen_bytes: snap.qlen_bytes,
-                    tx_bytes: snap.telem.tx_bytes - prev.tx_bytes,
-                    tx_marked_bytes: snap.telem.tx_marked_bytes - prev.tx_marked_bytes,
+                    // Saturating: telemetry faults can regress the counters.
+                    tx_bytes: snap.telem.tx_bytes.saturating_sub(prev.tx_bytes),
+                    tx_marked_bytes: snap
+                        .telem
+                        .tx_marked_bytes
+                        .saturating_sub(prev.tx_marked_bytes),
                     dt,
                     link_bps: snap.link_bps,
                     ecn_encoded: 0.0,

@@ -229,9 +229,18 @@ impl AccController {
         if dt == SimTime::ZERO {
             return;
         }
-        let tx_bytes = snap.telem.tx_bytes - q.prev_telem.tx_bytes;
-        let tx_marked = snap.telem.tx_marked_bytes - q.prev_telem.tx_marked_bytes;
-        let qlen_integral = snap.telem.qlen_integral_byte_ps - q.prev_telem.qlen_integral_byte_ps;
+        // Saturating deltas: a faulted/rebooted switch can hand the agent
+        // counters *below* the previous reading (see netsim's telemetry
+        // faults); treat a regression as "no progress", not as wraparound.
+        let tx_bytes = snap.telem.tx_bytes.saturating_sub(q.prev_telem.tx_bytes);
+        let tx_marked = snap
+            .telem
+            .tx_marked_bytes
+            .saturating_sub(q.prev_telem.tx_marked_bytes);
+        let qlen_integral = snap
+            .telem
+            .qlen_integral_byte_ps
+            .saturating_sub(q.prev_telem.qlen_integral_byte_ps);
         let avg_qlen = (qlen_integral / dt.as_ps() as u128) as u64;
         let utilization = if snap.link_bps > 0 {
             (tx_bytes as f64 * 8.0) / (snap.link_bps as f64 * dt.as_secs_f64())
@@ -411,9 +420,10 @@ pub fn install_acc(
     global
 }
 
-/// Attach a flight recorder to every [`AccController`] installed in `sim`.
-/// Switches without a controller, or with a non-ACC controller (static
-/// baselines, C-ACC), are left untouched.
+/// Attach a flight recorder to every [`AccController`] or
+/// [`crate::guard::GuardedController`] installed in `sim`. Switches without
+/// a controller, or with a non-ACC controller (static baselines, C-ACC),
+/// are left untouched.
 pub fn attach_recorder(sim: &mut Simulator, rec: &telemetry::SharedRecorder) {
     for sw in sim.core().topo.switches().to_vec() {
         if !sim.has_controller(sw) {
@@ -422,6 +432,11 @@ pub fn attach_recorder(sim: &mut Simulator, rec: &telemetry::SharedRecorder) {
         sim.with_controller(sw, |c, _| {
             if let Some(acc) = c.as_any_mut().downcast_mut::<AccController>() {
                 acc.set_recorder(rec.clone());
+            } else if let Some(g) = c
+                .as_any_mut()
+                .downcast_mut::<crate::guard::GuardedController>()
+            {
+                g.set_recorder(rec.clone());
             }
         });
     }

@@ -17,6 +17,81 @@ use std::path::Path;
 /// Bundle format version (bump on incompatible changes).
 pub const BUNDLE_VERSION: u32 = 1;
 
+/// Why a [`DeployBundle`] was rejected. Typed so deployment tooling can
+/// distinguish "wrong artifact" (version/digest) from "broken artifact"
+/// (shape mismatches) from plain I/O trouble.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeployError {
+    /// The bundle's format version is not the one this build supports.
+    UnsupportedVersion {
+        /// Version stamped in the bundle.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The model's output width does not match the action-template table.
+    ActionTableMismatch {
+        /// Model output dimension.
+        outputs: usize,
+        /// Entries in the action table.
+        actions: usize,
+    },
+    /// The model's input width does not match `history_k x features`.
+    StateShapeMismatch {
+        /// Model input dimension.
+        inputs: usize,
+        /// `history_k * FEATURES_PER_OBS`.
+        expected: usize,
+    },
+    /// The model bytes do not hash to the recorded digest (corruption).
+    DigestMismatch {
+        /// Digest recorded in the bundle.
+        expected: u64,
+        /// Digest computed over the carried model.
+        computed: u64,
+    },
+    /// Reading or writing the bundle file failed.
+    Io(String),
+    /// The bundle file is not valid JSON for this schema.
+    Parse(String),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::UnsupportedVersion { found, supported } => {
+                write!(f, "bundle version {found} != supported {supported}")
+            }
+            DeployError::ActionTableMismatch { outputs, actions } => {
+                write!(
+                    f,
+                    "model outputs ({outputs}) != action table size ({actions})"
+                )
+            }
+            DeployError::StateShapeMismatch { inputs, expected } => {
+                write!(f, "model inputs ({inputs}) != k x features ({expected})")
+            }
+            DeployError::DigestMismatch { expected, computed } => {
+                write!(
+                    f,
+                    "model digest mismatch (bundle says {expected:#018x}, model hashes to \
+                     {computed:#018x}): corrupted bundle"
+                )
+            }
+            DeployError::Io(e) => write!(f, "bundle I/O error: {e}"),
+            DeployError::Parse(e) => write!(f, "bundle parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<std::io::Error> for DeployError {
+    fn from(e: std::io::Error) -> Self {
+        DeployError::Io(e.to_string())
+    }
+}
+
 /// A self-contained deployable ACC model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeployBundle {
@@ -81,18 +156,24 @@ impl DeployBundle {
     }
 
     /// Verify internal consistency (version, dims, digest).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DeployError> {
         if self.version != BUNDLE_VERSION {
-            return Err(format!(
-                "bundle version {} != supported {}",
-                self.version, BUNDLE_VERSION
-            ));
+            return Err(DeployError::UnsupportedVersion {
+                found: self.version,
+                supported: BUNDLE_VERSION,
+            });
         }
         if self.model.output_dim() != self.actions.len() {
-            return Err("model outputs != action table size".into());
+            return Err(DeployError::ActionTableMismatch {
+                outputs: self.model.output_dim(),
+                actions: self.actions.len(),
+            });
         }
         if self.model.input_dim() != self.history_k * crate::state::FEATURES_PER_OBS {
-            return Err("model inputs != k x 4 features".into());
+            return Err(DeployError::StateShapeMismatch {
+                inputs: self.model.input_dim(),
+                expected: self.history_k * crate::state::FEATURES_PER_OBS,
+            });
         }
         let digest = fnv1a(
             serde_json::to_string(&self.model)
@@ -100,7 +181,10 @@ impl DeployBundle {
                 .as_bytes(),
         );
         if digest != self.digest {
-            return Err("model digest mismatch (corrupted bundle)".into());
+            return Err(DeployError::DigestMismatch {
+                expected: self.digest,
+                computed: digest,
+            });
         }
         Ok(())
     }
@@ -108,7 +192,7 @@ impl DeployBundle {
     /// Build a controller from the bundle with the given runtime behaviour
     /// (e.g. [`crate::trainer::online_config`] or
     /// [`crate::trainer::frozen_config`] applied to a base [`AccConfig`]).
-    pub fn instantiate(&self, mut cfg: AccConfig) -> Result<AccController, String> {
+    pub fn instantiate(&self, mut cfg: AccConfig) -> Result<AccController, DeployError> {
         self.validate()?;
         cfg.history_k = self.history_k;
         cfg.reward = self.reward;
@@ -120,21 +204,20 @@ impl DeployBundle {
     }
 
     /// Persist as JSON.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DeployError> {
         std::fs::write(
             path,
             serde_json::to_string(self).expect("bundle serializes"),
         )
+        .map_err(DeployError::from)
     }
 
     /// Load and validate from JSON.
-    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, DeployError> {
         let text = std::fs::read_to_string(path)?;
-        let bundle: DeployBundle = serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        bundle
-            .validate()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let bundle: DeployBundle =
+            serde_json::from_str(&text).map_err(|e| DeployError::Parse(e.to_string()))?;
+        bundle.validate()?;
         Ok(bundle)
     }
 }
@@ -155,13 +238,47 @@ mod tests {
     }
 
     #[test]
-    fn corruption_detected() {
+    fn corruption_detected_with_typed_errors() {
         let mut b = bundle();
         b.digest ^= 1;
-        assert!(b.validate().unwrap_err().contains("digest"));
+        let err = b.validate().unwrap_err();
+        assert!(matches!(err, DeployError::DigestMismatch { .. }));
+        assert!(err.to_string().contains("digest"));
         let mut b2 = bundle();
         b2.version = 99;
-        assert!(b2.validate().unwrap_err().contains("version"));
+        let err = b2.validate().unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::UnsupportedVersion {
+                found: 99,
+                supported: BUNDLE_VERSION
+            }
+        );
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let mut b = bundle();
+        b.history_k = 5; // model was built for k = 3
+        assert!(matches!(
+            b.validate().unwrap_err(),
+            DeployError::StateShapeMismatch {
+                inputs: 12,
+                expected: 20
+            }
+        ));
+    }
+
+    #[test]
+    fn load_errors_are_typed() {
+        let missing = DeployBundle::load("/nonexistent/acc_bundle.json").unwrap_err();
+        assert!(matches!(missing, DeployError::Io(_)));
+        let path = std::env::temp_dir().join("acc_bundle_garbage.json");
+        std::fs::write(&path, "not json").unwrap();
+        let garbage = DeployBundle::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(garbage, DeployError::Parse(_)));
     }
 
     #[test]

@@ -151,9 +151,17 @@ impl HybridAcc {
         if dt == SimTime::ZERO {
             return;
         }
-        let tx = snap.telem.tx_bytes - q.prev_telem.tx_bytes;
-        let txm = snap.telem.tx_marked_bytes - q.prev_telem.tx_marked_bytes;
-        let integral = snap.telem.qlen_integral_byte_ps - q.prev_telem.qlen_integral_byte_ps;
+        // Saturating: telemetry faults can hand back readings below the
+        // previous snapshot; a regression means "no progress".
+        let tx = snap.telem.tx_bytes.saturating_sub(q.prev_telem.tx_bytes);
+        let txm = snap
+            .telem
+            .tx_marked_bytes
+            .saturating_sub(q.prev_telem.tx_marked_bytes);
+        let integral = snap
+            .telem
+            .qlen_integral_byte_ps
+            .saturating_sub(q.prev_telem.qlen_integral_byte_ps);
         let avg_qlen = (integral / dt.as_ps() as u128) as u64;
         let util = if snap.link_bps > 0 {
             (tx as f64 * 8.0) / (snap.link_bps as f64 * dt.as_secs_f64())

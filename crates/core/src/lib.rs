@@ -39,6 +39,7 @@ pub mod action;
 pub mod centralized;
 pub mod controller;
 pub mod deploy;
+pub mod guard;
 pub mod hybrid;
 pub mod reward;
 pub mod state;
@@ -48,7 +49,10 @@ pub mod trainer;
 pub use action::ActionSpace;
 pub use centralized::{CentralBrain, CentralizedAcc};
 pub use controller::{AccConfig, AccController};
-pub use deploy::DeployBundle;
+pub use deploy::{DeployBundle, DeployError};
+pub use guard::{
+    GuardConfig, GuardDecision, GuardObs, GuardStats, GuardViolation, GuardedController, QueueGuard,
+};
 pub use hybrid::{CentralTrainer, HybridAcc};
 pub use reward::{e_n, ladder_index, QueuePenalty, RewardConfig};
 pub use state::{QueueObs, StateWindow, FEATURES_PER_OBS};

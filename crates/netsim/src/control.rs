@@ -85,16 +85,29 @@ impl SwitchView<'_> {
     }
 
     /// Read one egress queue (syncing its time-average integral to `now`).
+    ///
+    /// This models the SDK register read a switch-CPU agent performs, so it
+    /// is subject to injected telemetry faults
+    /// ([`crate::fault::FaultKind::TelemetryFreeze`] /
+    /// [`crate::fault::FaultKind::TelemetryBlank`]): while one is active the
+    /// returned depth and counters are frozen or zeroed. The applied ECN
+    /// config and the link rate stay truthful — the agent wrote the config
+    /// itself and safe-mode logic must see what is really installed.
     pub fn snapshot(&mut self, port: PortId, prio: Prio) -> QueueSnapshot {
         let now = self.core.now;
         let link_bps = self.port_rate_bps(port);
+        let faulted = self.core.faulted_reading(self.node, port, prio);
         let q = self.core.queue_mut(self.node, port, prio);
         q.sync_clock(now);
+        let (qlen_bytes, telem) = match faulted {
+            Some(v) => v,
+            None => (q.bytes(), q.telem),
+        };
         QueueSnapshot {
             port,
             prio,
-            qlen_bytes: q.bytes(),
-            telem: q.telem,
+            qlen_bytes,
+            telem,
             ecn: q.ecn,
             link_bps,
         }

@@ -1,5 +1,6 @@
 //! The discrete-event core: event kinds and the future-event queue.
 
+use crate::fault::FaultKind;
 use crate::ids::{NodeId, PortId, Prio};
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -53,6 +54,10 @@ pub enum Event {
     /// (see [`crate::sim::Simulator::set_sampler`]). Never scheduled unless
     /// a sampler is installed, so runs without telemetry pay nothing.
     TelemetrySample,
+    /// A scheduled fault from a [`crate::fault::FaultPlan`] executes.
+    /// Never scheduled unless a plan is installed
+    /// ([`crate::sim::Simulator::install_fault_plan`]).
+    Fault(FaultKind),
 }
 
 /// An event with its activation time and a monotone sequence number used to

@@ -1,0 +1,386 @@
+//! Deterministic fault injection: scripted link, switch and telemetry faults.
+//!
+//! A [`FaultPlan`] is a seeded, serializable schedule of [`FaultKind`]s that
+//! [`crate::sim::Simulator::install_fault_plan`] turns into ordinary events
+//! in the simulation's future-event list. Faults therefore execute at exact
+//! simulated times, interleaved deterministically with packet events:
+//! identical seeds and identical plans reproduce identical runs, byte for
+//! byte, which is what makes failure testing regressable.
+//!
+//! Two RNG streams keep determinism composable: the packet path keeps using
+//! the config-seeded engine RNG, while probabilistic faults (packet loss)
+//! draw from a dedicated RNG seeded from [`FaultPlan::seed`]. A run with a
+//! loss-free plan is bit-identical to the same run with no plan at all.
+//!
+//! What can be injected:
+//!
+//! * **Link flaps** — [`FaultKind::LinkDown`] / [`FaultKind::LinkUp`]:
+//!   both directions fail, routes steer around the failure, packets already
+//!   in flight toward the dead link are lost at arrival, and PFC pause state
+//!   on both endpoints is cleared so a flap can never leave a port paused
+//!   forever.
+//! * **Rate degradation** — [`FaultKind::DegradeLink`]: the link serializes
+//!   at a reduced rate (a flapping optic, a misnegotiated speed) until
+//!   [`FaultKind::RestoreLinkRate`].
+//! * **Packet loss** — [`FaultKind::PacketLoss`]: a fraction of packets
+//!   arriving at one port is black-holed (1.0 = total blackhole, 0.0 =
+//!   healthy again).
+//! * **Switch reboot** — [`FaultKind::SwitchReboot`]: every egress queue is
+//!   flushed (the packets are lost), the ECN configuration reverts to the
+//!   configured static default, and PFC state is reset with resumes sent so
+//!   peers un-stick.
+//! * **Telemetry faults** — [`FaultKind::TelemetryFreeze`] /
+//!   [`FaultKind::TelemetryBlank`]: the counters a controller reads through
+//!   [`crate::control::SwitchView::snapshot`] freeze at their current values
+//!   or read back as zero, while the data path keeps running. This is the
+//!   "stale state vector" failure mode safe-mode guardrails must catch; the
+//!   flight-recorder sampler keeps seeing ground truth so the divergence is
+//!   observable.
+//!
+//! Every executed fault is appended to an in-core fault log
+//! ([`crate::sim::SimCore::drain_fault_log`]) and mirrored into the trace
+//! ring when a tracer is installed.
+
+use crate::ids::{NodeId, PortId};
+use crate::queues::QueueTelemetry;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One injectable fault.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Fail the link attached to (`node`, `port`) — both directions.
+    LinkDown {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// Port on that endpoint.
+        port: PortId,
+    },
+    /// Restore the link attached to (`node`, `port`).
+    LinkUp {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// Port on that endpoint.
+        port: PortId,
+    },
+    /// Degrade the serialization rate of the link attached to
+    /// (`node`, `port`) — both directions — to `rate_bps`.
+    DegradeLink {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// Port on that endpoint.
+        port: PortId,
+        /// Degraded line rate, bits/s (must be positive).
+        rate_bps: u64,
+    },
+    /// Undo a [`FaultKind::DegradeLink`]: the link serializes at its
+    /// topology-configured rate again.
+    RestoreLinkRate {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// Port on that endpoint.
+        port: PortId,
+    },
+    /// Black-hole a fraction of the packets arriving at (`node`, `port`).
+    /// `frac = 1.0` drops everything; `frac = 0.0` restores health.
+    PacketLoss {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port whose arrivals are lossy.
+        port: PortId,
+        /// Fraction of arrivals dropped, in `[0, 1]`.
+        frac: f64,
+    },
+    /// Reboot a switch: flush all egress queues (packets lost), reset every
+    /// queue's ECN config to the configured static default, clear PFC state
+    /// (sending resumes upstream) and restore telemetry health.
+    SwitchReboot {
+        /// The switch to reboot.
+        node: NodeId,
+    },
+    /// Freeze the telemetry counters controllers read from `node`: every
+    /// subsequent [`crate::control::SwitchView::snapshot`] returns the
+    /// values current at injection time, while the data path keeps moving.
+    TelemetryFreeze {
+        /// The node whose telemetry freezes.
+        node: NodeId,
+    },
+    /// Blank the telemetry counters controllers read from `node`: snapshots
+    /// return zeroed counters and an empty queue.
+    TelemetryBlank {
+        /// The node whose telemetry blanks.
+        node: NodeId,
+    },
+    /// Restore healthy telemetry reads on `node`.
+    TelemetryRestore {
+        /// The node whose telemetry recovers.
+        node: NodeId,
+    },
+}
+
+impl FaultKind {
+    /// Stable machine-readable name (used in the fault log and telemetry).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown { .. } => "link_down",
+            FaultKind::LinkUp { .. } => "link_up",
+            FaultKind::DegradeLink { .. } => "link_degrade",
+            FaultKind::RestoreLinkRate { .. } => "link_rate_restore",
+            FaultKind::PacketLoss { .. } => "packet_loss",
+            FaultKind::SwitchReboot { .. } => "switch_reboot",
+            FaultKind::TelemetryFreeze { .. } => "telem_freeze",
+            FaultKind::TelemetryBlank { .. } => "telem_blank",
+            FaultKind::TelemetryRestore { .. } => "telem_restore",
+        }
+    }
+
+    /// Parameter sanity check; `Err` carries a human-readable reason.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultKind::DegradeLink { rate_bps: 0, .. } => {
+                Err("DegradeLink rate_bps must be positive".into())
+            }
+            FaultKind::PacketLoss { frac, .. } if !(0.0..=1.0).contains(&frac) => {
+                Err(format!("PacketLoss frac {frac} outside [0, 1]"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A fault with its injection time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault executes (absolute simulated time).
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, serializable schedule of faults for one run.
+///
+/// Build one with the chainable helpers, or deserialize it from JSON (the
+/// schema is documented in `EXPERIMENTS.md`), then hand it to
+/// [`crate::sim::Simulator::install_fault_plan`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the dedicated fault RNG (drives probabilistic packet loss).
+    pub seed: u64,
+    /// The scheduled faults. Order is irrelevant; the event queue sorts.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given fault-RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedule `kind` at `at` (chainable).
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Schedule `kind` at `at`.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// Schedule a down/up flap of the link at (`node`, `port`).
+    pub fn link_flap(
+        mut self,
+        node: NodeId,
+        port: PortId,
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> Self {
+        self.push(down_at, FaultKind::LinkDown { node, port });
+        self.push(up_at, FaultKind::LinkUp { node, port });
+        self
+    }
+
+    /// Freeze `node`'s telemetry over `[from, until)`.
+    pub fn telemetry_freeze(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.push(from, FaultKind::TelemetryFreeze { node });
+        self.push(until, FaultKind::TelemetryRestore { node });
+        self
+    }
+
+    /// Blank `node`'s telemetry over `[from, until)`.
+    pub fn telemetry_blank(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.push(from, FaultKind::TelemetryBlank { node });
+        self.push(until, FaultKind::TelemetryRestore { node });
+        self
+    }
+
+    /// Degrade the link at (`node`, `port`) to `rate_bps` over `[from, until)`.
+    pub fn degrade_window(
+        mut self,
+        node: NodeId,
+        port: PortId,
+        rate_bps: u64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.push(
+            from,
+            FaultKind::DegradeLink {
+                node,
+                port,
+                rate_bps,
+            },
+        );
+        self.push(until, FaultKind::RestoreLinkRate { node, port });
+        self
+    }
+
+    /// Drop `frac` of arrivals at (`node`, `port`) over `[from, until)`.
+    pub fn loss_window(
+        mut self,
+        node: NodeId,
+        port: PortId,
+        frac: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.push(from, FaultKind::PacketLoss { node, port, frac });
+        self.push(
+            until,
+            FaultKind::PacketLoss {
+                node,
+                port,
+                frac: 0.0,
+            },
+        );
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate every scheduled fault.
+    pub fn validate(&self) -> Result<(), String> {
+        for ev in &self.events {
+            ev.kind.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// One executed fault, as recorded in [`crate::sim::SimCore`]'s fault log.
+///
+/// The telemetry layer drains these into its event stream; `detail` carries
+/// the fault's parameters in a stable `key=value` form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultLogEntry {
+    /// Execution time.
+    pub at: SimTime,
+    /// Stable fault name (see [`FaultKind::name`]).
+    pub kind: &'static str,
+    /// Node the fault applied to.
+    pub node: NodeId,
+    /// Port the fault applied to (`PortId(u16::MAX)` for node-wide faults).
+    pub port: PortId,
+    /// Parameters, e.g. `rate_bps=10000000000` (empty when none).
+    pub detail: String,
+}
+
+/// How a node's telemetry reads are currently distorted (fault injection).
+pub(crate) enum TelemFault {
+    /// Snapshots return the values captured at freeze time, per queue:
+    /// `(qlen_bytes, telem)` indexed by `port * num_prios + prio`.
+    Frozen(Vec<(u64, QueueTelemetry)>),
+    /// Snapshots return zeroed counters and an empty queue.
+    Blank,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_accumulate_events() {
+        let plan = FaultPlan::new(7)
+            .link_flap(
+                NodeId(1),
+                PortId(2),
+                SimTime::from_us(10),
+                SimTime::from_us(20),
+            )
+            .telemetry_freeze(NodeId(1), SimTime::from_us(5), SimTime::from_us(30))
+            .loss_window(
+                NodeId(3),
+                PortId(0),
+                0.25,
+                SimTime::from_us(1),
+                SimTime::from_us(2),
+            )
+            .degrade_window(
+                NodeId(1),
+                PortId(2),
+                1_000_000_000,
+                SimTime::from_us(40),
+                SimTime::from_us(50),
+            );
+        assert_eq!(plan.len(), 8);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let bad_rate = FaultPlan::new(0).at(
+            SimTime::ZERO,
+            FaultKind::DegradeLink {
+                node: NodeId(0),
+                port: PortId(0),
+                rate_bps: 0,
+            },
+        );
+        assert!(bad_rate.validate().is_err());
+        let bad_frac = FaultPlan::new(0).at(
+            SimTime::ZERO,
+            FaultKind::PacketLoss {
+                node: NodeId(0),
+                port: PortId(0),
+                frac: 1.5,
+            },
+        );
+        assert!(bad_frac.validate().is_err());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::new(42)
+            .at(
+                SimTime::from_ms(1),
+                FaultKind::SwitchReboot { node: NodeId(4) },
+            )
+            .telemetry_blank(NodeId(2), SimTime::from_ms(2), SimTime::from_ms(3));
+        let text = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            FaultKind::SwitchReboot { node: NodeId(0) }.name(),
+            "switch_reboot"
+        );
+        assert_eq!(
+            FaultKind::TelemetryFreeze { node: NodeId(0) }.name(),
+            "telem_freeze"
+        );
+    }
+}

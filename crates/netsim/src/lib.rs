@@ -48,6 +48,7 @@ pub mod config;
 pub mod control;
 pub mod driver;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod packet;
 pub mod queues;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::config::{PortConfig, SimConfig};
     pub use crate::control::{QueueController, QueueSnapshot, SwitchView};
     pub use crate::driver::{HostCtx, NicDriver};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultLogEntry, FaultPlan};
     pub use crate::ids::{FlowId, NodeId, PortId, Prio};
     pub use crate::packet::{Ecn, Packet, PacketKind};
     pub use crate::queues::EcnConfig;

@@ -105,7 +105,7 @@ impl EcnConfig {
 /// queue length, so `(integral_b - integral_a) / (t_b - t_a)` is the exact
 /// time-average queue length over an interval — the paper's reward uses the
 /// average rather than the instantaneous depth (§3.3).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueueTelemetry {
     /// Bytes handed to the serializer (counted at dequeue).
     pub tx_bytes: u64,
@@ -249,6 +249,18 @@ impl EgressQueue {
     /// Bring the time-integral up to `now` (call before reading telemetry).
     pub fn sync_clock(&mut self, now: SimTime) {
         self.advance_clock(now);
+    }
+
+    /// Discard every queued packet (switch reboot / power loss), counting
+    /// each as a drop, and return the discarded items so the caller can
+    /// release their shared-buffer accounting.
+    pub fn flush(&mut self, now: SimTime) -> Vec<QItem> {
+        self.advance_clock(now);
+        self.bytes = 0;
+        self.avg_bytes = 0.0;
+        let items: Vec<QItem> = self.items.drain(..).collect();
+        self.telem.drops += items.len() as u64;
+        items
     }
 }
 

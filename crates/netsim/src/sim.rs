@@ -6,9 +6,10 @@ use crate::config::SimConfig;
 use crate::control::{QueueController, SwitchView};
 use crate::driver::{HostCtx, NicDriver};
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultKind, FaultLogEntry, FaultPlan, TelemFault};
 use crate::ids::{NodeId, PortId, Prio};
 use crate::packet::Packet;
-use crate::queues::{Dwrr, EgressQueue, QItem};
+use crate::queues::{Dwrr, EgressQueue, QItem, QueueTelemetry};
 use crate::routing::RouteTable;
 use crate::time::{tx_time, SimTime};
 use crate::topology::Topology;
@@ -18,6 +19,13 @@ use rand::{Rng, SeedableRng};
 
 /// On-wire size of a PFC pause frame (only used for its serialization delay).
 const PFC_FRAME_BYTES: u64 = 64;
+
+/// Salt XORed into the fault-plan seed so the fault RNG stream never aliases
+/// the engine RNG even when both are seeded with the same number.
+const FAULT_SEED_SALT: u64 = 0xFA17_0B5E_55ED_0001;
+
+/// Defensive cap on buffered fault-log entries between drains.
+const FAULT_LOG_CAP: usize = 1 << 16;
 
 /// The packet currently being serialized by a port's transmitter.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +63,11 @@ pub(crate) struct PortState {
     pause_since: Vec<Option<SimTime>>,
     /// Administrative/physical link state (fault injection).
     link_up: bool,
+    /// Degraded serialization rate in bits/s (fault injection); `None`
+    /// means the topology-configured rate applies.
+    rate_override: Option<u64>,
+    /// Fraction of arrivals on this port black-holed (fault injection).
+    loss_frac: f64,
 }
 
 impl PortState {
@@ -75,6 +88,8 @@ impl PortState {
             pause_ps: vec![0; pc.num_prios],
             pause_since: vec![None; pc.num_prios],
             link_up: true,
+            rate_override: None,
+            loss_frac: 0.0,
         }
     }
 }
@@ -84,6 +99,8 @@ pub(crate) struct NodeState {
     ports: Vec<PortState>,
     /// Shared packet buffer — switches only.
     buffer: Option<SharedBuffer>,
+    /// Active telemetry-read distortion (fault injection).
+    telem_fault: Option<TelemFault>,
 }
 
 /// Everything the engine owns except the pluggable drivers/controllers.
@@ -107,12 +124,22 @@ pub struct SimCore {
     pub lossless_drops: u64,
     /// Packets dropped because no route existed (after link failures).
     pub unroutable_drops: u64,
+    /// Packets lost to fault injection: arrivals at a downed link, injected
+    /// packet loss, and queue flushes from switch reboots (also counted in
+    /// `total_drops`).
+    pub fault_drops: u64,
     /// Total PFC PAUSE events sent by all switches.
     pub total_pfc_pauses: u64,
     /// Total events processed (for performance reporting).
     pub events_processed: u64,
     /// Optional structured event tracer (see [`crate::trace`]).
     pub tracer: Option<Tracer>,
+    /// Dedicated RNG for probabilistic faults; reseeded from
+    /// [`FaultPlan::seed`] when a plan is installed so the packet-path RNG
+    /// stream is untouched by fault injection.
+    pub(crate) fault_rng: SmallRng,
+    /// Executed faults awaiting collection by [`SimCore::drain_fault_log`].
+    fault_log: Vec<FaultLogEntry>,
 }
 
 impl SimCore {
@@ -135,11 +162,16 @@ impl SimCore {
                     )),
                     crate::topology::NodeKind::Host => None,
                 };
-                NodeState { ports, buffer }
+                NodeState {
+                    ports,
+                    buffer,
+                    telem_fault: None,
+                }
             })
             .collect();
         let routes = RouteTable::build(&topo);
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let fault_rng = SmallRng::seed_from_u64(cfg.seed ^ FAULT_SEED_SALT);
         SimCore {
             cfg,
             now: SimTime::ZERO,
@@ -151,9 +183,12 @@ impl SimCore {
             total_drops: 0,
             lossless_drops: 0,
             unroutable_drops: 0,
+            fault_drops: 0,
             total_pfc_pauses: 0,
             events_processed: 0,
             tracer: None,
+            fault_rng,
+            fault_log: Vec::new(),
         }
     }
 
@@ -278,7 +313,7 @@ impl SimCore {
         let (t_flow, t_prio) = (item.pkt.flow, item.pkt.prio);
         self.trace(TraceKind::Dequeue, node, port, t_prio, t_flow, qlen);
         let info = *self.topo.port(node, port);
-        let ser = tx_time(item.pkt.size as u64, info.rate_bps);
+        let ser = tx_time(item.pkt.size as u64, self.port_rate(node, port));
         self.schedule(now + ser, Event::TxDone { node, port });
         self.schedule(
             now + ser + info.delay,
@@ -326,10 +361,19 @@ impl SimCore {
         self.try_send(node, port);
     }
 
+    /// Effective serialization rate of (`node`, `port`): the fault-injected
+    /// override when present, the topology-configured rate otherwise.
+    #[inline]
+    fn port_rate(&self, node: NodeId, port: PortId) -> u64 {
+        self.nodes[node.idx()].ports[port.idx()]
+            .rate_override
+            .unwrap_or_else(|| self.topo.port(node, port).rate_bps)
+    }
+
     /// Deliver a PFC pause/resume to the peer of `ingress` on `node`.
     fn send_pfc(&mut self, node: NodeId, ingress: PortId, prio: Prio, pause: bool) {
         let info = *self.topo.port(node, ingress);
-        let delay = tx_time(PFC_FRAME_BYTES, info.rate_bps) + info.delay;
+        let delay = tx_time(PFC_FRAME_BYTES, self.port_rate(node, ingress)) + info.delay;
         let at = self.now + delay;
         self.schedule(
             at,
@@ -357,6 +401,12 @@ impl SimCore {
         let bit = 1u8 << (prio & 7);
         let now = self.now;
         let ps = &mut self.nodes[node.idx()].ports[port.idx()];
+        if !ps.link_up {
+            // A pause landing on a downed port would stick forever: the
+            // sender's pfc_sent state was cleared when the link failed, so
+            // no resume would ever arrive. Drop it with the link.
+            return;
+        }
         if pause {
             if ps.paused & bit == 0 {
                 ps.pause_since[prio as usize] = Some(now);
@@ -449,15 +499,44 @@ impl SimCore {
         self.try_send(node, out_port);
     }
 
+    /// Finalize pause accounting and clear all PFC state on one port
+    /// (link failure / reboot). Clearing `pfc_sent` matters: after the
+    /// peer's pause state is gone, a resume would never be sent, so leaving
+    /// the bit set would wedge the handshake after restoration.
+    fn clear_pfc_state(&mut self, node: NodeId, port: PortId) {
+        let now = self.now;
+        let ps = &mut self.nodes[node.idx()].ports[port.idx()];
+        for prio in 0..ps.pause_since.len() {
+            if let Some(since) = ps.pause_since[prio].take() {
+                ps.pause_ps[prio] += (now - since).as_ps();
+            }
+        }
+        ps.paused = 0;
+        ps.pfc_sent = 0;
+    }
+
     /// Administratively fail or restore the link attached to
     /// (`node`, `port`). Both directions go down (the peer port too); the
     /// route table is rebuilt to steer around the failure. Packets already
     /// queued behind a downed transmitter wait for restoration; packets
-    /// with no remaining route are dropped (see `unroutable_drops`).
+    /// already propagating toward a downed link are lost on arrival (see
+    /// `fault_drops`); packets with no remaining route are dropped (see
+    /// `unroutable_drops`). PFC pause state on both endpoints is cleared so
+    /// a flap can never leave a port permanently paused.
     pub fn set_link_state(&mut self, node: NodeId, port: PortId, up: bool) {
         let peer = *self.topo.port(node, port);
         self.nodes[node.idx()].ports[port.idx()].link_up = up;
         self.nodes[peer.peer_node.idx()].ports[peer.peer_port.idx()].link_up = up;
+        if !up {
+            self.clear_pfc_state(node, port);
+            self.clear_pfc_state(peer.peer_node, peer.peer_port);
+        }
+        self.log_fault(
+            if up { "link_up" } else { "link_down" },
+            node,
+            port,
+            format!("peer={}:{}", peer.peer_node.0, peer.peer_port.0),
+        );
         let kind = if up {
             TraceKind::LinkUp
         } else {
@@ -499,6 +578,251 @@ impl SimCore {
             .as_ref()
             .map(|b| b.used)
             .unwrap_or(0)
+    }
+
+    /// Append one executed fault to the in-core fault log.
+    fn log_fault(&mut self, kind: &'static str, node: NodeId, port: PortId, detail: String) {
+        if self.fault_log.len() < FAULT_LOG_CAP {
+            self.fault_log.push(FaultLogEntry {
+                at: self.now,
+                kind,
+                node,
+                port,
+                detail,
+            });
+        }
+    }
+
+    /// Take every fault executed since the previous drain (telemetry
+    /// samplers call this each interval; harnesses may drain at the end).
+    pub fn drain_fault_log(&mut self) -> Vec<FaultLogEntry> {
+        std::mem::take(&mut self.fault_log)
+    }
+
+    /// Should this arrival be lost to fault injection? Downed ingress links
+    /// lose every packet still propagating toward them; ports with injected
+    /// loss black-hole a seeded-random fraction. The fault RNG is only
+    /// consulted for partial loss, so loss-free runs never touch it.
+    pub(crate) fn rx_fault_drop(&mut self, node: NodeId, port: PortId, pkt: &Packet) -> bool {
+        let ps = &self.nodes[node.idx()].ports[port.idx()];
+        let lost = if !ps.link_up {
+            true
+        } else {
+            let frac = ps.loss_frac;
+            frac > 0.0 && (frac >= 1.0 || self.fault_rng.gen::<f64>() < frac)
+        };
+        if lost {
+            self.total_drops += 1;
+            self.fault_drops += 1;
+            self.trace(TraceKind::FaultDrop, node, port, pkt.prio, pkt.flow, 0);
+        }
+        lost
+    }
+
+    /// Execute one fault right now. Normally driven by scheduled
+    /// [`Event::Fault`]s from an installed [`FaultPlan`]; harnesses may also
+    /// call it directly.
+    pub fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown { node, port } => self.set_link_state(node, port, false),
+            FaultKind::LinkUp { node, port } => self.set_link_state(node, port, true),
+            FaultKind::DegradeLink {
+                node,
+                port,
+                rate_bps,
+            } => {
+                let rate = rate_bps.max(1);
+                let peer = *self.topo.port(node, port);
+                self.nodes[node.idx()].ports[port.idx()].rate_override = Some(rate);
+                self.nodes[peer.peer_node.idx()].ports[peer.peer_port.idx()].rate_override =
+                    Some(rate);
+                self.trace(
+                    TraceKind::LinkDegraded,
+                    node,
+                    port,
+                    0,
+                    crate::ids::FlowId(0),
+                    0,
+                );
+                self.log_fault("link_degrade", node, port, format!("rate_bps={rate}"));
+            }
+            FaultKind::RestoreLinkRate { node, port } => {
+                let peer = *self.topo.port(node, port);
+                self.nodes[node.idx()].ports[port.idx()].rate_override = None;
+                self.nodes[peer.peer_node.idx()].ports[peer.peer_port.idx()].rate_override = None;
+                self.trace(
+                    TraceKind::LinkDegraded,
+                    node,
+                    port,
+                    0,
+                    crate::ids::FlowId(0),
+                    0,
+                );
+                self.log_fault("link_rate_restore", node, port, String::new());
+            }
+            FaultKind::PacketLoss { node, port, frac } => {
+                let frac = frac.clamp(0.0, 1.0);
+                self.nodes[node.idx()].ports[port.idx()].loss_frac = frac;
+                self.trace(
+                    TraceKind::FaultDrop,
+                    node,
+                    port,
+                    0,
+                    crate::ids::FlowId(0),
+                    0,
+                );
+                self.log_fault("packet_loss", node, port, format!("frac={frac}"));
+            }
+            FaultKind::SwitchReboot { node } => self.reboot_switch(node),
+            FaultKind::TelemetryFreeze { node } => {
+                let now = self.now;
+                let st = &mut self.nodes[node.idx()];
+                let mut snap = Vec::new();
+                for p in st.ports.iter_mut() {
+                    for q in p.queues.iter_mut() {
+                        q.sync_clock(now);
+                        snap.push((q.bytes(), q.telem));
+                    }
+                }
+                st.telem_fault = Some(TelemFault::Frozen(snap));
+                self.trace(
+                    TraceKind::TelemetryFault,
+                    node,
+                    PortId(0),
+                    0,
+                    crate::ids::FlowId(0),
+                    0,
+                );
+                self.log_fault("telem_freeze", node, PortId(u16::MAX), String::new());
+            }
+            FaultKind::TelemetryBlank { node } => {
+                self.nodes[node.idx()].telem_fault = Some(TelemFault::Blank);
+                self.trace(
+                    TraceKind::TelemetryFault,
+                    node,
+                    PortId(0),
+                    0,
+                    crate::ids::FlowId(0),
+                    0,
+                );
+                self.log_fault("telem_blank", node, PortId(u16::MAX), String::new());
+            }
+            FaultKind::TelemetryRestore { node } => {
+                self.nodes[node.idx()].telem_fault = None;
+                self.trace(
+                    TraceKind::TelemetryFault,
+                    node,
+                    PortId(0),
+                    0,
+                    crate::ids::FlowId(0),
+                    0,
+                );
+                self.log_fault("telem_restore", node, PortId(u16::MAX), String::new());
+            }
+        }
+    }
+
+    /// Reboot a switch: every queued packet is flushed (and counted as a
+    /// fault drop), shared-buffer and ingress accounting is released per
+    /// packet, every queue's ECN config reverts to the configured static
+    /// default, the schedulers reset, and PFC state clears with resumes
+    /// sent upstream so paused peers un-stick. The packet currently being
+    /// serialized (if any) survives — its bytes are on the wire — and its
+    /// accounting is released normally by its pending `TxDone`. Telemetry
+    /// counters are *not* reset: they model the collector's view, which
+    /// outlives the device (and samplers difference them as monotone).
+    fn reboot_switch(&mut self, node: NodeId) {
+        let now = self.now;
+        let weights = self.cfg.port.weights.clone();
+        let default_ecn = self.cfg.port.ecn.clone();
+        let num_ports = self.nodes[node.idx()].ports.len();
+        let mut flushed: u64 = 0;
+        let mut resumes: Vec<(PortId, Prio)> = Vec::new();
+        for pi in 0..num_ports {
+            let port = PortId(pi as u16);
+            self.clear_pfc_state_keep_sent(node, port);
+            let nq = self.nodes[node.idx()].ports[pi].queues.len();
+            for (prio, &ecn_default) in default_ecn.iter().enumerate().take(nq) {
+                let items = self.nodes[node.idx()].ports[pi].queues[prio].flush(now);
+                flushed += items.len() as u64;
+                let st = &mut self.nodes[node.idx()];
+                for item in items {
+                    if let Some(buf) = st.buffer.as_mut() {
+                        buf.release(item.pkt.size);
+                    }
+                    if let Some(ingress) = item.ingress {
+                        let ib = &mut st.ports[ingress.idx()].ingress_bytes[item.pkt.prio as usize];
+                        *ib = ib.saturating_sub(item.pkt.size as u64);
+                    }
+                }
+                st.ports[pi].queues[prio].ecn = ecn_default;
+            }
+            let ps = &mut self.nodes[node.idx()].ports[pi];
+            ps.dwrr = Dwrr::new(weights.clone());
+            let sent = ps.pfc_sent;
+            ps.pfc_sent = 0;
+            for prio in 0..nq {
+                if sent & (1u8 << (prio as u8 & 7)) != 0 {
+                    resumes.push((port, prio as Prio));
+                }
+            }
+        }
+        self.total_drops += flushed;
+        self.fault_drops += flushed;
+        for (port, prio) in resumes {
+            if self.nodes[node.idx()].ports[port.idx()].link_up {
+                self.send_pfc(node, port, prio, false);
+            }
+        }
+        self.nodes[node.idx()].telem_fault = None;
+        self.trace(
+            TraceKind::SwitchReboot,
+            node,
+            PortId(0),
+            0,
+            crate::ids::FlowId(0),
+            flushed,
+        );
+        self.log_fault(
+            "switch_reboot",
+            node,
+            PortId(u16::MAX),
+            format!("flushed={flushed}"),
+        );
+    }
+
+    /// [`Self::clear_pfc_state`] minus the `pfc_sent` clear (the reboot path
+    /// collects those bits first so it can send explicit resumes).
+    fn clear_pfc_state_keep_sent(&mut self, node: NodeId, port: PortId) {
+        let now = self.now;
+        let ps = &mut self.nodes[node.idx()].ports[port.idx()];
+        for prio in 0..ps.pause_since.len() {
+            if let Some(since) = ps.pause_since[prio].take() {
+                ps.pause_ps[prio] += (now - since).as_ps();
+            }
+        }
+        ps.paused = 0;
+    }
+
+    /// The (qlen, telemetry) a controller *reads* for this queue right now,
+    /// when distorted by an active telemetry fault; `None` means reads are
+    /// healthy and the live queue state applies. Only control-plane
+    /// snapshots route through this — the flight-recorder sampler keeps
+    /// reading ground truth, which is exactly what makes the distortion
+    /// observable in recorded runs.
+    pub(crate) fn faulted_reading(
+        &self,
+        node: NodeId,
+        port: PortId,
+        prio: Prio,
+    ) -> Option<(u64, QueueTelemetry)> {
+        match self.nodes[node.idx()].telem_fault.as_ref()? {
+            TelemFault::Blank => Some((0, QueueTelemetry::default())),
+            TelemFault::Frozen(snap) => {
+                let num_prios = self.cfg.port.num_prios;
+                snap.get(port.idx() * num_prios + prio as usize).copied()
+            }
+        }
     }
 }
 
@@ -558,6 +882,23 @@ impl Simulator {
     /// Read-only access to the core (telemetry, topology, counters).
     pub fn core(&self) -> &SimCore {
         &self.core
+    }
+
+    /// Validate `plan` and schedule every fault it contains into the event
+    /// loop (faults dated in the past fire immediately). The dedicated
+    /// fault RNG is reseeded from [`FaultPlan::seed`], so identical plans
+    /// on identical simulations reproduce identical runs; a plan with no
+    /// probabilistic faults leaves the packet trajectory of the fault-free
+    /// portions untouched.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        plan.validate()?;
+        self.core.fault_rng = SmallRng::seed_from_u64(plan.seed ^ FAULT_SEED_SALT);
+        let now = self.core.now;
+        for ev in &plan.events {
+            let at = ev.at.max(now);
+            self.core.schedule(at, Event::Fault(ev.kind.clone()));
+        }
+        Ok(())
     }
 
     /// Install a structured event tracer (see [`crate::trace`]).
@@ -648,7 +989,10 @@ impl Simulator {
         self.core.events_processed += 1;
         match s.event {
             Event::Arrive { node, port, pkt } => {
-                if self.core.topo.is_host(node) {
+                if self.core.rx_fault_drop(node, port, &pkt) {
+                    // Lost to a downed link or injected loss: counted and
+                    // traced, never delivered.
+                } else if self.core.topo.is_host(node) {
                     if let Some(mut d) = self.drivers[node.idx()].take() {
                         let mut ctx = HostCtx {
                             core: &mut self.core,
@@ -716,6 +1060,7 @@ impl Simulator {
                     self.sampler = Some(s);
                 }
             }
+            Event::Fault(kind) => self.core.apply_fault(kind),
         }
         true
     }
@@ -1162,5 +1507,197 @@ mod tests {
         assert_eq!(downs, 2, "one LinkDown per endpoint");
         assert_eq!(ups, 2, "one LinkUp per endpoint");
         assert!(events.iter().any(|e| e.node == sw && e.port == PortId(0)));
+    }
+
+    #[test]
+    fn loss_free_fault_plan_does_not_perturb() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // A plan whose faults never fire within the horizon and draw no
+        // randomness must leave the run bit-identical to a plan-free run.
+        let (mut s1, g1) = two_host_sim(25_000_000_000);
+        let (mut s2, g2) = two_host_sim(25_000_000_000);
+        let sw = s2.core().topo.switches()[0];
+        let plan =
+            FaultPlan::new(99).at(SimTime::from_ms(500), FaultKind::SwitchReboot { node: sw });
+        s2.install_fault_plan(&plan).unwrap();
+        s1.run_until(SimTime::from_ms(1));
+        s2.run_until(SimTime::from_ms(1));
+        assert_eq!(*g1.borrow(), *g2.borrow());
+        assert_eq!(s1.core().total_drops, s2.core().total_drops);
+    }
+
+    #[test]
+    fn blackhole_drops_everything_and_partial_loss_some() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let (mut sim, got) = two_host_sim(10_000_000_000);
+        let sw = sim.core().topo.switches()[0];
+        // Blackhole the switch's ingress from host 0 from t=0.
+        let plan = FaultPlan::new(7).at(
+            SimTime::ZERO,
+            FaultKind::PacketLoss {
+                node: sw,
+                port: PortId(0),
+                frac: 1.0,
+            },
+        );
+        sim.install_fault_plan(&plan).unwrap();
+        sim.run_until(SimTime::from_ms(10));
+        assert_eq!(got.borrow().len(), 0, "blackhole delivers nothing");
+        assert_eq!(sim.core().fault_drops, 100);
+        assert_eq!(sim.core().total_drops, 100);
+
+        let (mut sim, got) = two_host_sim(10_000_000_000);
+        let sw = sim.core().topo.switches()[0];
+        let plan = FaultPlan::new(7).at(
+            SimTime::ZERO,
+            FaultKind::PacketLoss {
+                node: sw,
+                port: PortId(0),
+                frac: 0.3,
+            },
+        );
+        sim.install_fault_plan(&plan).unwrap();
+        sim.run_until(SimTime::from_ms(10));
+        let delivered = got.borrow().len();
+        assert!(
+            delivered > 0 && delivered < 100,
+            "partial loss: {delivered}"
+        );
+        assert_eq!(sim.core().fault_drops as usize, 100 - delivered);
+    }
+
+    #[test]
+    fn degraded_link_slows_delivery_and_restores() {
+        use crate::fault::FaultPlan;
+        // 10G link degraded to 1G for the whole run: 100 packets take ~10x
+        // longer than at full rate.
+        let (mut fast, got_fast) = two_host_sim(10_000_000_000);
+        fast.run_until(SimTime::from_ms(10));
+        let fast_last = got_fast.borrow().last().unwrap().0;
+
+        let (mut slow, got_slow) = two_host_sim(10_000_000_000);
+        let hosts: Vec<NodeId> = slow.core().topo.hosts().to_vec();
+        let plan = FaultPlan::new(0).degrade_window(
+            hosts[0],
+            PortId(0),
+            1_000_000_000,
+            SimTime::ZERO,
+            SimTime::from_ms(5),
+        );
+        slow.install_fault_plan(&plan).unwrap();
+        slow.run_until(SimTime::from_ms(10));
+        assert_eq!(got_slow.borrow().len(), 100, "all delivered eventually");
+        let slow_last = got_slow.borrow().last().unwrap().0;
+        assert!(
+            slow_last > fast_last.mul(4),
+            "degraded run must be much slower: {slow_last:?} vs {fast_last:?}"
+        );
+    }
+
+    #[test]
+    fn switch_reboot_flushes_queues_and_resets_ecn() {
+        use crate::fault::FaultKind;
+        // Two 25G senders into one 25G sink builds a standing queue; a
+        // reboot mid-run must empty it, release the buffer, and restore the
+        // default ECN config over a controller-modified one.
+        let topo = TopologySpec::single_switch(3, 25_000_000_000, SimTime::from_ns(500)).build();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.set_driver(hosts[2], Box::new(Sink { got: got.clone() }));
+        for (i, &h) in hosts[..2].iter().enumerate() {
+            sim.set_driver(
+                h,
+                Box::new(Blaster {
+                    dst: hosts[2],
+                    n: 400,
+                    flow: i as u64 + 1,
+                    ecn: Ecn::Ect,
+                }),
+            );
+            sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+        }
+        let sw = sim.core().topo.switches()[0];
+        // Let the queue build, then tamper with the config and reboot.
+        sim.run_until(SimTime::from_us(60));
+        assert!(sim.core().buffer_used(sw) > 0, "queue must have built");
+        let default_ecn = sim.core().cfg.port.ecn[PRIO_RDMA as usize];
+        sim.core_mut().queue_mut(sw, PortId(2), PRIO_RDMA).ecn =
+            Some(crate::queues::EcnConfig::new(1, 2, 1.0));
+        sim.core_mut()
+            .apply_fault(FaultKind::SwitchReboot { node: sw });
+        assert!(sim.core().fault_drops > 0, "flushed packets counted");
+        let buffered = sim.core().buffer_used(sw);
+        // At most the one in-flight packet can still be charged.
+        assert!(buffered <= 2000, "buffer released on reboot: {buffered}");
+        assert_eq!(
+            sim.core().queue(sw, PortId(2), PRIO_RDMA).ecn,
+            default_ecn,
+            "ECN reverts to the static default"
+        );
+        // The run continues and the remaining traffic drains cleanly.
+        sim.run_until(SimTime::from_ms(20));
+        assert!(!got.borrow().is_empty());
+    }
+
+    #[test]
+    fn telemetry_freeze_and_blank_distort_reads_not_ground_truth() {
+        use crate::fault::FaultKind;
+        let (mut sim, _got) = two_host_sim(10_000_000_000);
+        let sw = sim.core().topo.switches()[0];
+        sim.run_until(SimTime::from_us(50));
+        let live = sim.core().queue(sw, PortId(1), PRIO_RDMA).telem;
+        assert!(live.enq_pkts > 0, "traffic flowed");
+        assert!(
+            sim.core()
+                .faulted_reading(sw, PortId(1), PRIO_RDMA)
+                .is_none(),
+            "healthy reads are undistorted"
+        );
+        sim.core_mut()
+            .apply_fault(FaultKind::TelemetryFreeze { node: sw });
+        let (q0, t0) = sim
+            .core()
+            .faulted_reading(sw, PortId(1), PRIO_RDMA)
+            .unwrap();
+        sim.run_until(SimTime::from_ms(10));
+        let (q1, t1) = sim
+            .core()
+            .faulted_reading(sw, PortId(1), PRIO_RDMA)
+            .unwrap();
+        assert_eq!((q0, t0), (q1, t1), "frozen reads never move");
+        let truth = sim.core().queue(sw, PortId(1), PRIO_RDMA).telem;
+        assert!(truth.enq_pkts > t1.enq_pkts, "ground truth kept advancing");
+        sim.core_mut()
+            .apply_fault(FaultKind::TelemetryBlank { node: sw });
+        let (qb, tb) = sim
+            .core()
+            .faulted_reading(sw, PortId(1), PRIO_RDMA)
+            .unwrap();
+        assert_eq!(qb, 0);
+        assert_eq!(tb, QueueTelemetry::default());
+        sim.core_mut()
+            .apply_fault(FaultKind::TelemetryRestore { node: sw });
+        assert!(sim
+            .core()
+            .faulted_reading(sw, PortId(1), PRIO_RDMA)
+            .is_none());
+    }
+
+    #[test]
+    fn fault_log_records_and_drains() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let (mut sim, _got) = two_host_sim(10_000_000_000);
+        let sw = sim.core().topo.switches()[0];
+        let plan = FaultPlan::new(1)
+            .link_flap(sw, PortId(0), SimTime::from_us(10), SimTime::from_us(20))
+            .at(SimTime::from_us(30), FaultKind::SwitchReboot { node: sw });
+        sim.install_fault_plan(&plan).unwrap();
+        sim.run_until(SimTime::from_ms(1));
+        let log = sim.core_mut().drain_fault_log();
+        let kinds: Vec<&str> = log.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["link_down", "link_up", "switch_reboot"]);
+        assert_eq!(log[0].at, SimTime::from_us(10));
+        assert!(sim.core_mut().drain_fault_log().is_empty(), "drained");
     }
 }

@@ -33,6 +33,16 @@ pub enum TraceKind {
     LinkDown,
     /// The link attached to (node, port) was restored.
     LinkUp,
+    /// The link attached to (node, port) changed serialization rate
+    /// (fault injection: degrade or restore).
+    LinkDegraded,
+    /// The switch rebooted: queues flushed, ECN reset to static defaults.
+    SwitchReboot,
+    /// Telemetry reads from this node froze, blanked or recovered
+    /// (fault injection).
+    TelemetryFault,
+    /// Packet lost to injected loss or to arriving at a downed link.
+    FaultDrop,
 }
 
 /// One trace record.

@@ -96,6 +96,126 @@ fn traffic_steers_around_failed_uplink() {
     );
 }
 
+/// Blasts `n` packets at its first timer tick, then stays quiet.
+struct Blaster {
+    dst: NodeId,
+    n: u32,
+}
+impl NicDriver for Blaster {
+    fn on_packet(&mut self, _p: &Packet, _c: &mut HostCtx<'_>) {}
+    fn on_timer(&mut self, _t: u64, ctx: &mut HostCtx<'_>) {
+        for i in 0..self.n {
+            ctx.send(Packet::data(
+                FlowId(ctx.host().0 as u64 + 1),
+                ctx.host(),
+                self.dst,
+                PRIO_RDMA,
+                i as u64 * 1000,
+                1000,
+                i == self.n - 1,
+                Ecn::Ect,
+            ));
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn in_flight_packets_toward_downed_link_are_dropped_not_delivered_or_leaked() {
+    // A 50 us propagation delay keeps ~60 packets "on the wire" at any
+    // moment; failing the receiver link mid-stream must lose exactly the
+    // in-flight ones — counted, not delivered, and with no buffer bytes
+    // leaked at the switch.
+    let topo = TopologySpec::single_switch(2, 10_000_000_000, SimTime::from_us(50)).build();
+    let mut cfg = SimConfig::default();
+    cfg.control_interval = None;
+    let mut sim = Simulator::new(topo, cfg);
+    let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+    let got = Rc::new(RefCell::new(0));
+    sim.set_driver(hosts[1], Box::new(Sink { got: got.clone() }));
+    sim.set_driver(
+        hosts[0],
+        Box::new(Blaster {
+            dst: hosts[1],
+            n: 100,
+        }),
+    );
+    sim.with_driver(hosts[0], |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+    sim.run_until(SimTime::from_us(150));
+    let delivered_at_cut = *got.borrow();
+    assert!(delivered_at_cut > 0, "stream was flowing before the cut");
+    let sw = sim.core().topo.switches()[0];
+    sim.core_mut().set_link_state(sw, PortId(1), false);
+    sim.run_until(SimTime::from_ms(2));
+    let delivered = *got.borrow();
+    assert_eq!(delivered, delivered_at_cut, "nothing crosses a downed link");
+    let dropped = sim.core().fault_drops;
+    assert!(dropped > 10, "the in-flight packets are lost: {dropped}");
+    let queued = sim.core().queue(sw, PortId(1), PRIO_RDMA).len() as u64;
+    assert_eq!(
+        delivered as u64 + dropped + queued,
+        100,
+        "every packet is delivered, fault-dropped or still queued"
+    );
+    // No shared-buffer leak: with the transmitter idle, the switch's buffer
+    // occupancy is exactly what sits in its queues.
+    assert_eq!(
+        sim.core().buffer_used(sw),
+        sim.core().queue(sw, PortId(1), PRIO_RDMA).bytes()
+            + sim.core().queue(sw, PortId(0), PRIO_RDMA).bytes()
+    );
+}
+
+#[test]
+fn link_flap_cannot_leave_a_port_permanently_paused() {
+    // Overload a single receiver so the switch holds the senders in PFC
+    // pause, then flap a paused sender's link. Pause state on both ends is
+    // cleared on link-down and pauses landing on a downed port are ignored,
+    // so after restoration everything that was not physically lost in
+    // flight must still be delivered — a wedged (permanently paused) sender
+    // would strand its backlog forever.
+    let topo = TopologySpec::single_switch(9, 25_000_000_000, SimTime::from_ns(500)).build();
+    let mut cfg = SimConfig::default();
+    cfg.control_interval = None;
+    cfg.buffer_bytes = 512 * 1024; // force PFC
+    let mut sim = Simulator::new(topo, cfg);
+    let hosts: Vec<NodeId> = sim.core().topo.hosts().to_vec();
+    let got = Rc::new(RefCell::new(0));
+    sim.set_driver(hosts[8], Box::new(Sink { got: got.clone() }));
+    for &h in &hosts[..8] {
+        sim.set_driver(
+            h,
+            Box::new(Blaster {
+                dst: hosts[8],
+                n: 1000,
+            }),
+        );
+        sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+    }
+    // Mid-overload the fabric is pausing senders almost continuously.
+    sim.run_until(SimTime::from_ms(1));
+    assert!(sim.core().total_pfc_pauses > 0, "PFC must be active");
+    let sw = sim.core().topo.switches()[0];
+    sim.core_mut().set_link_state(sw, PortId(0), false);
+    sim.run_until(SimTime::from_ms(1) + SimTime::from_us(20));
+    sim.core_mut().set_link_state(sw, PortId(0), true);
+    sim.run_until(SimTime::from_ms(100));
+    let delivered = *got.borrow() as u64;
+    let lost = sim.core().fault_drops;
+    assert_eq!(
+        delivered + lost,
+        8000,
+        "everything not lost in flight is eventually delivered \
+         (a permanently paused port would strand its backlog)"
+    );
+    assert!(
+        sim.core().pfc_pause_time(hosts[0], PortId(0), PRIO_RDMA) < SimTime::from_ms(99),
+        "the flapped sender must not sit paused for the rest of the run"
+    );
+}
+
 #[test]
 fn total_partition_counts_unroutable_and_recovers_on_restore() {
     let (mut sim, _src, _dst, got) = cross_rack_setup();

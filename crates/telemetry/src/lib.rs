@@ -14,9 +14,14 @@
 //!   loss and replay/training progress (emitted by
 //!   `acc_core::controller::AccController` when a recorder is attached).
 //!
+//! * **Event timeline** ([`EventSample`]) — discrete events: injected
+//!   faults executing (drained from the simulator's fault log by the
+//!   sampler) and safe-mode guardrail violations/trips/recoveries (emitted
+//!   by `acc_core::guard::GuardedController`).
+//!
 //! Sinks ([`TelemetrySink`]) are an in-memory bounded ring ([`MemorySink`])
 //! and a JSONL directory writer ([`JsonlSink`], `queues.jsonl` +
-//! `agents.jsonl`). Everything is strictly opt-in: without a recorder the
+//! `agents.jsonl` + `events.jsonl`). Everything is strictly opt-in: without a recorder the
 //! simulator schedules no sampling events and the controller pays a single
 //! `Option` check per decision. Recording is read-only — it never perturbs
 //! the packet trajectory — and serialization is deterministic, so two
@@ -34,5 +39,5 @@ pub mod sink;
 pub use manifest::RunManifest;
 pub use recorder::{RunRecorder, SharedRecorder};
 pub use sampler::install_queue_sampler;
-pub use samples::{AgentSample, QueueSample};
+pub use samples::{AgentSample, EventSample, QueueSample};
 pub use sink::{JsonlSink, MemorySink, TelemetrySink};

@@ -40,6 +40,10 @@ pub struct RunManifest {
     pub queue_samples: u64,
     /// Agent samples recorded.
     pub agent_samples: u64,
+    /// Event samples recorded (faults, guardrail trips; absent in
+    /// manifests written before the event timeline existed).
+    #[serde(default)]
+    pub event_samples: u64,
     /// Flows registered with the FCT collector.
     pub flows_total: usize,
     /// Flows that completed before the horizon.
@@ -90,6 +94,7 @@ mod tests {
             events_per_sec: 666_666.7,
             queue_samples: 480,
             agent_samples: 240,
+            event_samples: 12,
             flows_total: 100,
             flows_completed: 100,
             fct: json!({"overall": {"avg_us": 120.0}}),

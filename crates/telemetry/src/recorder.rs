@@ -1,6 +1,6 @@
 //! The [`RunRecorder`]: one per run, fanning records out to its sinks.
 
-use crate::samples::{AgentSample, QueueSample};
+use crate::samples::{AgentSample, EventSample, QueueSample};
 use crate::sink::TelemetrySink;
 use std::cell::RefCell;
 use std::io;
@@ -19,6 +19,8 @@ pub struct RunRecorder {
     pub queue_samples: u64,
     /// Agent samples recorded so far.
     pub agent_samples: u64,
+    /// Event samples recorded so far.
+    pub event_samples: u64,
 }
 
 impl RunRecorder {
@@ -56,6 +58,14 @@ impl RunRecorder {
         self.agent_samples += 1;
         for sink in &mut self.sinks {
             sink.on_agent(s);
+        }
+    }
+
+    /// Record one discrete event (fault injected, guardrail tripped, ...).
+    pub fn record_event(&mut self, s: &EventSample) {
+        self.event_samples += 1;
+        for sink in &mut self.sinks {
+            sink.on_event(s);
         }
     }
 

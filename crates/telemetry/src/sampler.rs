@@ -1,7 +1,7 @@
 //! The periodic queue sampler: a read-only hook inside the event loop.
 
 use crate::recorder::SharedRecorder;
-use crate::samples::QueueSample;
+use crate::samples::{EventSample, QueueSample};
 use netsim::ids::{NodeId, PortId};
 use netsim::sim::Simulator;
 use netsim::time::SimTime;
@@ -86,6 +86,19 @@ pub fn install_queue_sampler(sim: &mut Simulator, interval: SimTime, recorder: S
                         }
                     }
                 }
+            }
+            // Injected faults executed since the previous sample join the
+            // run's event timeline (in execution order, so byte-identical
+            // across identical runs).
+            for f in core.drain_fault_log() {
+                rec.record_event(&EventSample {
+                    t_ps: f.at.as_ps(),
+                    node: f.node.0,
+                    port: f.port.0,
+                    prio: u8::MAX,
+                    kind: f.kind.to_string(),
+                    detail: f.detail,
+                });
             }
         }),
     );

@@ -1,4 +1,4 @@
-//! The two record types the flight recorder emits.
+//! The record types the flight recorder emits.
 
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +77,42 @@ pub struct AgentSample {
     pub train_steps: u64,
 }
 
+/// One discrete event of a run: an injected fault taking effect, a
+/// safe-mode guardrail violation/trip/recovery, or anything else a
+/// component wants on the run's timeline.
+///
+/// `node`/`port`/`prio` locate the event where that makes sense; events
+/// that concern a whole switch set `port` to `u16::MAX`, and events that
+/// are not priority-specific set `prio` to `u8::MAX`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventSample {
+    /// Event time in picoseconds of simulated time.
+    pub t_ps: u64,
+    /// Node the event concerns.
+    pub node: u32,
+    /// Port the event concerns (`u16::MAX` = whole node).
+    pub port: u16,
+    /// Traffic class the event concerns (`u8::MAX` = not class-specific).
+    pub prio: u8,
+    /// Stable machine-readable kind, e.g. `link_down`, `guard_trip`.
+    pub kind: String,
+    /// Free-form detail (violation name, flushed byte count, ...).
+    pub detail: String,
+}
+
+impl Default for EventSample {
+    fn default() -> Self {
+        EventSample {
+            t_ps: 0,
+            node: 0,
+            port: u16::MAX,
+            prio: u8::MAX,
+            kind: String::new(),
+            detail: String::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +162,20 @@ mod tests {
         assert_eq!(back, s);
         s.td_loss = Some(0.011718750);
         let back: AgentSample = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn event_sample_roundtrip() {
+        let s = EventSample {
+            t_ps: 3_000_000_000,
+            node: 24,
+            port: 6,
+            prio: u8::MAX,
+            kind: "link_down".to_string(),
+            detail: "peer=28:0".to_string(),
+        };
+        let back: EventSample = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
     }
 
