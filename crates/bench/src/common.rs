@@ -12,8 +12,10 @@ use rand::{Rng, SeedableRng};
 use rl::Mlp;
 use serde_json::{json, Value};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use telemetry::{JsonlSink, RunManifest, RunRecorder, SharedRecorder};
 use transport::{FctCollector, FctStats, SharedFct, StackConfig};
 use workloads::gen::{self, Arrival, PoissonGen};
@@ -287,8 +289,17 @@ struct MetricsCtx {
     runs: u64,
 }
 
-thread_local! {
-    static METRICS: RefCell<Option<MetricsCtx>> = const { RefCell::new(None) };
+/// The shared recording registry. A `Mutex` (not a `thread_local!`) because
+/// matrix cells run on pool workers: every worker must see the armed
+/// context, and run-directory allocation must be serialised so names are
+/// collision-free across threads.
+static METRICS: Mutex<Option<MetricsCtx>> = Mutex::new(None);
+
+fn metrics_registry() -> std::sync::MutexGuard<'static, Option<MetricsCtx>> {
+    // A worker that panicked mid-cell poisons the lock; the registry itself
+    // is still consistent (allocation is atomic under the guard), so keep
+    // going rather than cascading panics across unrelated cells.
+    METRICS.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Set when any armed recording could not be written in full (sink
@@ -314,29 +325,169 @@ pub fn enable_metrics(dir: impl Into<PathBuf>, interval: SimTime) {
         interval > SimTime::ZERO,
         "sampling interval must be positive"
     );
-    METRICS.with(|m| {
-        *m.borrow_mut() = Some(MetricsCtx {
-            dir: dir.into(),
-            interval,
-            experiment: String::new(),
-            runs: 0,
-        });
+    *metrics_registry() = Some(MetricsCtx {
+        dir: dir.into(),
+        interval,
+        experiment: String::new(),
+        runs: 0,
     });
 }
 
 /// Disarm the flight recorder.
 pub fn disable_metrics() {
-    METRICS.with(|m| *m.borrow_mut() = None);
+    *metrics_registry() = None;
 }
 
 /// Label subsequent recorded runs with the experiment id (the CLI sets this
 /// before dispatching each experiment).
 pub fn set_metrics_experiment(id: &str) {
-    METRICS.with(|m| {
-        if let Some(ctx) = m.borrow_mut().as_mut() {
-            ctx.experiment = id.to_string();
+    if let Some(ctx) = metrics_registry().as_mut() {
+        ctx.experiment = id.to_string();
+    }
+}
+
+/// Identity of the matrix cell executing on this thread, if any. Scenarios
+/// built inside a cell derive their run-directory names from the cell index
+/// rather than from a shared arrival-order counter, so recorded paths (and
+/// therefore recorded bytes) are identical no matter how many workers the
+/// matrix ran on or which one picked the cell up.
+struct CellCtx {
+    index: usize,
+    runs: u64,
+}
+
+thread_local! {
+    static CURRENT_CELL: RefCell<Option<CellCtx>> = const { RefCell::new(None) };
+}
+
+/// Clears the executing-cell marker even when the cell's job panics, so a
+/// worker (or the caller's thread in serial mode) never leaks one cell's
+/// identity into the next scenario built on that thread.
+struct CellGuard;
+
+impl Drop for CellGuard {
+    fn drop(&mut self) {
+        CURRENT_CELL.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Worker count for [`run_matrix`]: 0 = auto (one per available core).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the [`run_matrix`] worker count (the CLI's `--jobs N`); 0 restores
+/// the default of one worker per available core.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective [`run_matrix`] worker count.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// One cell of an experiment's policy × seed × scenario matrix: a label for
+/// progress lines plus an independently runnable job.
+///
+/// The job builds its whole world — topology, `Simulator`, traffic, FCT
+/// collector — inside the thread that executes it, so the simulator's
+/// `Rc`/`RefCell` graph never crosses threads; only the captured inputs and
+/// the returned result must be `Send`.
+pub struct MatrixCell<T> {
+    label: String,
+    job: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> MatrixCell<T> {
+    /// A labelled cell.
+    pub fn new(label: impl Into<String>, job: impl FnOnce() -> T + Send + 'static) -> Self {
+        MatrixCell {
+            label: label.into(),
+            job: Box::new(job),
         }
-    });
+    }
+}
+
+fn run_cell<T>(index: usize, job: Box<dyn FnOnce() -> T + Send>) -> T {
+    CURRENT_CELL.with(|c| *c.borrow_mut() = Some(CellCtx { index, runs: 0 }));
+    let _guard = CellGuard;
+    job()
+}
+
+/// Execute `cells` concurrently and return their results in cell order.
+///
+/// Cells run on up to [`jobs`] scoped workers; `--jobs 1` runs them on the
+/// caller's thread exactly as the pre-pool harness did. The determinism
+/// contract: every cell derives its RNG seeds from its own inputs and its
+/// recorded run directory from its cell index — never from execution order —
+/// so result JSON and recorded JSONL are byte-identical at any worker count.
+pub fn run_matrix<T: Send>(cells: Vec<MatrixCell<T>>) -> Vec<T> {
+    run_matrix_with_jobs(cells, jobs())
+}
+
+/// [`run_matrix`] with an explicit worker count (tests pin this).
+pub fn run_matrix_with_jobs<T: Send>(cells: Vec<MatrixCell<T>>, jobs: usize) -> Vec<T> {
+    let n = cells.len();
+    let workers = jobs.max(1).min(n.max(1));
+    let t0 = std::time::Instant::now();
+    let out: Vec<T> = if workers <= 1 {
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, MatrixCell { label, job })| {
+                let t = std::time::Instant::now();
+                let r = run_cell(i, job);
+                eprintln!(
+                    "[matrix] {}/{n} {label} ({:.1}s)",
+                    i + 1,
+                    t.elapsed().as_secs_f64()
+                );
+                r
+            })
+            .collect()
+    } else {
+        let queue: Mutex<VecDeque<(usize, MatrixCell<T>)>> =
+            Mutex::new(cells.into_iter().enumerate().collect());
+        let done = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let next = queue.lock().unwrap_or_else(|p| p.into_inner()).pop_front();
+                    let Some((i, MatrixCell { label, job })) = next else {
+                        break;
+                    };
+                    let t = std::time::Instant::now();
+                    let r = run_cell(i, job);
+                    *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                    eprintln!(
+                        "[matrix] {}/{n} {label} ({:.1}s)",
+                        done.fetch_add(1, Ordering::Relaxed) + 1,
+                        t.elapsed().as_secs_f64()
+                    );
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("worker pool completed every cell")
+            })
+            .collect()
+    };
+    if n > 1 {
+        eprintln!(
+            "[matrix] {n} cells on {workers} worker(s) in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    out
 }
 
 /// Live telemetry of one recorded scenario; finalised into a manifest when
@@ -453,44 +604,116 @@ pub fn scenario(
     gen::apply_arrivals(&mut sim, arrivals);
 
     // Arm the flight recorder for this run when metrics are enabled.
-    let telem = METRICS.with(|m| {
-        let mut m = m.borrow_mut();
-        let ctx = m.as_mut()?;
-        ctx.runs += 1;
-        let exp = if ctx.experiment.is_empty() {
-            "run"
-        } else {
-            &ctx.experiment
-        };
-        let run = format!("{exp}_{:04}_{}_seed{seed}", ctx.runs, policy.name());
-        let dir = ctx.dir.join(&run);
-        let sink = match JsonlSink::create(&dir) {
-            Ok(s) => s,
-            Err(e) => {
-                note_metrics_failure(&dir, &e);
-                return None;
-            }
-        };
-        let rec = RunRecorder::new().with_sink(Box::new(sink)).into_shared();
-        telemetry::install_queue_sampler(&mut sim, ctx.interval, rec.clone());
-        controller::attach_recorder(&mut sim, &rec);
-        Some(RunTelemetry {
-            rec,
-            dir,
-            experiment: exp.to_string(),
-            run,
-            policy: policy.name().to_string(),
-            seed,
-            scale: if scale.quick { "quick" } else { "full" }.to_string(),
-            started: std::time::Instant::now(),
-        })
-    });
+    let telem = arm_recording(&mut sim, policy, scale, seed);
     Scenario {
         sim,
         hosts,
         fct,
         telem,
     }
+}
+
+/// Claim a fresh run directory and attach a recording sink to `sim`, when
+/// the registry is armed.
+///
+/// Directory names: inside a matrix cell the name is derived from the cell
+/// index (`<exp>_<cell>_<policy>_seed<seed>`, with an `rN` suffix for a
+/// cell's second and later scenarios), which keeps recorded paths identical
+/// across worker counts. Outside a cell the shared counter probes forward
+/// past directories earlier processes left behind. Either way the directory
+/// is claimed with an exclusive create while the registry lock is held: an
+/// existing recording is never truncated — a deterministic-name collision
+/// (re-running into a used `--metrics-dir`) is reported through
+/// [`note_metrics_failure`] so the process exits non-zero.
+fn arm_recording(
+    sim: &mut Simulator,
+    policy: Policy,
+    scale: Scale,
+    seed: u64,
+) -> Option<RunTelemetry> {
+    let cell = CURRENT_CELL.with(|c| {
+        c.borrow_mut().as_mut().map(|ctx| {
+            ctx.runs += 1;
+            (ctx.index, ctx.runs)
+        })
+    });
+    let (exp, run, dir, interval) = {
+        let mut reg = metrics_registry();
+        let ctx = reg.as_mut()?;
+        let exp = if ctx.experiment.is_empty() {
+            "run".to_string()
+        } else {
+            ctx.experiment.clone()
+        };
+        if let Err(e) = std::fs::create_dir_all(&ctx.dir) {
+            note_metrics_failure(&ctx.dir, &e);
+            return None;
+        }
+        let (run, dir) = match cell {
+            Some((index, nth)) => {
+                let sub = if nth > 1 {
+                    format!("r{nth}")
+                } else {
+                    String::new()
+                };
+                let run = format!("{exp}_{:04}{sub}_{}_seed{seed}", index + 1, policy.name());
+                let dir = ctx.dir.join(&run);
+                match std::fs::create_dir(&dir) {
+                    Ok(()) => (run, dir),
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                        note_metrics_failure(
+                            &dir,
+                            &"run directory already exists — refusing to overwrite an \
+                              earlier recording (point --metrics-dir somewhere fresh)",
+                        );
+                        return None;
+                    }
+                    Err(e) => {
+                        note_metrics_failure(&dir, &e);
+                        return None;
+                    }
+                }
+            }
+            None => loop {
+                ctx.runs += 1;
+                if ctx.runs > 9999 {
+                    note_metrics_failure(&ctx.dir, &"no free run directory below 10000");
+                    return None;
+                }
+                let run = format!("{exp}_{:04}_{}_seed{seed}", ctx.runs, policy.name());
+                let dir = ctx.dir.join(&run);
+                match std::fs::create_dir(&dir) {
+                    Ok(()) => break (run, dir),
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                    Err(e) => {
+                        note_metrics_failure(&dir, &e);
+                        return None;
+                    }
+                }
+            },
+        };
+        (exp, run, dir, ctx.interval)
+    };
+    let sink = match JsonlSink::create_new(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            note_metrics_failure(&dir, &e);
+            return None;
+        }
+    };
+    let rec = RunRecorder::new().with_sink(Box::new(sink)).into_shared();
+    telemetry::install_queue_sampler(sim, interval, rec.clone());
+    controller::attach_recorder(sim, &rec);
+    Some(RunTelemetry {
+        rec,
+        dir,
+        experiment: exp,
+        run,
+        policy: policy.name().to_string(),
+        seed,
+        scale: if scale.quick { "quick" } else { "full" }.to_string(),
+        started: std::time::Instant::now(),
+    })
 }
 
 /// Periodically sampled statistics of one egress queue.
@@ -601,6 +824,7 @@ pub fn fct_json(s: &FctStats) -> Value {
         "p99_us": s.p99_us,
         "p999_us": s.p999_us,
         "max_us": s.max_us,
+        "dropped_non_finite": s.dropped_non_finite,
     })
 }
 

@@ -25,7 +25,7 @@
 //! identical plans produce byte-identical JSONL (checked by the
 //! `fault_smoke` integration test and the CI fault-smoke job).
 
-use crate::common::{self, scenario, Policy, Scale};
+use crate::common::{self, scenario, MatrixCell, Policy, Scale};
 use acc_core::guard::{GuardStats, GuardedController};
 use netsim::ids::PRIO_RDMA;
 use netsim::prelude::*;
@@ -180,6 +180,25 @@ pub fn run_policy(policy: Policy, scale: Scale, seed: u64) -> FaultOutcome {
     }
 }
 
+/// The three policy arms in report order.
+pub const ARMS: [Policy; 3] = [Policy::AccMonitored, Policy::AccGuarded, Policy::Secn1];
+
+/// Run all three arms of the fault experiment as matrix cells (each arm is
+/// an independent simulation over the identical seeded plan), returning the
+/// outcomes in [`ARMS`] order. Public so the `fault_smoke` integration test
+/// can compare serial and parallel executions of the same matrix.
+pub fn run_arms(scale: Scale) -> Vec<FaultOutcome> {
+    let cells = ARMS
+        .iter()
+        .map(|&policy| {
+            MatrixCell::new(format!("fault {}", policy.name()), move || {
+                run_policy(policy, scale, FAULT_SEED)
+            })
+        })
+        .collect();
+    common::run_matrix(cells)
+}
+
 /// Run the experiment.
 pub fn run(scale: Scale) -> Value {
     common::banner(
@@ -191,6 +210,7 @@ pub fn run(scale: Scale) -> Value {
          spine loss 2% @50-70%, leaf1 uplink 10G @55-75%, leaf1 telemetry blank @70-85%,\n\
          spine reboot @80% of horizon\n"
     );
+    let outcomes = run_arms(scale);
     println!(
         "{:<14} {:>9} {:>9} {:>7} {:>6} {:>6} {:>10} {:>7} {:>10} {:>11}",
         "policy",
@@ -205,9 +225,7 @@ pub fn run(scale: Scale) -> Value {
         "flows"
     );
     let mut rows = Vec::new();
-    let mut outcomes = Vec::new();
-    for policy in [Policy::AccMonitored, Policy::AccGuarded, Policy::Secn1] {
-        let o = run_policy(policy, scale, FAULT_SEED);
+    for o in &outcomes {
         let g = o.guard.unwrap_or_default();
         println!(
             "{:<14} {:>9} {:>9} {:>7} {:>6} {:>6} {:>10} {:>7} {:>9.1} {:>6}/{}",
@@ -238,7 +256,6 @@ pub fn run(scale: Scale) -> Value {
             "flows_completed": o.completed,
             "flows_total": o.total,
         }));
-        outcomes.push(o);
     }
 
     let raw = &outcomes[0];

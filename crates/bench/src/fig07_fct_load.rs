@@ -5,7 +5,7 @@
 //! size class (normalised by ACC, as the paper does), and the sampled
 //! average/std-dev of the receiver-port queue plus ToR throughput.
 
-use crate::common::{self, scenario, Policy, Scale};
+use crate::common::{self, scenario, MatrixCell, Policy, Scale};
 use netsim::ids::PRIO_RDMA;
 use netsim::prelude::*;
 use serde_json::{json, Value};
@@ -73,12 +73,24 @@ pub fn run(scale: Scale) -> Value {
         "fig7",
         "FCT by size class at 20%/60% load + queue statistics",
     );
+    let loads = [0.2, 0.6];
+    let policies = [Policy::Acc, Policy::Secn1, Policy::Secn2];
+    let mut cells = Vec::new();
+    for &load in &loads {
+        for policy in policies {
+            cells.push(MatrixCell::new(
+                format!("fig7 load={:.0}% {}", load * 100.0, policy.name()),
+                move || run_one(policy, load, scale),
+            ));
+        }
+    }
+    let mut results = common::run_matrix(cells).into_iter();
     let mut out = Vec::new();
-    for load in [0.2, 0.6] {
+    for load in loads {
         println!("\n-- load {:.0}% --", load * 100.0);
-        let acc = run_one(Policy::Acc, load, scale);
-        let s1 = run_one(Policy::Secn1, load, scale);
-        let s2 = run_one(Policy::Secn2, load, scale);
+        let acc = results.next().expect("one result per cell");
+        let s1 = results.next().expect("one result per cell");
+        let s2 = results.next().expect("one result per cell");
         println!(
             "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9}",
             "policy",

@@ -4,7 +4,7 @@
 //! than SECN1 and 16.6% better than SECN2 overall at 90% load, with the
 //! biggest wins on mice tails.
 
-use crate::common::{self, buckets, scenario, FctBuckets, Policy, Scale};
+use crate::common::{self, buckets, scenario, FctBuckets, MatrixCell, Policy, Scale};
 use netsim::prelude::*;
 use serde_json::{json, Value};
 use transport::CcKind;
@@ -33,14 +33,27 @@ fn run_one(policy: Policy, load: f64, scale: Scale) -> FctBuckets {
 pub fn run(scale: Scale) -> Value {
     common::banner("fig12", "WebSearch at scale: FCT vs load");
     let loads = scale.pick(vec![0.6, 0.8, 0.9], vec![0.6, 0.9]);
+    let policies = [Policy::Acc, Policy::Secn1, Policy::Secn2];
+    // The load × policy matrix runs as independent cells on the worker pool;
+    // printing happens afterwards from the deterministically ordered results.
+    let mut cells = Vec::new();
+    for &load in &loads {
+        for policy in policies {
+            cells.push(MatrixCell::new(
+                format!("fig12 load={:.0}% {}", load * 100.0, policy.name()),
+                move || run_one(policy, load, scale),
+            ));
+        }
+    }
+    let mut results = common::run_matrix(cells).into_iter();
     println!(
         "{:<6} {:<8} {:>12} {:>12} {:>12} {:>13} {:>11}",
         "load", "policy", "overall avg", "mice avg", "mice p99", "elephant avg", "unfinished"
     );
     let mut rows = Vec::new();
     for &load in &loads {
-        for policy in [Policy::Acc, Policy::Secn1, Policy::Secn2] {
-            let b = run_one(policy, load, scale);
+        for policy in policies {
+            let b = results.next().expect("one result per cell");
             println!(
                 "{:<6.0}% {:<8} {:>11.1} {:>12.1} {:>12.1} {:>13.1} {:>11}",
                 load * 100.0,

@@ -3,7 +3,7 @@
 //! averaged over several runs. The paper reports ACC beating SECN1 by up to
 //! 8.7%/24.3% (mice avg/p99) and SECN2 by 28.6%/58.3%.
 
-use crate::common::{self, buckets, scenario, FctBuckets, Policy, Scale};
+use crate::common::{self, buckets, scenario, FctBuckets, MatrixCell, Policy, Scale};
 use netsim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -50,20 +50,38 @@ pub fn run(scale: Scale) -> Value {
         "heterogeneous traffic across workloads (multi-run average)",
     );
     let runs = scale.pick(2u64, 1);
-    let mut rows = Vec::new();
-    for (wname, dist) in [
+    let workloads = [
         ("WebSearch", SizeDist::web_search()),
         ("DataMining", SizeDist::data_mining()),
-    ] {
+    ];
+    let policies = [Policy::Acc, Policy::Secn1, Policy::Secn2];
+    // One cell per (workload, policy, repeat): every repeat seeds its own
+    // RNGs from the repeat index (100 + r), so the matrix is embarrassingly
+    // parallel and byte-stable at any worker count.
+    let mut cells = Vec::new();
+    for (wname, dist) in &workloads {
+        for policy in policies {
+            for r in 0..runs {
+                let dist = dist.clone();
+                cells.push(MatrixCell::new(
+                    format!("fig13 {wname} {} run{r}", policy.name()),
+                    move || run_one(policy, &dist, 100 + r, scale),
+                ));
+            }
+        }
+    }
+    let mut results = common::run_matrix(cells).into_iter();
+    let mut rows = Vec::new();
+    for (wname, _) in &workloads {
         println!("\n-- {wname} --");
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>13}",
             "policy", "overall avg", "mice avg", "mice p99", "elephant avg"
         );
-        for policy in [Policy::Acc, Policy::Secn1, Policy::Secn2] {
+        for policy in policies {
             let mut acc = [0.0f64; 4];
-            for r in 0..runs {
-                let b = run_one(policy, &dist, 100 + r, scale);
+            for _ in 0..runs {
+                let b = results.next().expect("one result per cell");
                 acc[0] += b.overall.avg_us;
                 acc[1] += b.mice.avg_us;
                 acc[2] += b.mice.p99_us;

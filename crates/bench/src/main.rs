@@ -2,12 +2,16 @@
 //!
 //! Flags:
 //! * `--quick` / `-q` — shrink durations/topologies for a fast smoke run;
+//! * `--jobs <n>` / `-j <n>` — worker threads for run-matrix experiments
+//!   (default: one per available core; `--jobs 1` runs serially with
+//!   byte-identical recorded output);
 //! * `--metrics-dir <dir>` — arm the flight recorder: every scenario the
 //!   selected experiments build records queue/agent JSONL time-series and a
 //!   `manifest.json` into a numbered subdirectory of `<dir>`;
 //! * `--metrics-interval-us <n>` — queue-sampling cadence (default 100 µs).
 //!
-//! Unknown flags are rejected with exit code 2 rather than silently ignored.
+//! Unknown flags and duplicate experiment ids are rejected with exit code 2
+//! rather than silently ignored.
 
 use acc_bench::{experiments, Scale};
 use netsim::prelude::SimTime;
@@ -33,11 +37,16 @@ fn train(scale: Scale, out: &str) {
 }
 
 fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
-    println!("usage: acc-bench <id>... [--quick] [--metrics-dir <dir>]");
-    println!("       acc-bench all [--quick]");
+    println!(
+        "usage: acc-bench <id>... [--quick] [--jobs <n>] [--metrics-dir <dir>] \
+         [--metrics-interval-us <n>]"
+    );
+    println!("       acc-bench all [--quick] [--jobs <n>]");
     println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle");
     println!("       acc-bench report <dir>                 # summarise recorded telemetry\n");
     println!("flags: --quick|-q                 smoke scale");
+    println!("       --jobs|-j <n>              run-matrix worker threads (default: all cores;");
+    println!("                                  1 = serial, output is identical either way)");
     println!("       --metrics-dir <dir>        record queue/agent JSONL + manifests");
     println!("       --metrics-interval-us <n>  queue sampling cadence (default 100)\n");
     println!("{:<10} description", "id");
@@ -59,11 +68,16 @@ fn main() {
     let mut quick = false;
     let mut metrics_dir: Option<String> = None;
     let mut interval_us: u64 = 100;
+    let mut jobs: Option<usize> = None;
     let mut which: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" | "-q" => quick = true,
+            "--jobs" | "-j" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = Some(n),
+                _ => bad_flag("flag '--jobs' needs a positive integer"),
+            },
             "--metrics-dir" => match it.next() {
                 Some(d) => metrics_dir = Some(d.clone()),
                 None => bad_flag("flag '--metrics-dir' needs a directory argument"),
@@ -80,6 +94,11 @@ fn main() {
                         Ok(n) if n > 0 => interval_us = n,
                         _ => bad_flag("flag '--metrics-interval-us' needs a positive integer"),
                     }
+                } else if let Some(n) = flag.strip_prefix("--jobs=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => jobs = Some(n),
+                        _ => bad_flag("flag '--jobs' needs a positive integer"),
+                    }
                 } else {
                     bad_flag(&format!("unknown flag '{flag}'"));
                 }
@@ -88,6 +107,9 @@ fn main() {
         }
     }
     let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    if let Some(n) = jobs {
+        acc_bench::common::set_jobs(n);
+    }
 
     let all = experiments();
     if which.is_empty() || which[0] == "list" {
@@ -112,6 +134,17 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+
+    // Reject duplicate experiment ids: the second execution used to shadow
+    // the first's recordings (and silently double the wall time).
+    {
+        let mut seen = std::collections::HashSet::new();
+        for w in &which {
+            if !seen.insert(w.as_str()) {
+                bad_flag(&format!("experiment '{w}' given more than once"));
+            }
+        }
     }
 
     if let Some(dir) = &metrics_dir {

@@ -8,9 +8,19 @@
 //! `acc-bench fault --quick --metrics-dir` determinism check.
 
 use acc_bench::common::{self, Policy, Scale};
-use acc_bench::fault::{run_policy, FaultOutcome, FAULT_SEED};
+use acc_bench::fault::{run_arms, run_policy, FaultOutcome, FAULT_SEED};
 use netsim::prelude::SimTime;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+/// The recording registry is process-wide (matrix workers must all see it),
+/// so tests that arm it — or build scenarios that would record if another
+/// test armed it — serialise on this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 fn fresh_dir(name: &str) -> PathBuf {
     let dir = Path::new("target").join(name);
@@ -36,6 +46,7 @@ fn recorded_arm(policy: Policy, root: &Path) -> (FaultOutcome, PathBuf) {
 
 #[test]
 fn guardrails_hold_under_fault_schedule() {
+    let _g = lock();
     let raw = run_policy(Policy::AccMonitored, Scale::QUICK, FAULT_SEED);
     let guarded = run_policy(Policy::AccGuarded, Scale::QUICK, FAULT_SEED);
 
@@ -74,6 +85,7 @@ fn guardrails_hold_under_fault_schedule() {
 
 #[test]
 fn recorded_fault_runs_are_byte_identical() {
+    let _g = lock();
     let root = fresh_dir("fault-smoke-determinism");
     let (o1, d1) = recorded_arm(Policy::AccGuarded, &root.join("a"));
     let (o2, d2) = recorded_arm(Policy::AccGuarded, &root.join("b"));
@@ -99,4 +111,85 @@ fn recorded_fault_runs_are_byte_identical() {
     assert_eq!(m.policy, "ACC-guarded");
     assert_eq!(m.seed, FAULT_SEED);
     assert!(m.event_samples > 0, "manifest counted no event samples");
+}
+
+/// Sorted run directories (those holding a manifest) under `root`.
+fn run_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("metrics root exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.join("manifest.json").is_file())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// The determinism contract of the worker pool: the same recorded matrix
+/// executed with `--jobs 1` and `--jobs 4` produces byte-identical
+/// queues/agents/events JSONL at identical paths and identical results —
+/// and re-running into the used metrics dir refuses to overwrite anything.
+#[test]
+fn parallel_matrix_is_byte_identical_to_serial() {
+    let _g = lock();
+    let root = fresh_dir("fault-smoke-parallel");
+    let run_with = |jobs: usize, sub: &str| -> Vec<FaultOutcome> {
+        common::set_jobs(jobs);
+        common::enable_metrics(root.join(sub), SimTime::from_us(100));
+        common::set_metrics_experiment("fault-par");
+        let outcomes = run_arms(Scale::QUICK);
+        common::disable_metrics();
+        common::set_jobs(0);
+        outcomes
+    };
+    let serial = run_with(1, "j1");
+    let parallel = run_with(4, "j4");
+
+    // Identical results, field for field (f64s must match exactly).
+    assert_eq!(serial.len(), 3);
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "parallel outcomes diverge from serial"
+    );
+
+    // Identical run-directory names (cell-derived, not scheduling-derived)
+    // and byte-identical recorded time-series.
+    let d1 = run_dirs(&root.join("j1"));
+    let d4 = run_dirs(&root.join("j4"));
+    assert_eq!(d1.len(), 3, "three arms record three runs");
+    let names = |ds: &[PathBuf]| -> Vec<String> {
+        ds.iter()
+            .map(|d| d.file_name().unwrap().to_string_lossy().into_owned())
+            .collect()
+    };
+    assert_eq!(
+        names(&d1),
+        names(&d4),
+        "run names must not depend on --jobs"
+    );
+    for (a, b) in d1.iter().zip(&d4) {
+        for f in ["queues.jsonl", "agents.jsonl", "events.jsonl"] {
+            let x = std::fs::read(a.join(f)).unwrap();
+            let y = std::fs::read(b.join(f)).unwrap();
+            assert_eq!(x, y, "{f} differs between --jobs 1 and --jobs 4");
+        }
+    }
+    assert!(!common::metrics_failed(), "clean runs flagged a failure");
+
+    // Re-running the same matrix into the already-used directory must
+    // refuse to record (deterministic names would collide) and must leave
+    // the first recording untouched.
+    let before = std::fs::read(d1[0].join("queues.jsonl")).unwrap();
+    common::enable_metrics(root.join("j1"), SimTime::from_us(100));
+    common::set_metrics_experiment("fault-par");
+    let rerun = run_arms(Scale::QUICK);
+    common::disable_metrics();
+    assert_eq!(rerun.len(), 3, "unrecorded arms still simulate");
+    assert!(
+        common::metrics_failed(),
+        "colliding run directories must be reported as a metrics failure"
+    );
+    let after = std::fs::read(d1[0].join("queues.jsonl")).unwrap();
+    assert_eq!(before, after, "existing recording was modified on re-run");
+    assert_eq!(run_dirs(&root.join("j1")).len(), 3, "no extra dirs appear");
 }

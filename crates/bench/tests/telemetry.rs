@@ -6,8 +6,18 @@
 use acc_bench::common::{self, Policy, Scale};
 use netsim::prelude::*;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
 use transport::CcKind;
 use workloads::gen;
+
+/// The recording registry is process-wide; tests that arm/disarm it
+/// serialise here so one test's armed window never captures another's
+/// scenarios.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// A small deterministic scenario: 8-host single switch, two incast waves.
 fn run_once(metrics: Option<&Path>) -> (transport::FctSummary, Option<PathBuf>) {
@@ -52,6 +62,7 @@ fn fresh_dir(name: &str) -> PathBuf {
 
 #[test]
 fn recorded_runs_are_byte_identical() {
+    let _g = lock();
     let root = fresh_dir("telemetry-test-determinism");
     let (s1, d1) = run_once(Some(&root.join("a")));
     let (s2, d2) = run_once(Some(&root.join("b")));
@@ -80,6 +91,7 @@ fn recorded_runs_are_byte_identical() {
 
 #[test]
 fn disabled_path_records_nothing_and_matches_recorded_results() {
+    let _g = lock();
     let root = fresh_dir("telemetry-test-disabled");
     let (plain, no_dir) = run_once(None);
     assert!(no_dir.is_none());
@@ -92,4 +104,31 @@ fn disabled_path_records_nothing_and_matches_recorded_results() {
     assert_eq!(plain.completed, recorded.completed);
     assert_eq!(plain.overall.avg_us, recorded.overall.avg_us);
     assert_eq!(plain.overall.max_us, recorded.overall.max_us);
+}
+
+/// Re-arming the same `--metrics-dir` in a fresh "process" (a fresh
+/// registry context, counter back at zero) must not clobber the runs an
+/// earlier invocation recorded: counter-derived names probe forward past
+/// existing directories.
+#[test]
+fn rearming_used_metrics_dir_probes_past_existing_runs() {
+    let _g = lock();
+    let root = fresh_dir("telemetry-test-rearm");
+    let (_, d1) = run_once(Some(&root));
+    let d1 = d1.unwrap();
+    // Taint the first recording so truncation would be detectable even
+    // though identical seeds reproduce identical bytes.
+    let marker = b"MARKER: first recording must survive\n".to_vec();
+    let mut q1 = std::fs::read(d1.join("queues.jsonl")).unwrap();
+    q1.extend_from_slice(&marker);
+    std::fs::write(d1.join("queues.jsonl"), &q1).unwrap();
+
+    // Second invocation, same dir: enable_metrics resets the run counter
+    // exactly like a new process would.
+    let (_, d2) = run_once(Some(&root));
+    let d2 = d2.unwrap();
+    assert_ne!(d1, d2, "second run must get a fresh directory");
+    assert!(d2.join("manifest.json").is_file());
+    let q1_after = std::fs::read(d1.join("queues.jsonl")).unwrap();
+    assert_eq!(q1, q1_after, "earlier recording was truncated or rewritten");
 }

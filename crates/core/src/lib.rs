@@ -57,3 +57,25 @@ pub use hybrid::{CentralTrainer, HybridAcc};
 pub use reward::{e_n, ladder_index, QueuePenalty, RewardConfig};
 pub use state::{QueueObs, StateWindow, FEATURES_PER_OBS};
 pub use static_ecn::StaticEcnPolicy;
+
+// Send/Sync audit for the parallel run-matrix executor in `acc-bench`:
+// controllers themselves are installed and driven on one thread, but the
+// configs, action spaces and models a matrix cell captures (including the
+// process-wide pretrained `Mlp` cache) must cross worker threads.
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn matrix_cell_inputs_cross_threads() {
+        assert_send_sync::<AccConfig>();
+        assert_send_sync::<ActionSpace>();
+        assert_send_sync::<GuardConfig>();
+        assert_send_sync::<GuardStats>();
+        assert_send_sync::<StaticEcnPolicy>();
+        assert_send_sync::<RewardConfig>();
+        assert_send_sync::<rl::Mlp>();
+    }
+}

@@ -76,3 +76,28 @@ pub mod prelude {
 }
 
 pub use prelude::*;
+
+// Send/Sync audit for the parallel run-matrix executor in `acc-bench`: a
+// `Simulator` itself is single-threaded (trait objects and `Rc` graphs live
+// and die on the thread that built it), but everything a matrix cell
+// captures to *build* one on a worker thread must cross threads. Keeping
+// these as compile-time assertions means a refactor that sneaks an `Rc`
+// into a spec/config type fails here, not in a distant bench build.
+#[cfg(test)]
+mod send_audit {
+    use super::prelude::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn matrix_cell_inputs_cross_threads() {
+        assert_send_sync::<TopologySpec>();
+        assert_send_sync::<Topology>();
+        assert_send_sync::<SimConfig>();
+        assert_send_sync::<SimTime>();
+        assert_send_sync::<FaultPlan>();
+        assert_send_sync::<EcnConfig>();
+        assert_send_sync::<NodeId>();
+        assert_send_sync::<PortId>();
+    }
+}

@@ -19,14 +19,19 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// `p`-th percentile (0..=100) using nearest-rank on a sorted copy.
 ///
-/// Returns 0.0 for an empty slice.
+/// Returns 0.0 for an empty slice. Samples are ordered with
+/// [`f64::total_cmp`], which is total — a stray NaN can no longer panic a
+/// whole run. Under that order NaN sorts above `+inf` (and `-NaN` below
+/// `-inf`), so positive NaNs surface in the top percentiles where they are
+/// visible to the caller rather than aborting the computation; callers that
+/// need NaN-free summaries should filter with `is_finite` first.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
     v[rank.saturating_sub(1).min(v.len() - 1)]
 }
@@ -63,6 +68,17 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        // Regression: a NaN sample used to abort via
+        // partial_cmp(..).expect("NaN in percentile input").
+        let xs = [1.0, f64::NAN, 3.0];
+        // total_cmp sorts the NaN above +inf, so it only shows at the top.
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert!(percentile(&xs, 100.0).is_nan());
+        assert!(percentile(&[f64::NAN], 0.0).is_nan());
     }
 
     #[test]

@@ -143,6 +143,26 @@ impl JsonlSink {
         })
     }
 
+    /// Like [`JsonlSink::create`], but refuses to touch an existing
+    /// recording: every JSONL file is opened with an exclusive create, so a
+    /// run directory that already holds time-series fails with
+    /// [`io::ErrorKind::AlreadyExists`] instead of being truncated. Harnesses
+    /// that allocate run directories collision-free use this as the last
+    /// line of defence against clobbering an earlier run.
+    pub fn create_new(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let open = |name: &str| {
+            File::create_new(dir.join(name))
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", dir.join(name).display())))
+        };
+        Ok(JsonlSink {
+            queues: BufWriter::new(open("queues.jsonl")?),
+            agents: BufWriter::new(open("agents.jsonl")?),
+            events: BufWriter::new(open("events.jsonl")?),
+            write_err: None,
+        })
+    }
+
     fn note(&mut self, r: io::Result<()>, which: &str) {
         if let Err(e) = r {
             if self.write_err.is_none() {
@@ -218,6 +238,21 @@ mod tests {
         assert_eq!(back, QueueSample::default());
         let back: EventSample = serde_json::from_str(e.lines().next().unwrap()).unwrap();
         assert_eq!(back, EventSample::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_new_refuses_existing_recording() {
+        let dir = std::env::temp_dir().join(format!("acc-telem-excl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut first = JsonlSink::create_new(&dir).expect("fresh dir claims fine");
+        first.on_queue(&QueueSample::default());
+        first.flush().unwrap();
+        let err = JsonlSink::create_new(&dir).expect_err("existing JSONL must not be truncated");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        // The prior recording is untouched.
+        let q = std::fs::read_to_string(dir.join("queues.jsonl")).unwrap();
+        assert_eq!(q.lines().count(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -87,3 +87,24 @@ pub fn set_app_hook(sim: &mut Simulator, hook: std::rc::Rc<std::cell::RefCell<dy
         });
     }
 }
+
+// Send/Sync audit for the parallel run-matrix executor: matrix cells build
+// their stacks in-thread, but the configs and result summaries they capture
+// and return must cross worker threads.
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn matrix_cell_inputs_and_results_cross_threads() {
+        assert_send_sync::<StackConfig>();
+        assert_send_sync::<DcqcnConfig>();
+        assert_send_sync::<CcKind>();
+        assert_send_sync::<Message>();
+        assert_send_sync::<FlowRecord>();
+        assert_send_sync::<FctStats>();
+        assert_send_sync::<FctSummary>();
+    }
+}

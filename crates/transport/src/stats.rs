@@ -164,22 +164,40 @@ pub struct FctStats {
     pub p999_us: f64,
     /// Max FCT (us).
     pub max_us: f64,
+    /// Samples discarded because they were NaN or infinite (a poisoned
+    /// clock or a degenerate division upstream must taint the run visibly,
+    /// not abort it). Absent in records written before this field existed.
+    #[serde(default)]
+    pub dropped_non_finite: usize,
 }
 
 impl FctStats {
     /// Build from raw FCT samples in microseconds.
-    pub fn from_us(mut fcts: Vec<f64>) -> FctStats {
-        if fcts.is_empty() {
-            return FctStats::default();
+    ///
+    /// Non-finite samples (NaN, ±inf) are dropped from the summary and
+    /// counted in [`FctStats::dropped_non_finite`] — one corrupt sample must
+    /// not panic a whole run's summarization. The finite remainder is
+    /// ordered with [`f64::total_cmp`], which is a total order and therefore
+    /// cannot panic even if the finiteness filter is ever relaxed.
+    pub fn from_us(fcts: Vec<f64>) -> FctStats {
+        let total = fcts.len();
+        let mut finite: Vec<f64> = fcts.into_iter().filter(|x| x.is_finite()).collect();
+        let dropped = total - finite.len();
+        if finite.is_empty() {
+            return FctStats {
+                dropped_non_finite: dropped,
+                ..FctStats::default()
+            };
         }
-        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        finite.sort_by(f64::total_cmp);
         FctStats {
-            count: fcts.len(),
-            avg_us: netsim::util::mean(&fcts),
-            p50_us: netsim::util::percentile_sorted(&fcts, 50.0),
-            p99_us: netsim::util::percentile_sorted(&fcts, 99.0),
-            p999_us: netsim::util::percentile_sorted(&fcts, 99.9),
-            max_us: *fcts.last().unwrap(),
+            count: finite.len(),
+            avg_us: netsim::util::mean(&finite),
+            p50_us: netsim::util::percentile_sorted(&finite, 50.0),
+            p99_us: netsim::util::percentile_sorted(&finite, 99.0),
+            p999_us: netsim::util::percentile_sorted(&finite, 99.9),
+            max_us: *finite.last().unwrap(),
+            dropped_non_finite: dropped,
         }
     }
 }
@@ -240,6 +258,26 @@ mod tests {
     fn empty_stats_are_zero() {
         let s = FctStats::from_us(vec![]);
         assert_eq!(s.count, 0);
+        assert_eq!(s.avg_us, 0.0);
+    }
+
+    #[test]
+    fn non_finite_fcts_are_dropped_not_fatal() {
+        // A synthetic NaN/inf sample must not panic summarization (the old
+        // partial_cmp(..).unwrap() sort aborted the whole run) and must not
+        // pollute the finite statistics.
+        let s = FctStats::from_us(vec![10.0, f64::NAN, 30.0, f64::INFINITY, 20.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.dropped_non_finite, 2);
+        assert!((s.avg_us - 20.0).abs() < 1e-12);
+        assert_eq!(s.max_us, 30.0);
+        assert!(s.p999_us.is_finite());
+
+        // All-poison input degrades to the empty summary, with the damage
+        // counted.
+        let s = FctStats::from_us(vec![f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.dropped_non_finite, 2);
         assert_eq!(s.avg_us, 0.0);
     }
 

@@ -29,3 +29,23 @@ pub use gen::{apply_arrivals, incast_wave, Arrival, PoissonGen};
 pub use replay::WorkloadTrace;
 pub use storage::{StorageCluster, StorageConfig, StorageProfile};
 pub use training::{TrainingCluster, TrainingConfig};
+
+// Send/Sync audit for the parallel run-matrix executor: workload specs and
+// generated arrival lists are captured by matrix cells and must cross
+// worker threads.
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn matrix_cell_inputs_cross_threads() {
+        assert_send_sync::<SizeDist>();
+        assert_send_sync::<Arrival>();
+        assert_send_sync::<PoissonGen>();
+        assert_send_sync::<StorageConfig>();
+        assert_send_sync::<StorageProfile>();
+        assert_send_sync::<TrainingConfig>();
+    }
+}
