@@ -570,6 +570,7 @@ impl Drop for Scenario {
             } else {
                 0.0
             },
+            peak_event_queue: core.event_queue_peak(),
             queue_samples: rec.queue_samples,
             agent_samples: rec.agent_samples,
             event_samples: rec.event_samples,

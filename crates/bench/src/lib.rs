@@ -33,6 +33,7 @@ pub mod fig14_cacc;
 pub mod fig15_deepdive;
 pub mod fig16_unseen;
 pub mod fig17_reward;
+pub mod perf;
 pub mod report;
 pub mod resources;
 

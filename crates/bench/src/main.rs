@@ -15,6 +15,41 @@
 
 use acc_bench::{experiments, Scale};
 use netsim::prelude::SimTime;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so `acc-bench perf` can report an
+/// allocations-per-event estimate. Lives here because the library forbids
+/// `unsafe`; the library reads the counters through
+/// [`acc_bench::perf::set_alloc_probe`]. Two relaxed atomic increments per
+/// allocation are noise next to the allocation itself.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the `System` allocator; the counters do not
+// affect layout or aliasing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Train the offline model and save it as a deployable bundle.
 fn train(scale: Scale, out: &str) {
@@ -43,7 +78,8 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     );
     println!("       acc-bench all [--quick] [--jobs <n>]");
     println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle");
-    println!("       acc-bench report <dir>                 # summarise recorded telemetry\n");
+    println!("       acc-bench report <dir>                 # summarise recorded telemetry");
+    println!("       acc-bench perf [out.json] [--quick]    # event-loop benchmark -> BENCH_netsim.json\n");
     println!("flags: --quick|-q                 smoke scale");
     println!("       --jobs|-j <n>              run-matrix worker threads (default: all cores;");
     println!("                                  1 = serial, output is identical either way)");
@@ -122,6 +158,23 @@ fn main() {
             .map(|s| s.as_str())
             .unwrap_or("acc_model_bundle.json");
         train(scale, out);
+        return;
+    }
+    if which[0] == "perf" {
+        acc_bench::perf::set_alloc_probe(|| {
+            (
+                ALLOCS.load(Ordering::Relaxed),
+                ALLOC_BYTES.load(Ordering::Relaxed),
+            )
+        });
+        let out = which
+            .get(1)
+            .map(|s| s.as_str())
+            .unwrap_or("BENCH_netsim.json");
+        if let Err(e) = acc_bench::perf::run(scale, std::path::Path::new(out)) {
+            eprintln!("perf run failed: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     if which[0] == "report" {

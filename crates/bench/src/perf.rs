@@ -1,0 +1,392 @@
+//! `acc-bench perf` — the engine's performance trajectory.
+//!
+//! Runs an in-process microbench of the future-event queue (timing wheel
+//! vs the reference `BinaryHeap`) plus representative end-to-end scenarios
+//! (incast-heavy, websearch-load, fault-plan), and writes the numbers to
+//! `BENCH_netsim.json`: events/sec, wall-clock, peak event-queue depth and
+//! an allocations-per-event estimate. CI runs `perf --quick` and archives
+//! the file as an artifact (no threshold gating on shared runners); numbers
+//! across commits form the perf trajectory ROADMAP asks for.
+//!
+//! All scenarios use the static SECN1 policy: perf must not depend on a
+//! cached RL model, and the control-plane cost of a static policy is the
+//! same per tick.
+
+use crate::common::{scenario, Policy, Scale, Scenario};
+use netsim::event::{Event, EventQueue, HeapEventQueue};
+use netsim::ids::NodeId;
+use netsim::prelude::*;
+use serde_json::{json, Value};
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::Instant;
+use transport::CcKind;
+use workloads::gen::{incast_wave, PoissonGen};
+use workloads::SizeDist;
+
+/// Schema tag written into `BENCH_netsim.json`; bump on breaking changes.
+pub const SCHEMA: &str = "acc-bench-perf/v1";
+
+/// Probe returning process-wide `(allocation count, allocated bytes)`.
+///
+/// The counting `#[global_allocator]` lives in the binary crate (this
+/// library forbids `unsafe`); `main` registers its counters here. When no
+/// probe is installed (e.g. library tests), allocation columns are `null`.
+static ALLOC_PROBE: OnceLock<fn() -> (u64, u64)> = OnceLock::new();
+
+/// Register the global allocator's counters. First caller wins.
+pub fn set_alloc_probe(probe: fn() -> (u64, u64)) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+fn alloc_counts() -> Option<(u64, u64)> {
+    ALLOC_PROBE.get().map(|f| f())
+}
+
+// ---------------------------------------------------------------------------
+// Queue microbench: the classic hold pattern on an incast-like time profile.
+// ---------------------------------------------------------------------------
+
+/// Working depth of the queue during the hold benchmark (an incast run on
+/// the quick fabric keeps a few thousand events in flight).
+const HOLD_DEPTH: usize = 4096;
+
+/// Deterministic xorshift so both queues replay the identical op stream.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Incast-like inter-event offset: mostly sub-microsecond serialization and
+/// propagation gaps (in-wheel), a sliver of control-tick-distance timers
+/// (overflow tier), and exact ties from simultaneous arrivals.
+fn incast_offset(rng: &mut XorShift) -> u64 {
+    match rng.next() % 16 {
+        0..=9 => rng.next() % 700_000,
+        10..=13 => rng.next() % 4_000_000,
+        14 => 50_000_000,
+        _ => 0,
+    }
+}
+
+/// Run `ops` pop-one/push-one hold operations against queue `Q`, returning
+/// ops/sec. `Q` is abstracted by the two closures so wheel and heap run the
+/// byte-identical op stream.
+fn hold_throughput<Q>(
+    mut q: Q,
+    push: fn(&mut Q, SimTime, Event),
+    pop: fn(&mut Q) -> Option<netsim::event::Scheduled>,
+    ops: u64,
+) -> f64 {
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let mut t = SimTime::ZERO;
+    for i in 0..HOLD_DEPTH {
+        t = SimTime::from_ps(t.as_ps() + incast_offset(&mut rng) / 16);
+        push(
+            &mut q,
+            t,
+            Event::HostTimer {
+                host: NodeId(0),
+                token: i as u64,
+            },
+        );
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let s = pop(&mut q).expect("queue stays at depth");
+        acc ^= s.seq;
+        let nt = SimTime::from_ps(s.time.as_ps() + incast_offset(&mut rng));
+        push(
+            &mut q,
+            nt,
+            Event::HostTimer {
+                host: NodeId(0),
+                token: i,
+            },
+        );
+    }
+    let wall = start.elapsed().as_secs_f64();
+    // Defeat dead-code elimination without perturbing timing.
+    assert!(acc < u64::MAX);
+    ops as f64 / wall.max(1e-9)
+}
+
+/// Wheel-vs-heap push/pop throughput on the incast hold workload. Returns
+/// the JSON block recorded under `queue_microbench`. Best of three rounds
+/// per queue so a scheduler hiccup does not misreport the ratio.
+fn queue_microbench(scale: Scale) -> Value {
+    let ops: u64 = if scale.quick { 200_000 } else { 2_000_000 };
+    let mut wheel_best = 0f64;
+    let mut heap_best = 0f64;
+    for _ in 0..3 {
+        wheel_best = wheel_best.max(hold_throughput(
+            EventQueue::new(),
+            EventQueue::push,
+            EventQueue::pop,
+            ops,
+        ));
+        heap_best = heap_best.max(hold_throughput(
+            HeapEventQueue::new(),
+            HeapEventQueue::push,
+            HeapEventQueue::pop,
+            ops,
+        ));
+    }
+    let speedup = wheel_best / heap_best.max(1e-9);
+    println!(
+        "{:<18} {:>14.0} ops/s (wheel) {:>14.0} ops/s (heap)  speedup {speedup:.2}x",
+        "queue_hold_incast", wheel_best, heap_best
+    );
+    json!({
+        "workload": "incast_hold",
+        "depth": HOLD_DEPTH,
+        "ops": ops,
+        "wheel_ops_per_sec": wheel_best,
+        "heap_ops_per_sec": heap_best,
+        "speedup": speedup,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scenarios.
+// ---------------------------------------------------------------------------
+
+/// Run a built scenario to `horizon` under the wall clock and the
+/// allocation probe, returning its JSON row.
+fn measure(name: &str, mut sc: Scenario, horizon: SimTime) -> Value {
+    let before = alloc_counts();
+    let start = Instant::now();
+    sc.sim.run_until(horizon);
+    let wall = start.elapsed().as_secs_f64();
+    let after = alloc_counts();
+    let core = sc.sim.core();
+    let events = core.events_processed;
+    let eps = events as f64 / wall.max(1e-9);
+    let (allocs_per_event, bytes_per_event) = match (before, after) {
+        (Some((a0, b0)), Some((a1, b1))) if events > 0 => (
+            Some((a1 - a0) as f64 / events as f64),
+            Some((b1 - b0) as f64 / events as f64),
+        ),
+        _ => (None, None),
+    };
+    println!(
+        "{:<18} {:>10} events {:>7.2}s wall {:>12.0} ev/s  peak q {:>7}  allocs/ev {}",
+        name,
+        events,
+        wall,
+        eps,
+        core.event_queue_peak(),
+        allocs_per_event
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    json!({
+        "name": name,
+        "events_processed": events,
+        "wall_s": wall,
+        "events_per_sec": eps,
+        "peak_event_queue": core.event_queue_peak(),
+        "sim_time_us": sc.sim.now().as_us_f64(),
+        "allocations_per_event": allocs_per_event,
+        "alloc_bytes_per_event": bytes_per_event,
+    })
+}
+
+/// Incast-heavy: repeated N-to-1 waves through one switch — the queue-depth
+/// worst case (bursts of simultaneous arrivals, deep PFC/ECN interaction).
+fn incast_heavy(scale: Scale) -> Value {
+    let fanin = scale.pick(64, 16);
+    let spec = TopologySpec::single_switch(fanin + 1, 25_000_000_000, SimTime::from_ns(500));
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    let receiver = hosts[fanin];
+    let bytes = scale.pick(256_000, 64_000);
+    let wave_gap = SimTime::from_ms(1);
+    let waves = scale.pick(8, 3);
+    let mut arrivals = Vec::new();
+    for w in 0..waves {
+        arrivals.extend(incast_wave(
+            &hosts[..fanin],
+            receiver,
+            2,
+            bytes,
+            CcKind::Dcqcn,
+            wave_gap.mul(w as u64),
+        ));
+    }
+    let sc = scenario(&spec, Policy::Secn1, scale, 7, &arrivals);
+    let horizon = wave_gap.mul(waves as u64) + scale.pick(SimTime::from_ms(8), SimTime::from_ms(3));
+    measure("incast-heavy", sc, horizon)
+}
+
+/// WebSearch at load 0.8 on the fig12 fabric: the bread-and-butter mix the
+/// figure sweeps run all day.
+fn websearch_load(scale: Scale) -> Value {
+    let spec = if scale.quick {
+        TopologySpec::paper_cacc_sim()
+    } else {
+        TopologySpec::paper_large_sim()
+    };
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    let dur = scale.pick(SimTime::from_ms(10), SimTime::from_ms(3));
+    let g = PoissonGen::new(SizeDist::web_search(), 0.8, CcKind::Dcqcn, 41);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
+    let sc = scenario(&spec, Policy::Secn1, scale, 9, &arrivals);
+    let horizon = dur + scale.pick(SimTime::from_ms(8), SimTime::from_ms(3));
+    measure("websearch-load", sc, horizon)
+}
+
+/// The seeded fault schedule over moderate load: reroutes, reboots and
+/// loss windows exercise the slow paths the other scenarios never touch.
+fn fault_plan_load(scale: Scale) -> Value {
+    let spec = TopologySpec::paper_testbed();
+    let topo = spec.build();
+    let hosts: Vec<NodeId> = topo.hosts().to_vec();
+    let horizon = scale.pick(SimTime::from_ms(30), SimTime::from_ms(10));
+    let g = PoissonGen::new(SizeDist::web_search(), 0.5, CcKind::Dcqcn, 300);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, horizon);
+    let mut sc = scenario(&spec, Policy::Secn1, scale, 21, &arrivals);
+    let plan = crate::fault::fault_plan(&topo, horizon, 21);
+    sc.sim
+        .install_fault_plan(&plan)
+        .expect("fault plan validates");
+    let end = horizon + scale.pick(SimTime::from_ms(10), SimTime::from_ms(4));
+    measure("fault-plan", sc, end)
+}
+
+/// Run the microbench + scenarios and write `BENCH_netsim.json` to `out`.
+/// Returns the JSON document (also used by the smoke test).
+pub fn run(scale: Scale, out: &Path) -> io::Result<Value> {
+    crate::common::banner("perf", "netsim event-loop performance");
+    let micro = queue_microbench(scale);
+    let scenarios = vec![
+        incast_heavy(scale),
+        websearch_load(scale),
+        fault_plan_load(scale),
+    ];
+    let doc = json!({
+        "schema": SCHEMA,
+        "scale": if scale.quick { "quick" } else { "full" },
+        "alloc_probe": alloc_counts().is_some(),
+        "queue_microbench": micro,
+        "scenarios": scenarios,
+    });
+    let text = serde_json::to_string_pretty(&doc)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(out, text)?;
+    println!("wrote {}", out.display());
+    Ok(doc)
+}
+
+/// Validate a `BENCH_netsim.json` document against the v1 schema: every
+/// field the trajectory tooling reads must be present and well-typed.
+/// Returns the list of problems (empty = valid).
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut need = |ok: bool, what: &str| {
+        if !ok {
+            errs.push(what.to_string());
+        }
+    };
+    need(
+        doc.get("schema").and_then(Value::as_str) == Some(SCHEMA),
+        "schema tag missing or wrong",
+    );
+    need(
+        matches!(
+            doc.get("scale").and_then(Value::as_str),
+            Some("quick") | Some("full")
+        ),
+        "scale must be quick|full",
+    );
+    let micro = doc.get("queue_microbench");
+    for k in ["wheel_ops_per_sec", "heap_ops_per_sec", "speedup"] {
+        need(
+            micro
+                .and_then(|m| m.get(k))
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v.is_finite() && v > 0.0),
+            &format!("queue_microbench.{k} missing or non-positive"),
+        );
+    }
+    match doc.get("scenarios").and_then(Value::as_array) {
+        Some(rows) if !rows.is_empty() => {
+            for row in rows {
+                let name = row
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("<unnamed>");
+                need(
+                    row.get("events_processed")
+                        .and_then(Value::as_u64)
+                        .is_some_and(|v| v > 0),
+                    &format!("scenario {name}: events_processed missing or zero"),
+                );
+                for k in ["wall_s", "events_per_sec", "sim_time_us"] {
+                    need(
+                        row.get(k)
+                            .and_then(Value::as_f64)
+                            .is_some_and(|v| v.is_finite() && v > 0.0),
+                        &format!("scenario {name}: {k} missing or non-positive"),
+                    );
+                }
+                need(
+                    row.get("peak_event_queue")
+                        .and_then(Value::as_u64)
+                        .is_some_and(|v| v > 0),
+                    &format!("scenario {name}: peak_event_queue missing or zero"),
+                );
+            }
+        }
+        _ => errs.push("scenarios missing or empty".into()),
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbench_wheel_beats_heap() {
+        let doc = queue_microbench(Scale::QUICK);
+        let speedup = doc["speedup"].as_f64().unwrap();
+        assert!(
+            speedup >= 1.3,
+            "wheel must be >=1.3x the reference heap on the incast hold \
+             workload, measured {speedup:.2}x"
+        );
+    }
+
+    fn doc(schema: &str, events_per_sec: f64) -> Value {
+        json!({
+            "schema": schema,
+            "scale": "quick",
+            "alloc_probe": false,
+            "queue_microbench": {
+                "wheel_ops_per_sec": 2.0e7, "heap_ops_per_sec": 1.0e7, "speedup": 2.0,
+            },
+            "scenarios": [{
+                "name": "incast-heavy", "events_processed": 10u64, "wall_s": 0.1,
+                "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
+                "sim_time_us": 8000.0,
+                "allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null,
+            }],
+        })
+    }
+
+    #[test]
+    fn validate_catches_missing_fields() {
+        let good = doc(SCHEMA, 100.0);
+        assert!(validate(&good).is_empty(), "{:?}", validate(&good));
+        assert!(!validate(&doc(SCHEMA, 0.0)).is_empty());
+        assert!(!validate(&doc("something-else", 100.0)).is_empty());
+        assert!(!validate(&json!({"schema": SCHEMA})).is_empty());
+    }
+}

@@ -186,8 +186,8 @@ fn print_run(run: &Run) {
         m.switches,
     );
     println!(
-        "  simulated {:.1} us in {:.2} s wall ({} events, {:.0} ev/s)",
-        m.sim_time_us, m.wall_time_s, m.events_processed, m.events_per_sec
+        "  simulated {:.1} us in {:.2} s wall ({} events, {:.0} ev/s, peak queue {})",
+        m.sim_time_us, m.wall_time_s, m.events_processed, m.events_per_sec, m.peak_event_queue
     );
     println!(
         "  recorded {} queue samples over {} queues, {} agent decisions over {} agents",

@@ -1,0 +1,123 @@
+//! Perf-harness smoke tests: `acc-bench perf` produces a schema-valid
+//! `BENCH_netsim.json` whose queue microbench clears the required
+//! wheel-over-heap speedup, and a recorded websearch-under-faults run is
+//! byte-identical across repeats — pinning the timing-wheel queue's
+//! determinism contract at the harness level (the same shape as the
+//! `fault_smoke` jobs-1-vs-4 check; the queue-level pop-order identity is
+//! pinned by the differential proptest in `netsim/tests/properties.rs`).
+//!
+//! CI runs this as the `perf-smoke` job alongside the CLI-level
+//! `acc-bench perf --quick` + artifact upload.
+
+use acc_bench::common::{self, scenario, Policy, Scale};
+use acc_bench::perf;
+use netsim::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+use transport::CcKind;
+use workloads::gen::PoissonGen;
+use workloads::SizeDist;
+
+/// The recording registry is process-wide, so tests that arm it serialise
+/// on this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = Path::new("target").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn perf_writes_schema_valid_bench_file() {
+    let _g = lock();
+    let dir = fresh_dir("perf-smoke-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_netsim.json");
+    let doc = perf::run(Scale::QUICK, &out).expect("perf run writes the BENCH file");
+
+    // The in-memory document and the file round-trip must both validate.
+    assert!(
+        perf::validate(&doc).is_empty(),
+        "{:?}",
+        perf::validate(&doc)
+    );
+    let text = std::fs::read_to_string(&out).unwrap();
+    let reloaded: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert!(
+        perf::validate(&reloaded).is_empty(),
+        "{:?}",
+        perf::validate(&reloaded)
+    );
+
+    // The acceptance bar: the timing wheel must beat the reference
+    // BinaryHeap by >=1.3x on the incast-heavy hold workload.
+    let speedup = reloaded["queue_microbench"]["speedup"].as_f64().unwrap();
+    assert!(speedup >= 1.3, "measured only {speedup:.2}x over the heap");
+
+    // All three representative scenarios are present.
+    let names: Vec<&str> = reloaded["scenarios"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r["name"].as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["incast-heavy", "websearch-load", "fault-plan"]);
+}
+
+/// Record one websearch-under-faults run (fresh online agent, no model
+/// cache dependency) and return its run directory.
+fn recorded_run(root: &Path) -> PathBuf {
+    common::enable_metrics(root, SimTime::from_us(100));
+    common::set_metrics_experiment("perf-smoke");
+    let spec = TopologySpec::paper_testbed();
+    let topo = spec.build();
+    let hosts: Vec<NodeId> = topo.hosts().to_vec();
+    let horizon = SimTime::from_ms(4);
+    let g = PoissonGen::new(SizeDist::web_search(), 0.6, CcKind::Dcqcn, 77);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, horizon);
+    let mut sc = scenario(&spec, Policy::AccFresh, Scale::QUICK, 5, &arrivals);
+    let plan = acc_bench::fault::fault_plan(&topo, horizon, 5);
+    sc.sim
+        .install_fault_plan(&plan)
+        .expect("fault plan validates");
+    sc.sim.run_until(horizon + SimTime::from_ms(2));
+    drop(sc);
+    common::disable_metrics();
+    let mut runs: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("metrics root exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.join("manifest.json").is_file())
+        .collect();
+    assert_eq!(runs.len(), 1, "one scenario records exactly one run dir");
+    runs.pop().unwrap()
+}
+
+#[test]
+fn recorded_runs_stay_byte_identical_through_the_wheel() {
+    let _g = lock();
+    let root = fresh_dir("perf-smoke-determinism");
+    let d1 = recorded_run(&root.join("a"));
+    let d2 = recorded_run(&root.join("b"));
+
+    for f in ["queues.jsonl", "agents.jsonl", "events.jsonl"] {
+        let a = std::fs::read(d1.join(f)).unwrap();
+        let b = std::fs::read(d2.join(f)).unwrap();
+        assert!(!a.is_empty(), "{f} recorded nothing");
+        assert_eq!(a, b, "{f} differs between identical seeded runs");
+    }
+
+    // The manifest carries the new perf fields.
+    let m = telemetry::RunManifest::load(&d1.join("manifest.json")).unwrap();
+    assert!(m.events_processed > 0, "manifest counted no events");
+    assert!(m.events_per_sec > 0.0, "manifest throughput missing");
+    assert!(
+        m.peak_event_queue > 0,
+        "manifest peak_event_queue not populated"
+    );
+    assert!(!common::metrics_failed(), "clean runs flagged a failure");
+}

@@ -13,6 +13,7 @@ use crate::ids::{FlowId, NodeId, PortId, Prio};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io;
 
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,15 +193,28 @@ impl Tracer {
         self.ring.drain(..).collect()
     }
 
-    /// Serialize the retained records as JSON lines (one event per line),
-    /// a gdb-friendly analogue of a pcap file.
-    pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+    /// Stream the retained records as JSON lines (one event per line) into
+    /// `w`, reusing a single line buffer — the whole trace never has to fit
+    /// in one allocation. Bytes are identical to [`Tracer::to_jsonl`].
+    pub fn write_jsonl(&self, w: &mut impl io::Write) -> io::Result<()> {
+        let mut line = String::new();
         for ev in &self.ring {
-            out.push_str(&serde_json::to_string(ev).expect("trace event serializes"));
-            out.push('\n');
+            line.clear();
+            serde_json::to_string_into(ev, &mut line).expect("trace event serializes");
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
         }
-        out
+        Ok(())
+    }
+
+    /// Serialize the retained records as JSON lines (one event per line),
+    /// a gdb-friendly analogue of a pcap file. Thin wrapper over
+    /// [`Tracer::write_jsonl`] collecting into a `String`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = Vec::new();
+        self.write_jsonl(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("JSON is UTF-8")
     }
 }
 
@@ -265,6 +279,20 @@ mod tests {
         let back: TraceEvent = serde_json::from_str(text.lines().next().unwrap()).unwrap();
         assert_eq!(back.kind, TraceKind::CeMark);
         assert_eq!(back.node, NodeId(1));
+    }
+
+    #[test]
+    fn write_jsonl_matches_to_jsonl_bytes() {
+        let mut t = Tracer::new(TraceFilter::default(), 16);
+        for i in 0..8u32 {
+            t.record(ev(TraceKind::Enqueue, i, 1, 0));
+            t.record(ev(TraceKind::CeMark, i, 2, 1));
+        }
+        let owned = t.to_jsonl();
+        let mut streamed = Vec::new();
+        t.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(owned.as_bytes(), streamed.as_slice());
+        assert_eq!(owned.lines().count(), 16);
     }
 
     #[test]

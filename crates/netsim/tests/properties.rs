@@ -1,7 +1,7 @@
 //! Property-based tests of the simulator's core invariants.
 
 use netsim::buffer::SharedBuffer;
-use netsim::event::{Event, EventQueue};
+use netsim::event::{Event, EventQueue, HeapEventQueue};
 use netsim::ids::{FlowId, NodeId};
 use netsim::queues::{Dwrr, EcnConfig};
 use netsim::routing::RouteTable;
@@ -36,6 +36,54 @@ proptest! {
             }
             last_time = s.time;
         }
+    }
+
+    /// Differential test of the timing-wheel queue against the reference
+    /// `BinaryHeap` queue: any interleaving of pushes and pops produces an
+    /// identical pop sequence — same `(time, seq)` at every step, including
+    /// FIFO order among same-timestamp ties. Times span all three wheel
+    /// tiers (current bucket, in-wheel, overflow) and `tie` forces repeats
+    /// of a recent timestamp so ties actually occur.
+    #[test]
+    fn wheel_queue_matches_reference_heap(
+        ops in prop::collection::vec(
+            (0u64..200_000_000_000, any::<bool>(), prop::option::of(0u8..4)),
+            1..400,
+        ),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut recent: Vec<u64> = Vec::new();
+        for (i, &(t_ps, do_pop, tie)) in ops.iter().enumerate() {
+            // Either a fresh time or an exact repeat of a recent one.
+            let t_ps = match tie {
+                Some(k) if !recent.is_empty() => recent[k as usize % recent.len()],
+                _ => t_ps,
+            };
+            recent.push(t_ps);
+            if recent.len() > 8 {
+                recent.remove(0);
+            }
+            let t = SimTime::from_ps(t_ps);
+            let ev = Event::HostTimer { host: NodeId(0), token: i as u64 };
+            wheel.push(t, ev.clone());
+            heap.push(t, ev);
+            prop_assert_eq!(wheel.len(), heap.len());
+            if do_pop {
+                let a = wheel.pop().expect("just pushed");
+                let b = heap.pop().expect("just pushed");
+                prop_assert_eq!((a.time, a.seq), (b.time, b.seq));
+            }
+        }
+        // Drain: both queues must agree to the very last event.
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (Some(a), Some(b)) => prop_assert_eq!((a.time, a.seq), (b.time, b.seq)),
+                (None, None) => break,
+                _ => prop_assert!(false, "queues drained at different lengths"),
+            }
+        }
+        prop_assert!(wheel.is_empty() && heap.is_empty());
     }
 
     /// RED marking probability is monotone in queue length and in [0, 1].

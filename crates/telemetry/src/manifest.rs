@@ -36,6 +36,10 @@ pub struct RunManifest {
     pub events_processed: u64,
     /// Engine throughput, events per wall-clock second.
     pub events_per_sec: f64,
+    /// High-water mark of the future-event queue (absent in manifests
+    /// written before the timing-wheel queue tracked it).
+    #[serde(default)]
+    pub peak_event_queue: u64,
     /// Queue samples recorded.
     pub queue_samples: u64,
     /// Agent samples recorded.
@@ -92,6 +96,7 @@ mod tests {
             wall_time_s: 1.5,
             events_processed: 1_000_000,
             events_per_sec: 666_666.7,
+            peak_event_queue: 4096,
             queue_samples: 480,
             agent_samples: 240,
             event_samples: 12,

@@ -126,6 +126,9 @@ pub struct JsonlSink {
     queues: BufWriter<File>,
     agents: BufWriter<File>,
     events: BufWriter<File>,
+    /// Reusable serialization buffer: one allocation amortized over the
+    /// whole recording instead of a fresh `String` per line.
+    line: String,
     /// First write error seen on the hot path, kept until surfaced.
     write_err: Option<(io::ErrorKind, String)>,
 }
@@ -139,6 +142,7 @@ impl JsonlSink {
             queues: BufWriter::new(File::create(dir.join("queues.jsonl"))?),
             agents: BufWriter::new(File::create(dir.join("agents.jsonl"))?),
             events: BufWriter::new(File::create(dir.join("events.jsonl"))?),
+            line: String::new(),
             write_err: None,
         })
     }
@@ -159,6 +163,7 @@ impl JsonlSink {
             queues: BufWriter::new(open("queues.jsonl")?),
             agents: BufWriter::new(open("agents.jsonl")?),
             events: BufWriter::new(open("events.jsonl")?),
+            line: String::new(),
             write_err: None,
         })
     }
@@ -174,20 +179,26 @@ impl JsonlSink {
 
 impl TelemetrySink for JsonlSink {
     fn on_queue(&mut self, s: &QueueSample) {
-        let line = serde_json::to_string(s).expect("queue sample serializes");
-        let r = writeln!(self.queues, "{line}");
+        self.line.clear();
+        serde_json::to_string_into(s, &mut self.line).expect("queue sample serializes");
+        self.line.push('\n');
+        let r = self.queues.write_all(self.line.as_bytes());
         self.note(r, "queues.jsonl");
     }
 
     fn on_agent(&mut self, s: &AgentSample) {
-        let line = serde_json::to_string(s).expect("agent sample serializes");
-        let r = writeln!(self.agents, "{line}");
+        self.line.clear();
+        serde_json::to_string_into(s, &mut self.line).expect("agent sample serializes");
+        self.line.push('\n');
+        let r = self.agents.write_all(self.line.as_bytes());
         self.note(r, "agents.jsonl");
     }
 
     fn on_event(&mut self, s: &EventSample) {
-        let line = serde_json::to_string(s).expect("event sample serializes");
-        let r = writeln!(self.events, "{line}");
+        self.line.clear();
+        serde_json::to_string_into(s, &mut self.line).expect("event sample serializes");
+        self.line.push('\n');
+        let r = self.events.write_all(self.line.as_bytes());
         self.note(r, "events.jsonl");
     }
 

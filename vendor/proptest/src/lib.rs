@@ -56,7 +56,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng(SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        TestRng(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 }
 

@@ -171,6 +171,13 @@ impl Value {
         out
     }
 
+    /// Compact encoding appended to a caller-supplied buffer, so hot paths
+    /// can reuse one `String` across many records instead of allocating a
+    /// fresh one per encode. Byte-identical to `to_json`.
+    pub fn write_json(&self, out: &mut String) {
+        self.write_compact(out);
+    }
+
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::new();
         self.write_pretty(&mut out, 0);
@@ -469,10 +476,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape '\\{}'",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape '\\{}'", other as char)))
                         }
                     }
                 }
@@ -512,7 +516,11 @@ impl<'a> Parser<'a> {
         if !is_float {
             if text.starts_with('-') {
                 if let Ok(n) = text.parse::<i64>() {
-                    return Ok(if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) });
+                    return Ok(if n >= 0 {
+                        Value::U64(n as u64)
+                    } else {
+                        Value::I64(n)
+                    });
                 }
             } else {
                 if let Ok(n) = text.parse::<u64>() {

@@ -50,13 +50,17 @@ struct Item {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
 }
 
 // ---------------------------------------------------------------------------
@@ -379,9 +383,9 @@ fn gen_deserialize(item: &Item) -> String {
                 named_fields_from_map(name, name, fields)
             )
         }
-        Body::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
-        ),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n")
+        }
         Body::TupleStruct(n) => {
             let elems: Vec<String> = (0..*n)
                 .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
@@ -399,7 +403,9 @@ fn gen_deserialize(item: &Item) -> String {
         Body::Enum(variants) => {
             let mut s = String::new();
             let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
-            let has_data = variants.iter().any(|v| !matches!(v.kind, VariantKind::Unit));
+            let has_data = variants
+                .iter()
+                .any(|v| !matches!(v.kind, VariantKind::Unit));
             if has_unit {
                 let mut arms = String::new();
                 for v in variants {

@@ -23,6 +23,14 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(value.to_value().to_json())
 }
 
+/// Serialize compactly into a caller-supplied buffer (appended, not
+/// cleared), producing bytes identical to [`to_string`]. Lets hot paths
+/// amortize one allocation across many records.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<()> {
+    value.to_value().write_json(out);
+    Ok(())
+}
+
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(value.to_value().to_json_pretty())
 }
@@ -190,6 +198,9 @@ mod tests {
     #[test]
     fn pretty_output() {
         let v = json!({"a": 1, "b": []});
-        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1,\n  \"b\": []\n}\n");
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": []\n}\n"
+        );
     }
 }
