@@ -59,6 +59,10 @@ pub enum Policy {
     Acc,
     /// ACC without pre-training ("aggressive version", Fig. 16).
     AccFresh,
+    /// [`Policy::AccFresh`] routed through the retained scalar RL kernels
+    /// (same seed): recorded runs must be byte-identical to `AccFresh`,
+    /// which pins the batched kernels at whole-simulation scope.
+    AccFreshScalar,
     /// ACC with the pretrained model frozen (inference only).
     AccFrozen,
     /// Fresh ACC wrapped in enforcing safe-mode guardrails.
@@ -79,6 +83,7 @@ impl Policy {
             Policy::Vendor => "Vendor",
             Policy::Acc => "ACC",
             Policy::AccFresh => "ACC-fresh",
+            Policy::AccFreshScalar => "ACC-fresh-scalar",
             Policy::AccFrozen => "ACC-frozen",
             Policy::AccGuarded => "ACC-guarded",
             Policy::AccMonitored => "ACC-monitored",
@@ -111,6 +116,11 @@ pub fn install_policy(sim: &mut Simulator, policy: Policy, scale: Scale) {
         }
         Policy::AccFresh => {
             let cfg = acc_config(13);
+            controller::install_acc(sim, &cfg, &space);
+        }
+        Policy::AccFreshScalar => {
+            let mut cfg = acc_config(13);
+            cfg.scalar_inference = true;
             controller::install_acc(sim, &cfg, &space);
         }
         Policy::AccFrozen => {

@@ -34,6 +34,7 @@ pub mod fig15_deepdive;
 pub mod fig16_unseen;
 pub mod fig17_reward;
 pub mod perf;
+pub mod perf_rl;
 pub mod report;
 pub mod resources;
 

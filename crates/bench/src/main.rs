@@ -79,8 +79,17 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     println!("       acc-bench all [--quick] [--jobs <n>]");
     println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle");
     println!("       acc-bench report <dir>                 # summarise recorded telemetry");
-    println!("       acc-bench perf [out.json] [--quick]    # event-loop benchmark -> BENCH_netsim.json\n");
+    println!(
+        "       acc-bench perf [out.json] [--quick]    # event-loop benchmark -> BENCH_netsim.json"
+    );
+    println!(
+        "       acc-bench perf --scenario rl [out.json] # RL kernel benchmark -> BENCH_rl.json\n"
+    );
     println!("flags: --quick|-q                 smoke scale");
+    println!("       --scenario <family>        perf only: 'netsim' (default), 'rl',");
+    println!(
+        "                                  'train-throughput'/'inference-tick' (aliases of 'rl')"
+    );
     println!("       --jobs|-j <n>              run-matrix worker threads (default: all cores;");
     println!("                                  1 = serial, output is identical either way)");
     println!("       --metrics-dir <dir>        record queue/agent JSONL + manifests");
@@ -105,11 +114,16 @@ fn main() {
     let mut metrics_dir: Option<String> = None;
     let mut interval_us: u64 = 100;
     let mut jobs: Option<usize> = None;
+    let mut scenario: Option<String> = None;
     let mut which: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" | "-q" => quick = true,
+            "--scenario" => match it.next() {
+                Some(s) => scenario = Some(s.clone()),
+                None => bad_flag("flag '--scenario' needs a family argument"),
+            },
             "--jobs" | "-j" => match it.next().map(|n| n.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => jobs = Some(n),
                 _ => bad_flag("flag '--jobs' needs a positive integer"),
@@ -123,7 +137,9 @@ fn main() {
                 _ => bad_flag("flag '--metrics-interval-us' needs a positive integer"),
             },
             flag if flag.starts_with('-') => {
-                if let Some(d) = flag.strip_prefix("--metrics-dir=") {
+                if let Some(s) = flag.strip_prefix("--scenario=") {
+                    scenario = Some(s.to_string());
+                } else if let Some(d) = flag.strip_prefix("--metrics-dir=") {
                     metrics_dir = Some(d.to_string());
                 } else if let Some(n) = flag.strip_prefix("--metrics-interval-us=") {
                     match n.parse::<u64>() {
@@ -146,6 +162,9 @@ fn main() {
     if let Some(n) = jobs {
         acc_bench::common::set_jobs(n);
     }
+    if scenario.is_some() && which.first().map(String::as_str) != Some("perf") {
+        bad_flag("flag '--scenario' only applies to the 'perf' subcommand");
+    }
 
     let all = experiments();
     if which.is_empty() || which[0] == "list" {
@@ -167,11 +186,24 @@ fn main() {
                 ALLOC_BYTES.load(Ordering::Relaxed),
             )
         });
-        let out = which
-            .get(1)
-            .map(|s| s.as_str())
-            .unwrap_or("BENCH_netsim.json");
-        if let Err(e) = acc_bench::perf::run(scale, std::path::Path::new(out)) {
+        let family = scenario.as_deref().unwrap_or("netsim");
+        let result = match family {
+            "netsim" => {
+                let out = which
+                    .get(1)
+                    .map(|s| s.as_str())
+                    .unwrap_or("BENCH_netsim.json");
+                acc_bench::perf::run(scale, std::path::Path::new(out))
+            }
+            // The RL family always runs both kernels; the stage aliases
+            // exist so docs can name the scenario being read about.
+            "rl" | "train-throughput" | "inference-tick" => {
+                let out = which.get(1).map(|s| s.as_str()).unwrap_or("BENCH_rl.json");
+                acc_bench::perf_rl::run(scale, std::path::Path::new(out))
+            }
+            other => bad_flag(&format!("unknown perf scenario family '{other}'")),
+        };
+        if let Err(e) = result {
             eprintln!("perf run failed: {e}");
             std::process::exit(1);
         }

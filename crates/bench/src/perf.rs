@@ -40,7 +40,8 @@ pub fn set_alloc_probe(probe: fn() -> (u64, u64)) {
     let _ = ALLOC_PROBE.set(probe);
 }
 
-fn alloc_counts() -> Option<(u64, u64)> {
+/// Read the registered probe, if any (shared with [`crate::perf_rl`]).
+pub(crate) fn alloc_counts() -> Option<(u64, u64)> {
     ALLOC_PROBE.get().map(|f| f())
 }
 

@@ -1,0 +1,169 @@
+//! RL perf-harness smoke tests: `acc-bench perf --scenario rl` produces a
+//! schema-valid `BENCH_rl.json` whose train-throughput scenario clears the
+//! required batched-over-scalar speedup with **zero** steady-state heap
+//! allocations per train step, and a recorded websearch-under-faults run is
+//! byte-identical between the batched kernels ([`Policy::AccFresh`]) and
+//! the retained scalar reference ([`Policy::AccFreshScalar`]) — pinning the
+//! kernels' bit-identity contract at whole-simulation scope (the same shape
+//! as `perf_smoke`'s run-twice determinism check).
+//!
+//! The counting `#[global_allocator]` lives here because the library crate
+//! forbids `unsafe`; integration tests are separate crates, so this mirrors
+//! what the `acc-bench` binary itself installs.
+
+use acc_bench::common::{self, scenario, Policy, Scale};
+use acc_bench::{perf, perf_rl};
+use netsim::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use transport::CcKind;
+use workloads::gen::PoissonGen;
+use workloads::SizeDist;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the `System` allocator; the counters do not
+// affect layout or aliasing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The recording registry and the allocation counters are process-wide, so
+/// the tests serialise on this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = Path::new("target").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn perf_rl_writes_schema_valid_bench_file() {
+    let _g = lock();
+    perf::set_alloc_probe(|| {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            ALLOC_BYTES.load(Ordering::Relaxed),
+        )
+    });
+    let dir = fresh_dir("perf-rl-smoke-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_rl.json");
+    let doc = perf_rl::run(Scale::QUICK, &out).expect("perf rl run writes the BENCH file");
+
+    // The in-memory document and the file round-trip must both validate.
+    assert!(
+        perf_rl::validate(&doc).is_empty(),
+        "{:?}",
+        perf_rl::validate(&doc)
+    );
+    let text = std::fs::read_to_string(&out).unwrap();
+    let reloaded: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert!(
+        perf_rl::validate(&reloaded).is_empty(),
+        "{:?}",
+        perf_rl::validate(&reloaded)
+    );
+
+    let rows = reloaded["scenarios"].as_array().unwrap();
+    let names: Vec<&str> = rows.iter().map(|r| r["name"].as_str().unwrap()).collect();
+    assert_eq!(names, ["train-throughput", "inference-tick"]);
+    let train = &rows[0];
+
+    // The acceptance bar: >=2x train-step throughput over the scalar
+    // reference in release; optimisation-free debug builds keep a reduced
+    // but still-real margin.
+    let required = if cfg!(debug_assertions) { 1.2 } else { 2.0 };
+    let speedup = train["speedup"].as_f64().unwrap();
+    assert!(
+        speedup >= required,
+        "batched training is only {speedup:.2}x the scalar reference (need {required}x)"
+    );
+
+    // Steady-state training must not touch the heap at all.
+    let allocs = train["allocs_per_step"]
+        .as_f64()
+        .expect("probe installed, allocs_per_step populated");
+    assert_eq!(
+        allocs, 0.0,
+        "steady-state train steps performed {allocs} allocations/step"
+    );
+    assert_eq!(train["bit_identical"].as_bool(), Some(true));
+}
+
+/// Record one websearch-under-faults run with `policy` and return its run
+/// directory (same workload as `perf_smoke`'s determinism check).
+fn recorded_run(root: &Path, policy: Policy) -> PathBuf {
+    common::enable_metrics(root, SimTime::from_us(100));
+    common::set_metrics_experiment("perf-rl-smoke");
+    let spec = TopologySpec::paper_testbed();
+    let topo = spec.build();
+    let hosts: Vec<NodeId> = topo.hosts().to_vec();
+    let horizon = SimTime::from_ms(4);
+    let g = PoissonGen::new(SizeDist::web_search(), 0.6, CcKind::Dcqcn, 77);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, horizon);
+    let mut sc = scenario(&spec, policy, Scale::QUICK, 5, &arrivals);
+    let plan = acc_bench::fault::fault_plan(&topo, horizon, 5);
+    sc.sim
+        .install_fault_plan(&plan)
+        .expect("fault plan validates");
+    sc.sim.run_until(horizon + SimTime::from_ms(2));
+    drop(sc);
+    common::disable_metrics();
+    let mut runs: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("metrics root exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.join("manifest.json").is_file())
+        .collect();
+    assert_eq!(runs.len(), 1, "one scenario records exactly one run dir");
+    runs.pop().unwrap()
+}
+
+#[test]
+fn batched_and_scalar_policies_record_byte_identical_runs() {
+    let _g = lock();
+    let root = fresh_dir("perf-rl-smoke-identity");
+    let batched = recorded_run(&root.join("batched"), Policy::AccFresh);
+    let scalar = recorded_run(&root.join("scalar"), Policy::AccFreshScalar);
+
+    // Same seeds, same traffic, same faults: if the batched kernels are
+    // truly bit-identical to the scalar reference, every recorded decision,
+    // ε, TD-loss and queue sample — and hence every byte — must match.
+    for f in ["queues.jsonl", "agents.jsonl", "events.jsonl"] {
+        let a = std::fs::read(batched.join(f)).unwrap();
+        let b = std::fs::read(scalar.join(f)).unwrap();
+        assert!(!a.is_empty(), "{f} recorded nothing");
+        assert_eq!(a, b, "{f} differs between batched and scalar kernels");
+    }
+    assert!(!common::metrics_failed(), "clean runs flagged a failure");
+}

@@ -70,6 +70,9 @@ pub struct CentralBrain {
     pub ticks: u64,
     /// Last computed reward (for traces).
     pub last_reward: f64,
+    /// Persistent batch-of-one selection buffer (keeps the once-per-tick
+    /// decision on the batched kernel path without reallocating).
+    select_buf: Vec<(usize, f64)>,
 }
 
 impl CentralBrain {
@@ -106,6 +109,7 @@ impl CentralBrain {
             online_training,
             ticks: 0,
             last_reward: 0.0,
+            select_buf: Vec::new(),
         }
     }
 
@@ -175,7 +179,9 @@ impl CentralBrain {
                 self.agent.train_step();
             }
         }
-        let joint = self.agent.select_action(&state);
+        self.agent
+            .select_actions_batch(&state, 1, &mut self.select_buf);
+        let joint = self.select_buf[0].0;
         self.prev = Some((state, joint));
         // The decision computed now is only applied next tick (collection +
         // inference + dissemination latency of the centralized design).

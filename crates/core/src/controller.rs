@@ -62,6 +62,11 @@ pub struct AccConfig {
     pub exchange_batch: usize,
     /// RNG seed for this controller's agent.
     pub seed: u64,
+    /// Route inference and training through the retained scalar reference
+    /// kernels instead of the batched ones. The two paths are bit-identical
+    /// by contract; this flag exists so differential runs (and the perf
+    /// suite) can pin that contract at the whole-simulation level.
+    pub scalar_inference: bool,
 }
 
 impl Default for AccConfig {
@@ -78,8 +83,24 @@ impl Default for AccConfig {
             exchange_every_ticks: 200,
             exchange_batch: 64,
             seed: 1,
+            scalar_inference: false,
         }
     }
+}
+
+/// A queue that reached its decision point this control tick. Collected
+/// during the per-queue telemetry pass and consumed by the end-of-tick
+/// batched selection pass.
+struct PendingDecision {
+    key: (u16, Prio),
+    port: PortId,
+    prio: Prio,
+    state: Vec<f32>,
+    reward: f64,
+    /// Replay length *right after this queue's observe*: the scalar
+    /// reference records queue `i` before queue `i+1` observes, so the
+    /// value must be captured here, not at record time.
+    replay_len: usize,
 }
 
 /// Per-queue bookkeeping.
@@ -127,6 +148,12 @@ pub struct AccController {
     recorder: Option<telemetry::SharedRecorder>,
     /// TD loss of the most recent training minibatch.
     last_td_loss: Option<f32>,
+    /// Per-tick batched-inference scratch, persistent across ticks so the
+    /// steady-state control loop does not grow the heap.
+    pending: Vec<PendingDecision>,
+    tick_states: Vec<f32>,
+    decisions: Vec<(usize, f64)>,
+    greedy: Vec<usize>,
 }
 
 impl AccController {
@@ -158,6 +185,10 @@ impl AccController {
             last_rewards: HashMap::new(),
             recorder: None,
             last_td_loss: None,
+            pending: Vec::new(),
+            tick_states: Vec::new(),
+            decisions: Vec::new(),
+            greedy: Vec::new(),
         }
     }
 
@@ -200,7 +231,17 @@ impl AccController {
         self.queues.get(&(port.0, prio)).map(|q| q.action_idx)
     }
 
-    fn tick_queue(&mut self, view: &mut SwitchView<'_>, port: PortId, prio: Prio) {
+    /// Total training-anomaly signals (NaN Q-values/targets) raised by this
+    /// controller's agent. [`crate::guard`] polls this to surface numeric
+    /// trouble as guard events.
+    pub fn agent_anomalies(&self) -> u64 {
+        self.agent.borrow().anomalies()
+    }
+
+    /// Phase A of a control tick: read telemetry, compute the reward, store
+    /// the previous transition, and (unless the queue is idle) queue a
+    /// [`PendingDecision`] for the batched selection pass.
+    fn prepare_queue(&mut self, view: &mut SwitchView<'_>, port: PortId, prio: Prio) {
         let snap = view.snapshot(port, prio);
         let now = view.now();
         let key = (port.0, prio);
@@ -309,37 +350,89 @@ impl AccController {
                 });
             }
         }
-
-        // Choose and apply the next action.
-        let action = if self.cfg.explore {
-            agent.select_action(&state)
-        } else {
-            agent.best_action(&state)
-        };
-        self.stats.inferences += 1;
-        if let Some(rec) = &self.recorder {
-            let ecn = self.space.get(action);
-            rec.borrow_mut().record_agent(&telemetry::AgentSample {
-                t_ps: now.as_ps(),
-                node: view.node().0,
-                port: port.0,
-                prio,
-                state: state.clone(),
-                action_idx: action,
-                kmin_bytes: ecn.kmin_bytes,
-                kmax_bytes: ecn.kmax_bytes,
-                pmax: ecn.pmax,
-                epsilon: agent.epsilon(),
-                reward,
-                td_loss: self.last_td_loss.map(|l| l as f64),
-                replay_len: agent.replay.len(),
-                train_steps: agent.train_steps(),
-            });
-        }
+        let replay_len = agent.replay.len();
         drop(agent);
-        q.prev = Some((state, action));
-        q.action_idx = action;
-        view.set_ecn(port, prio, Some(self.space.get(action)));
+
+        // Defer the ε-greedy selection to the end-of-tick batched pass.
+        self.pending.push(PendingDecision {
+            key,
+            port,
+            prio,
+            state,
+            reward,
+            replay_len,
+        });
+    }
+
+    /// Phases B and C of a control tick: one batched forward pass selects
+    /// an action for every pending queue, then records and applies them in
+    /// the original queue order. With `cfg.scalar_inference` the selection
+    /// runs through the per-queue scalar reference instead; both paths
+    /// consume the RNG identically and are bit-identical by contract.
+    fn decide_pending(&mut self, view: &mut SwitchView<'_>) {
+        let n = self.pending.len();
+        if n == 0 {
+            return;
+        }
+        let mut agent = self.agent.borrow_mut();
+        if self.cfg.scalar_inference {
+            self.decisions.clear();
+            for d in &self.pending {
+                let a = if self.cfg.explore {
+                    agent.select_action(&d.state)
+                } else {
+                    agent.best_action(&d.state)
+                };
+                self.decisions.push((a, agent.epsilon()));
+            }
+        } else {
+            self.tick_states.clear();
+            for d in &self.pending {
+                self.tick_states.extend_from_slice(&d.state);
+            }
+            if self.cfg.explore {
+                agent.select_actions_batch(&self.tick_states, n, &mut self.decisions);
+            } else {
+                agent.best_actions_batch(&self.tick_states, n, &mut self.greedy);
+                let eps = agent.epsilon();
+                self.decisions.clear();
+                self.decisions.extend(self.greedy.iter().map(|&a| (a, eps)));
+            }
+        }
+        let train_steps = agent.train_steps();
+        drop(agent);
+        self.stats.inferences += n as u64;
+
+        let now = view.now();
+        let node = view.node().0;
+        for i in 0..n {
+            let (action, epsilon) = self.decisions[i];
+            let d = &mut self.pending[i];
+            let ecn = self.space.get(action);
+            if let Some(rec) = &self.recorder {
+                rec.borrow_mut().record_agent(&telemetry::AgentSample {
+                    t_ps: now.as_ps(),
+                    node,
+                    port: d.port.0,
+                    prio: d.prio,
+                    state: d.state.clone(),
+                    action_idx: action,
+                    kmin_bytes: ecn.kmin_bytes,
+                    kmax_bytes: ecn.kmax_bytes,
+                    pmax: ecn.pmax,
+                    epsilon,
+                    reward: d.reward,
+                    td_loss: self.last_td_loss.map(|l| l as f64),
+                    replay_len: d.replay_len,
+                    train_steps,
+                });
+            }
+            let q = self.queues.get_mut(&d.key).expect("pending queue exists");
+            q.prev = Some((std::mem::take(&mut d.state), action));
+            q.action_idx = action;
+            view.set_ecn(d.port, d.prio, Some(ecn));
+        }
+        self.pending.clear();
     }
 
     fn maybe_exchange(&mut self) {
@@ -376,13 +469,20 @@ impl QueueController for AccController {
         let prios = self.cfg.target_prios.clone();
         for p in 0..n_ports {
             for &prio in &prios {
-                self.tick_queue(view, PortId(p as u16), prio);
+                self.prepare_queue(view, PortId(p as u16), prio);
             }
         }
+        self.decide_pending(view);
         if self.cfg.online_training {
+            let scalar = self.cfg.scalar_inference;
             let mut agent = self.agent.borrow_mut();
             for _ in 0..self.cfg.trains_per_tick {
-                if let Some(loss) = agent.train_step() {
+                let loss = if scalar {
+                    agent.train_step_scalar()
+                } else {
+                    agent.train_step()
+                };
+                if let Some(loss) = loss {
                     self.stats.train_steps += 1;
                     self.last_td_loss = Some(loss);
                 }
@@ -537,6 +637,41 @@ mod tests {
             // First tick per queue only initialises telemetry bookkeeping.
             assert_eq!(acc.stats.inferences, (acc.stats.ticks - 1) * 2);
         });
+    }
+
+    #[test]
+    fn batched_and_scalar_controllers_are_bit_identical() {
+        // Two identical simulations, one routed through the batched kernels
+        // and one through the retained scalar reference: every applied
+        // action and the final trained weights must match exactly.
+        let run = |scalar: bool| {
+            let topo =
+                TopologySpec::single_switch(3, 25_000_000_000, SimTime::from_ns(500)).build();
+            let simcfg = SimConfig::default().with_control_interval(SimTime::from_us(50));
+            let mut sim = Simulator::new(topo, simcfg);
+            let sw = sim.core().topo.switches()[0];
+            let mut cfg = small_cfg();
+            cfg.idle_optimization = false;
+            cfg.scalar_inference = scalar;
+            sim.set_controller(
+                sw,
+                Box::new(AccController::new(cfg, ActionSpace::templates())),
+            );
+            sim.run_until(SimTime::from_ms(5));
+            sim.with_controller(sw, |c, _| {
+                let acc = c.as_any_mut().downcast_mut::<AccController>().unwrap();
+                let actions: Vec<Option<usize>> = (0..3u16)
+                    .map(|p| acc.current_action(PortId(p), PRIO_RDMA))
+                    .collect();
+                (
+                    actions,
+                    serde_json::to_string(&acc.export_model()).unwrap(),
+                    acc.stats.inferences,
+                    acc.stats.train_steps,
+                )
+            })
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

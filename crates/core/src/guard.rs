@@ -109,6 +109,11 @@ pub enum GuardViolation {
     TelemetryRegression,
     /// Non-finite or absurdly large reward.
     RewardAnomaly,
+    /// The agent's numeric kernels signalled trouble (NaN Q-values or
+    /// non-finite TD targets during training/inference). Agent-level, not
+    /// per-queue: reported by [`AccController::agent_anomalies`] rather
+    /// than by [`QueueGuard::vet`].
+    TrainingAnomaly,
 }
 
 impl GuardViolation {
@@ -122,6 +127,7 @@ impl GuardViolation {
             GuardViolation::StaleTelemetry => "stale_telemetry",
             GuardViolation::TelemetryRegression => "telemetry_regression",
             GuardViolation::RewardAnomaly => "reward_anomaly",
+            GuardViolation::TrainingAnomaly => "training_anomaly",
         }
     }
 
@@ -439,6 +445,9 @@ pub struct GuardStats {
     pub recoveries: u64,
     /// Ticks spent with the fallback profile in force (per queue).
     pub fallback_ticks: u64,
+    /// Training anomalies (NaN Q-values / non-finite TD targets) the inner
+    /// agent signalled. Agent-level: also counted in `violations_detected`.
+    pub agent_anomalies: u64,
 }
 
 /// A [`QueueController`] that wraps an inner controller with per-queue
@@ -453,6 +462,8 @@ pub struct GuardedController {
     /// Aggregated counters across all guarded queues.
     pub stats: GuardStats,
     recorder: Option<telemetry::SharedRecorder>,
+    /// Inner agent's anomaly count at the last tick (for delta polling).
+    agent_anomalies_seen: u64,
 }
 
 impl GuardedController {
@@ -465,6 +476,7 @@ impl GuardedController {
             guards: HashMap::new(),
             stats: GuardStats::default(),
             recorder: None,
+            agent_anomalies_seen: 0,
         }
     }
 
@@ -503,6 +515,32 @@ impl QueueController for GuardedController {
         self.stats.ticks += 1;
         let n_ports = view.num_ports();
         let prios = self.target_prios.clone();
+        // Poll the inner agent's numeric-anomaly counter: NaN Q-values or
+        // non-finite TD targets surface here as an agent-level violation
+        // (emitted against port 0 / the first guarded class, since the
+        // signal is not attributable to a single queue).
+        let agent_anoms = self
+            .inner
+            .as_any_mut()
+            .downcast_mut::<AccController>()
+            .map(|a| a.agent_anomalies());
+        if let Some(total) = agent_anoms {
+            let delta = total.saturating_sub(self.agent_anomalies_seen);
+            self.agent_anomalies_seen = total;
+            if delta > 0 {
+                self.stats.agent_anomalies += delta;
+                self.stats.violations_detected += delta;
+                if let Some(&prio) = prios.first() {
+                    self.emit(
+                        view,
+                        PortId(0),
+                        prio,
+                        "guard_violation",
+                        GuardViolation::TrainingAnomaly.name(),
+                    );
+                }
+            }
+        }
         for p in 0..n_ports {
             let port = PortId(p as u16);
             for &prio in &prios {

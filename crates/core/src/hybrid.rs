@@ -106,6 +106,13 @@ pub struct HybridAcc {
     pub sync_ticks: u64,
     /// Model syncs performed.
     pub syncs: u64,
+    /// Per-tick batched-inference scratch (see [`crate::controller`]): the
+    /// telemetry pass collects `(queue, state)` pairs, one batched forward
+    /// selects all actions, and the results are applied in queue order.
+    pending: Vec<((u16, Prio), PortId, Prio, Vec<f32>)>,
+    tick_states: Vec<f32>,
+    decisions: Vec<(usize, f64)>,
+    greedy: Vec<usize>,
 }
 
 impl HybridAcc {
@@ -131,6 +138,10 @@ impl HybridAcc {
             ticks: 0,
             sync_ticks: sync_ticks.max(1),
             syncs: 0,
+            pending: Vec::new(),
+            tick_states: Vec::new(),
+            decisions: Vec::new(),
+            greedy: Vec::new(),
         }
     }
 
@@ -190,14 +201,40 @@ impl HybridAcc {
                 done: false,
             });
         }
-        let action = if self.cfg.explore {
-            self.local.select_action(&state)
+        // Defer the selection to the end-of-tick batched pass.
+        self.pending.push((key, port, prio, state));
+    }
+
+    /// One batched forward pass decides every pending queue, then the
+    /// actions are applied in the original queue order.
+    fn decide_pending(&mut self, view: &mut SwitchView<'_>) {
+        let n = self.pending.len();
+        if n == 0 {
+            return;
+        }
+        self.tick_states.clear();
+        for (_, _, _, state) in &self.pending {
+            self.tick_states.extend_from_slice(state);
+        }
+        if self.cfg.explore {
+            self.local
+                .select_actions_batch(&self.tick_states, n, &mut self.decisions);
         } else {
-            self.local.best_action(&state)
-        };
-        q.prev = Some((state, action));
-        q.action_idx = action;
-        view.set_ecn(port, prio, Some(self.space.get(action)));
+            self.local
+                .best_actions_batch(&self.tick_states, n, &mut self.greedy);
+            let eps = self.local.epsilon();
+            self.decisions.clear();
+            self.decisions.extend(self.greedy.iter().map(|&a| (a, eps)));
+        }
+        for i in 0..n {
+            let (action, _eps) = self.decisions[i];
+            let (key, port, prio, state) = &mut self.pending[i];
+            let q = self.queues.get_mut(key).expect("pending queue exists");
+            q.prev = Some((std::mem::take(state), action));
+            q.action_idx = action;
+            view.set_ecn(*port, *prio, Some(self.space.get(action)));
+        }
+        self.pending.clear();
     }
 }
 
@@ -210,6 +247,7 @@ impl QueueController for HybridAcc {
                 self.tick_queue(view, PortId(p as u16), prio);
             }
         }
+        self.decide_pending(view);
         // Ship experience up and (periodically) pull the fresh model down.
         if !self.outbox.is_empty() {
             let batch = std::mem::take(&mut self.outbox);

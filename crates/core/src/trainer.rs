@@ -25,6 +25,12 @@ use std::rc::Rc;
 
 /// Install ACC on every switch with a single shared agent (offline-training
 /// topology). Returns the shared agent handle.
+///
+/// Because all controllers route through one [`DdqnAgent`], each switch's
+/// per-tick decisions run as a single batched forward pass over the shared
+/// model, and the agent's persistent training workspace serves every
+/// switch's minibatch updates — pre-training throughput scales with the
+/// batched kernels, not with per-queue scalar inference.
 pub fn install_shared_training(
     sim: &mut Simulator,
     cfg: &AccConfig,

@@ -11,11 +11,12 @@
 //! online operation to avoid destabilising the production network (§4.3).
 
 use crate::memory::Memory;
-use crate::mlp::{Adam, Gradients, Mlp};
+use crate::mlp::{Adam, BackwardScratch, BatchActivations, Gradients, Mlp};
 use crate::replay::Transition;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// Hyper-parameters for [`DdqnAgent`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -66,6 +67,27 @@ impl Default for DdqnConfig {
     }
 }
 
+/// Persistent scratch owned by the agent so a steady-state
+/// [`DdqnAgent::train_step`] performs zero heap allocations: the sampled
+/// index buffer, the flat packed state batches, the batched activations of
+/// all three network passes, the TD-target and grad-out buffers, the
+/// accumulated minibatch gradients and the backward delta scratch. (The
+/// remaining leg of the workspace — the Adam moment vectors — already
+/// persists inside [`Adam`].)
+#[derive(Clone, Debug, Default)]
+struct TrainWorkspace {
+    indices: Vec<usize>,
+    states: Vec<f32>,
+    next_states: Vec<f32>,
+    targets: Vec<f32>,
+    grad_out: Vec<f32>,
+    eval_next: BatchActivations,
+    tgt_next: BatchActivations,
+    cache: BatchActivations,
+    scratch: BackwardScratch,
+    grads: Option<Gradients>,
+}
+
 /// A Double-DQN agent over a discrete action space.
 #[derive(Clone, Debug)]
 pub struct DdqnAgent {
@@ -79,6 +101,12 @@ pub struct DdqnAgent {
     rng: SmallRng,
     select_steps: u64,
     train_steps: u64,
+    ws: TrainWorkspace,
+    infer: BatchActivations,
+    /// NaN Q-values / non-finite TD targets seen so far. A `Cell` so the
+    /// `&self` inference paths can record anomalies too; `core::guard`
+    /// polls this through [`DdqnAgent::anomalies`].
+    anomalies: Cell<u64>,
 }
 
 impl DdqnAgent {
@@ -102,6 +130,9 @@ impl DdqnAgent {
             rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E3779B9).wrapping_add(1)),
             select_steps: 0,
             train_steps: 0,
+            ws: TrainWorkspace::default(),
+            infer: BatchActivations::new(),
+            anomalies: Cell::new(0),
         }
     }
 
@@ -144,12 +175,96 @@ impl DdqnAgent {
 
     /// Pure greedy inference (no exploration, no schedule side effects).
     pub fn best_action(&self, state: &[f32]) -> usize {
-        argmax(&self.eval.forward(state))
+        let (best, saw_nan) = argmax_checked(&self.eval.forward(state));
+        if saw_nan {
+            self.anomalies.set(self.anomalies.get() + 1);
+        }
+        best
+    }
+
+    /// Batched ε-greedy selection over `batch` states packed row-major into
+    /// `states` (`[batch × state_dim]` flat). Pushes one `(action,
+    /// epsilon_after)` pair per row onto `out` (cleared first), where
+    /// `epsilon_after` is the schedule value right after that row's decision
+    /// — exactly what the scalar `select_action` + `epsilon()` call pair
+    /// reports per decision.
+    ///
+    /// Determinism contract: consumes the RNG stream identically to calling
+    /// [`DdqnAgent::select_action`] once per row in order, and greedy rows
+    /// read a batched forward pass that is bit-identical to the scalar
+    /// forward — so the chosen actions match the scalar path exactly.
+    pub fn select_actions_batch(
+        &mut self,
+        states: &[f32],
+        batch: usize,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        out.clear();
+        if batch == 0 {
+            return;
+        }
+        let n_actions = self.eval.output_dim();
+        self.eval.forward_batch(states, batch, &mut self.infer);
+        let mut anomalies = 0u64;
+        for s in 0..batch {
+            let eps = self.epsilon();
+            self.select_steps += 1;
+            let action = if self.rng.gen::<f64>() < eps {
+                self.rng.gen_range(0..n_actions)
+            } else {
+                // Only greedy rows consult Q-values, so anomaly counts stay
+                // aligned with the per-row scalar path.
+                let (best, saw_nan) = argmax_checked(self.infer.output_row(s));
+                if saw_nan {
+                    anomalies += 1;
+                }
+                best
+            };
+            out.push((action, self.epsilon()));
+        }
+        if anomalies > 0 {
+            self.anomalies.set(self.anomalies.get() + anomalies);
+        }
+    }
+
+    /// Batched greedy inference (no exploration, no schedule side effects):
+    /// one forward pass over the packed batch, one action per row pushed
+    /// onto `out` (cleared first). Bit-identical to calling
+    /// [`DdqnAgent::best_action`] per row.
+    pub fn best_actions_batch(&mut self, states: &[f32], batch: usize, out: &mut Vec<usize>) {
+        out.clear();
+        if batch == 0 {
+            return;
+        }
+        self.eval.forward_batch(states, batch, &mut self.infer);
+        let mut anomalies = 0u64;
+        for s in 0..batch {
+            let (best, saw_nan) = argmax_checked(self.infer.output_row(s));
+            if saw_nan {
+                anomalies += 1;
+            }
+            out.push(best);
+        }
+        if anomalies > 0 {
+            self.anomalies.set(self.anomalies.get() + anomalies);
+        }
     }
 
     /// Q-values of the evaluation network.
     pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
         self.eval.forward(state)
+    }
+
+    /// Batched Q-values: one forward pass over `batch` states packed
+    /// row-major into `states`; `out` receives the flat
+    /// `[batch × n_actions]` result (cleared first).
+    pub fn q_values_batch(&mut self, states: &[f32], batch: usize, out: &mut Vec<f32>) {
+        out.clear();
+        if batch == 0 {
+            return;
+        }
+        self.eval.forward_batch(states, batch, &mut self.infer);
+        out.extend_from_slice(self.infer.output());
     }
 
     /// Store one experience tuple.
@@ -161,44 +276,165 @@ impl DdqnAgent {
 
     /// One minibatch training step (no-op until `min_replay` transitions are
     /// stored). Returns the minibatch loss if training happened.
+    ///
+    /// This is the batched kernel path: transitions are sampled by index and
+    /// packed (borrowed, never cloned) into flat batch buffers, the
+    /// Double-DQN target runs as one batched eval-net pass for `a*` plus one
+    /// batched target-net pass for `Q_next`, and a single batched backward
+    /// accumulates the minibatch gradients in fixed sample order. Every
+    /// buffer lives in the persistent [`TrainWorkspace`], so a steady-state
+    /// step allocates nothing. Results — weights, RNG stream, returned loss
+    /// — are bit-identical to [`DdqnAgent::train_step_scalar`], pinned by
+    /// differential tests.
     pub fn train_step(&mut self) -> Option<f32> {
+        let n = self.cfg.batch_size;
+        if self.replay.len() < self.cfg.min_replay.max(n) {
+            return None;
+        }
+        let state_dim = self.eval.input_dim();
+        let n_actions = self.eval.output_dim();
+        let gamma = self.cfg.gamma;
+
+        // Sample by index (same RNG consumption as `Memory::sample`) and
+        // pack the borrowed transitions into the flat batch buffers.
+        self.replay
+            .sample_indices_into(&mut self.rng, n, &mut self.ws.indices);
+        self.ws.states.resize(n * state_dim, 0.0);
+        self.ws.next_states.resize(n * state_dim, 0.0);
+        for (k, &idx) in self.ws.indices.iter().enumerate() {
+            let t = self.replay.get(idx);
+            self.ws.states[k * state_dim..(k + 1) * state_dim].copy_from_slice(&t.state);
+            self.ws.next_states[k * state_dim..(k + 1) * state_dim].copy_from_slice(&t.next_state);
+        }
+
+        // Batched Double-DQN target (eq. 3): a* from the eval net, Q_next
+        // from the target net, then per-sample targets in index order.
+        self.eval
+            .forward_batch(&self.ws.next_states, n, &mut self.ws.eval_next);
+        self.target
+            .forward_batch(&self.ws.next_states, n, &mut self.ws.tgt_next);
+        self.eval
+            .forward_cached_batch(&self.ws.states, n, &mut self.ws.cache);
+
+        let mut anomalies = 0u64;
+        self.ws.targets.resize(n, 0.0);
+        for k in 0..n {
+            let t = self.replay.get(self.ws.indices[k]);
+            let y = if t.done {
+                t.reward
+            } else {
+                let (a_star, saw_nan) = argmax_checked(self.ws.eval_next.output_row(k));
+                if saw_nan {
+                    anomalies += 1;
+                }
+                t.reward + gamma * self.ws.tgt_next.output_row(k)[a_star]
+            };
+            if !y.is_finite() {
+                anomalies += 1;
+            }
+            self.ws.targets[k] = y;
+        }
+
+        // Per-sample TD errors → loss and the sparse grad-out rows.
+        self.ws.grad_out.resize(n * n_actions, 0.0);
+        self.ws.grad_out.fill(0.0);
+        let mut loss = 0.0f32;
+        for k in 0..n {
+            let t = self.replay.get(self.ws.indices[k]);
+            let q = self.ws.cache.output_row(k)[t.action];
+            let err = q - self.ws.targets[k];
+            loss += err * err;
+            if !err.is_finite() {
+                anomalies += 1;
+            }
+            // dLoss/dQ[a] = 2·err for the taken action, 0 elsewhere.
+            self.ws.grad_out[k * n_actions + t.action] = 2.0 * err;
+        }
+
+        // One batched backward into the persistent gradient buffers.
+        let grads = self
+            .ws
+            .grads
+            .get_or_insert_with(|| Gradients::zeros(&self.eval));
+        self.eval.backward_batch(
+            &self.ws.cache,
+            &self.ws.grad_out,
+            &mut self.ws.scratch,
+            grads,
+        );
+        grads.scale(1.0 / n as f32);
+        self.opt.step(&mut self.eval, grads);
+        self.train_steps += 1;
+        if self.train_steps.is_multiple_of(self.cfg.target_sync_every) {
+            self.target.copy_from(&self.eval);
+        }
+        if anomalies > 0 {
+            self.anomalies.set(self.anomalies.get() + anomalies);
+        }
+        Some(loss / n as f32)
+    }
+
+    /// The retained scalar reference implementation of
+    /// [`DdqnAgent::train_step`]: per-sample forward/backward passes with
+    /// freshly allocated activations and gradients, training on the borrowed
+    /// `Vec<&Transition>` that `replay.sample` returns. It consumes the RNG
+    /// stream identically and produces bit-identical weights and loss — the
+    /// ground truth the batched kernels are differentially tested against
+    /// (the same role `HeapEventQueue` plays for the timing wheel).
+    pub fn train_step_scalar(&mut self) -> Option<f32> {
         if self.replay.len() < self.cfg.min_replay.max(self.cfg.batch_size) {
             return None;
         }
-        let batch: Vec<Transition> = self
-            .replay
-            .sample(&mut self.rng, self.cfg.batch_size)
-            .into_iter()
-            .cloned()
-            .collect();
+        let batch = self.replay.sample(&mut self.rng, self.cfg.batch_size);
+        let n = batch.len();
         let mut total = Gradients::zeros(&self.eval);
         let mut loss = 0.0f32;
-        for t in &batch {
+        let mut anomalies = 0u64;
+        for t in batch {
             // Double-DQN target.
             let y = if t.done {
                 t.reward
             } else {
-                let a_star = argmax(&self.eval.forward(&t.next_state));
-                let q_next = self.target.forward(&t.next_state)[a_star];
-                t.reward + self.cfg.gamma * q_next
+                let (a_star, saw_nan) = argmax_checked(&self.eval.forward(&t.next_state));
+                if saw_nan {
+                    anomalies += 1;
+                }
+                t.reward + self.cfg.gamma * self.target.forward(&t.next_state)[a_star]
             };
+            if !y.is_finite() {
+                anomalies += 1;
+            }
             let cache = self.eval.forward_cached(&t.state);
             let q = cache.output()[t.action];
             let err = q - y;
             loss += err * err;
+            if !err.is_finite() {
+                anomalies += 1;
+            }
             // dLoss/dQ[a] = 2·err for the taken action, 0 elsewhere.
-            let mut grad_out = vec![0.0f32; self.n_actions()];
+            let mut grad_out = vec![0.0f32; self.eval.output_dim()];
             grad_out[t.action] = 2.0 * err;
             let g = self.eval.backward(&cache, &grad_out);
             total.add(&g);
         }
-        total.scale(1.0 / batch.len() as f32);
+        total.scale(1.0 / n as f32);
         self.opt.step(&mut self.eval, &total);
         self.train_steps += 1;
         if self.train_steps.is_multiple_of(self.cfg.target_sync_every) {
             self.target.copy_from(&self.eval);
         }
-        Some(loss / batch.len() as f32)
+        if anomalies > 0 {
+            self.anomalies.set(self.anomalies.get() + anomalies);
+        }
+        Some(loss / n as f32)
+    }
+
+    /// Training/inference anomalies observed so far: NaN Q-value vectors fed
+    /// to argmax and non-finite TD targets/errors. Monotonic; `core::guard`
+    /// polls the delta each tick and surfaces it on the event timeline
+    /// instead of letting a poisoned model silently pick action 0.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies.get()
     }
 
     /// Force a target-network sync.
@@ -224,14 +460,23 @@ impl DdqnAgent {
     }
 }
 
-fn argmax(xs: &[f32]) -> usize {
+/// NaN-safe argmax over Q-values using `f32::total_cmp` ordering, except
+/// that NaN never wins (a poisoned Q-value must not steer the policy).
+/// Returns the winning index plus whether any entry was NaN, so callers can
+/// raise a training-anomaly signal instead of silently picking index 0.
+fn argmax_checked(xs: &[f32]) -> (usize, bool) {
     let mut best = 0;
-    for (i, v) in xs.iter().enumerate() {
-        if *v > xs[best] {
+    let mut saw_nan = xs.first().is_some_and(|v| v.is_nan());
+    for (i, v) in xs.iter().enumerate().skip(1) {
+        if v.is_nan() {
+            saw_nan = true;
+            continue;
+        }
+        if xs[best].is_nan() || v.total_cmp(&xs[best]).is_gt() {
             best = i;
         }
     }
-    best
+    (best, saw_nan)
 }
 
 #[cfg(test)]
@@ -414,6 +659,130 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    /// The batched `train_step` must stay bit-identical to the retained
+    /// scalar reference over a long interleaved run — same actions, same
+    /// losses, same weights, same RNG stream (the `HeapEventQueue` pattern).
+    #[test]
+    fn batched_train_step_bit_identical_to_scalar() {
+        for prioritized in [false, true] {
+            let mut cfg = DdqnConfig::default();
+            cfg.use_prioritized_replay = prioritized;
+            cfg.target_sync_every = 25; // exercise syncs mid-run
+            let mut batched = DdqnAgent::new(3, 4, cfg.clone(), 5);
+            let mut scalar = DdqnAgent::new(3, 4, cfg, 5);
+            for i in 0..300u32 {
+                let s = vec![(i % 3) as f32, (i % 5) as f32 * 0.2, (i % 7) as f32];
+                let ab = batched.select_action(&s);
+                let asc = scalar.select_action(&s);
+                assert_eq!(ab, asc, "action diverged at step {i}");
+                let t = Transition {
+                    state: s.clone(),
+                    action: ab,
+                    reward: (i % 11) as f32 * 0.1 - 0.3,
+                    next_state: s,
+                    done: i % 17 == 0,
+                };
+                batched.observe(t.clone());
+                scalar.observe(t);
+                let lb = batched.train_step();
+                let ls = scalar.train_step_scalar();
+                assert_eq!(lb, ls, "loss diverged at step {i} (prio={prioritized})");
+            }
+            let probe = [0.5, -0.25, 1.5];
+            assert_eq!(batched.q_values(&probe), scalar.q_values(&probe));
+            assert_eq!(
+                batched.export_model().forward(&probe),
+                scalar.export_model().forward(&probe)
+            );
+        }
+    }
+
+    /// Batched selection must reproduce the scalar per-row decisions, the
+    /// per-decision epsilon record, and the RNG stream.
+    #[test]
+    fn batched_selection_matches_scalar_path() {
+        let mut a = DdqnAgent::new(2, 3, DdqnConfig::default(), 9);
+        let mut b = DdqnAgent::new(2, 3, DdqnConfig::default(), 9);
+        let mut out = Vec::new();
+        for round in 0..40 {
+            let batch = 1 + round % 5;
+            let states: Vec<f32> = (0..batch * 2)
+                .map(|i| ((round * 13 + i * 7) % 19) as f32 * 0.1)
+                .collect();
+            a.select_actions_batch(&states, batch, &mut out);
+            assert_eq!(out.len(), batch);
+            for (s, &(action, eps)) in out.iter().enumerate() {
+                let scalar_action = b.select_action(&states[s * 2..(s + 1) * 2]);
+                assert_eq!(action, scalar_action, "round {round} row {s}");
+                assert_eq!(eps, b.epsilon(), "recorded epsilon drifted");
+            }
+        }
+        // Greedy batch agrees with best_action per row.
+        let states = [0.3, 0.6, 0.9, 0.1];
+        let mut greedy = Vec::new();
+        a.best_actions_batch(&states, 2, &mut greedy);
+        assert_eq!(greedy[0], b.best_action(&states[0..2]));
+        assert_eq!(greedy[1], b.best_action(&states[2..4]));
+        // And batched Q-values match scalar Q-values.
+        let mut q = Vec::new();
+        a.q_values_batch(&states, 2, &mut q);
+        assert_eq!(&q[0..3], b.q_values(&states[0..2]).as_slice());
+        assert_eq!(&q[3..6], b.q_values(&states[2..4]).as_slice());
+    }
+
+    #[test]
+    fn argmax_is_nan_safe_and_signals_anomaly() {
+        // NaN never wins, regardless of position.
+        assert_eq!(argmax_checked(&[f32::NAN, 1.0, 0.5]), (1, true));
+        assert_eq!(argmax_checked(&[1.0, f32::NAN, 2.0]), (2, true));
+        assert_eq!(argmax_checked(&[1.0, 2.0, f32::NAN]), (1, true));
+        // All-NaN degenerates to index 0, but the signal fires.
+        assert_eq!(argmax_checked(&[f32::NAN, f32::NAN]), (0, true));
+        // Clean vectors: plain argmax, first max wins ties, no signal.
+        assert_eq!(argmax_checked(&[0.5, 2.0, 2.0]), (1, false));
+        assert_eq!(argmax_checked(&[-1.0, -3.0]), (0, false));
+        // total_cmp handles infinities.
+        assert_eq!(
+            argmax_checked(&[f32::NEG_INFINITY, f32::INFINITY]),
+            (1, false)
+        );
+    }
+
+    #[test]
+    fn nan_q_values_raise_the_anomaly_counter() {
+        let mut a = DdqnAgent::new(2, 2, DdqnConfig::default(), 1);
+        assert_eq!(a.anomalies(), 0);
+        // Poison the eval net so every forward emits NaN.
+        let mut m = a.export_model();
+        m.set_weight(0, 0, f32::NAN);
+        a.load_model(&m);
+        let best = a.best_action(&[1.0, 1.0]);
+        assert!(best < 2);
+        assert!(a.anomalies() > 0, "NaN Q-values went unsignalled");
+
+        // A NaN reward poisons the TD target: training must signal too, on
+        // both the batched and the scalar reference path.
+        for use_scalar in [false, true] {
+            let mut a = DdqnAgent::new(2, 2, DdqnConfig::default(), 1);
+            for i in 0..100 {
+                a.observe(Transition {
+                    state: vec![0.0, 1.0],
+                    action: i % 2,
+                    reward: f32::NAN,
+                    next_state: vec![1.0, 0.0],
+                    done: false,
+                });
+            }
+            let loss = if use_scalar {
+                a.train_step_scalar()
+            } else {
+                a.train_step()
+            };
+            assert!(loss.is_some());
+            assert!(a.anomalies() > 0, "scalar={use_scalar} missed NaN targets");
+        }
     }
 
     fn one_hot(i: usize, n: usize) -> Vec<f32> {

@@ -7,7 +7,10 @@
 //! scratch and deterministically:
 //!
 //! * [`mlp`] — a fully-connected network with ReLU hidden layers, manual
-//!   backpropagation and an Adam optimizer;
+//!   backpropagation and an Adam optimizer, plus batched minibatch kernels
+//!   (`forward_batch` / `forward_cached_batch` / `backward_batch`) over
+//!   flat `[batch × dim]` workspaces that are bit-identical to the scalar
+//!   path while allocating nothing at steady state;
 //! * [`replay`] — bounded experience-replay memories (local per agent plus a
 //!   shared *global* memory that agents exchange experience through, the
 //!   asynchronous multi-agent scheme of §3.4), and [`prioritized`] — the
@@ -31,6 +34,6 @@ pub mod replay;
 
 pub use ddqn::{DdqnAgent, DdqnConfig};
 pub use memory::Memory;
-pub use mlp::{Adam, Mlp};
+pub use mlp::{Adam, BackwardScratch, BatchActivations, Mlp};
 pub use prioritized::PrioritizedReplay;
 pub use replay::{ReplayBuffer, Transition};

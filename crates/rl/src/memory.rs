@@ -55,6 +55,26 @@ impl Memory {
         }
     }
 
+    /// Draw `n` sample indices into `out` according to the flavour's
+    /// distribution, consuming the RNG exactly like [`Memory::sample`]. Pair
+    /// with [`Memory::get`]; reusing one index buffer keeps steady-state
+    /// training allocation-free (no per-batch `Vec<&Transition>`).
+    pub fn sample_indices_into(&self, rng: &mut SmallRng, n: usize, out: &mut Vec<usize>) {
+        match self {
+            Memory::Uniform(b) => b.sample_indices_into(rng, n, out),
+            Memory::Prioritized(p) => p.sample_indices_into(rng, n, out),
+        }
+    }
+
+    /// The transition stored at `idx` (pairs with
+    /// [`Memory::sample_indices_into`]).
+    pub fn get(&self, idx: usize) -> &Transition {
+        match self {
+            Memory::Uniform(b) => b.get(idx),
+            Memory::Prioritized(p) => p.get(idx),
+        }
+    }
+
     /// Iterate over stored transitions (unspecified order).
     pub fn iter(&self) -> Box<dyn Iterator<Item = &Transition> + '_> {
         match self {
@@ -119,6 +139,27 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(1);
             assert_eq!(m.sample(&mut rng, 5).len(), 5);
             assert_eq!(m.iter().count(), 16);
+        }
+    }
+
+    /// `sample_indices_into` must pick the same transitions as `sample` from
+    /// the same RNG state and leave the stream at the same position — the
+    /// contract the batched/scalar train-step bit-identity rests on.
+    #[test]
+    fn index_sampling_matches_reference_sampling() {
+        for prioritized in [false, true] {
+            let mut m = Memory::new(16, prioritized);
+            for i in 0..16 {
+                m.push(tr(i as f32));
+            }
+            let mut r1 = SmallRng::seed_from_u64(9);
+            let mut r2 = SmallRng::seed_from_u64(9);
+            let via_refs: Vec<Transition> = m.sample(&mut r1, 8).into_iter().cloned().collect();
+            let mut idx = Vec::new();
+            m.sample_indices_into(&mut r2, 8, &mut idx);
+            let via_idx: Vec<Transition> = idx.iter().map(|&i| m.get(i).clone()).collect();
+            assert_eq!(via_refs, via_idx, "prioritized={prioritized}");
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>(), "RNG streams diverged");
         }
     }
 

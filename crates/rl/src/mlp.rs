@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One dense layer: `out = W·x + b`, with `W` stored row-major (out × in).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Dense {
     /// Input width.
     pub n_in: usize,
@@ -50,6 +50,70 @@ impl Dense {
             }
             *o = acc;
         }
+    }
+
+    /// [`Dense::apply`] with output rows processed four at a time. Each
+    /// output element is still `b[o] + Σ_i w[o][i]·x[i]` accumulated in `i`
+    /// order — bit-identical to `apply` — but the four independent
+    /// accumulators break the serial f32 add chain that latency-binds the
+    /// plain dot product, so the batched kernels lean on instruction-level
+    /// parallelism without changing a single bit of output.
+    #[inline]
+    fn apply_blocked(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.n_in);
+        debug_assert_eq!(out.len(), self.n_out);
+        let n_in = self.n_in;
+        let mut o = 0;
+        while o + 4 <= self.n_out {
+            let r0 = &self.w[o * n_in..(o + 1) * n_in];
+            let r1 = &self.w[(o + 1) * n_in..(o + 2) * n_in];
+            let r2 = &self.w[(o + 2) * n_in..(o + 3) * n_in];
+            let r3 = &self.w[(o + 3) * n_in..(o + 4) * n_in];
+            let (mut a0, mut a1, mut a2, mut a3) =
+                (self.b[o], self.b[o + 1], self.b[o + 2], self.b[o + 3]);
+            for (i, &xi) in x.iter().enumerate() {
+                a0 += r0[i] * xi;
+                a1 += r1[i] * xi;
+                a2 += r2[i] * xi;
+                a3 += r3[i] * xi;
+            }
+            out[o] = a0;
+            out[o + 1] = a1;
+            out[o + 2] = a2;
+            out[o + 3] = a3;
+            o += 4;
+        }
+        while o < self.n_out {
+            let row = &self.w[o * n_in..(o + 1) * n_in];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out[o] = acc;
+            o += 1;
+        }
+    }
+}
+
+impl Clone for Dense {
+    fn clone(&self) -> Self {
+        Dense {
+            n_in: self.n_in,
+            n_out: self.n_out,
+            w: self.w.clone(),
+            b: self.b.clone(),
+        }
+    }
+
+    /// Reuse the existing weight/bias buffers when shapes match. The derived
+    /// impl would fall back to `*self = src.clone()`, which re-allocates —
+    /// target-network syncs inside a steady-state `train_step` must not
+    /// touch the heap.
+    fn clone_from(&mut self, src: &Self) {
+        self.n_in = src.n_in;
+        self.n_out = src.n_out;
+        self.w.clone_from(&src.w);
+        self.b.clone_from(&src.b);
     }
 }
 
@@ -107,6 +171,80 @@ impl Gradients {
                 *x *= k;
             }
         }
+    }
+}
+
+/// Per-layer activations of a whole minibatch, stored as flat row-major
+/// `[batch × width]` buffers.
+///
+/// The buffers persist across calls: a workspace reused at its steady-state
+/// shape is never re-allocated, which is what makes the agent's batched
+/// `train_step` allocation-free. Create once, pass to
+/// [`Mlp::forward_batch`] / [`Mlp::forward_cached_batch`] repeatedly.
+#[derive(Clone, Debug, Default)]
+pub struct BatchActivations {
+    /// `acts[0]` is the flat input batch; `acts[i]` holds the
+    /// post-activation outputs of layer `i-1` for every sample.
+    acts: Vec<Vec<f32>>,
+    /// Per-layer transposed weights (`[n_in][n_out]` flat), refreshed on
+    /// each batched forward. The transposed layout turns every per-sample
+    /// pass into contiguous axpy sweeps over the output row — SIMD-friendly
+    /// with one independent accumulator lane per output — while each output
+    /// element still sums its terms in input-index order, keeping the
+    /// result bit-identical to the scalar dot products.
+    wt: Vec<Vec<f32>>,
+    batch: usize,
+}
+
+impl BatchActivations {
+    /// An empty workspace; buffers are shaped on first use and reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples in the currently cached batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The flat `[batch × output_dim]` network output.
+    pub fn output(&self) -> &[f32] {
+        self.acts.last().expect("empty batch workspace")
+    }
+
+    /// The output row of sample `s`.
+    pub fn output_row(&self, s: usize) -> &[f32] {
+        let out = self.output();
+        let w = out.len() / self.batch;
+        &out[s * w..(s + 1) * w]
+    }
+
+    /// Shape the buffers for `net` × `batch`. Capacity never shrinks, so
+    /// alternating batch sizes settle to the largest and stay allocation-free.
+    fn ensure(&mut self, net: &Mlp, batch: usize) {
+        self.acts.resize(net.dims.len(), Vec::new());
+        for (buf, &w) in self.acts.iter_mut().zip(&net.dims) {
+            buf.resize(batch * w, 0.0);
+        }
+        self.wt.resize(net.layers.len(), Vec::new());
+        for (buf, l) in self.wt.iter_mut().zip(&net.layers) {
+            buf.resize(l.w.len(), 0.0);
+        }
+        self.batch = batch;
+    }
+}
+
+/// Reusable delta ping-pong buffers for [`Mlp::backward_batch`].
+#[derive(Clone, Debug, Default)]
+pub struct BackwardScratch {
+    delta: Vec<f32>,
+    prev: Vec<f32>,
+}
+
+impl BackwardScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -242,6 +380,172 @@ impl Mlp {
         grads
     }
 
+    /// Batched forward pass over `batch` input rows packed row-major into
+    /// `xs` (`[batch × input_dim]` flat), leaving the outputs in `ws`.
+    ///
+    /// Determinism contract: every output element is computed by the exact
+    /// per-sample summation the scalar [`Mlp::forward`] uses, so row `s` of
+    /// the result is bit-identical to `forward(&xs[s·d..(s+1)·d])` — only
+    /// the allocations and the instruction scheduling differ.
+    pub fn forward_batch(&self, xs: &[f32], batch: usize, ws: &mut BatchActivations) {
+        self.forward_cached_batch(xs, batch, ws);
+    }
+
+    /// Batched forward pass keeping every layer's activations in `ws` for
+    /// [`Mlp::backward_batch`]. Same bit-identity contract as
+    /// [`Mlp::forward_batch`].
+    pub fn forward_cached_batch(&self, xs: &[f32], batch: usize, ws: &mut BatchActivations) {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(xs.len(), batch * self.input_dim(), "input batch mismatch");
+        ws.ensure(self, batch);
+        ws.acts[0].copy_from_slice(xs);
+        let last = self.layers.len() - 1;
+        // Refreshing the transpose costs one sweep over the weights per
+        // layer; the per-sample axpy sweeps it enables amortise that across
+        // the batch. Small batches skip it and use the row-blocked dots.
+        let transpose = batch >= 8;
+        for (i, l) in self.layers.iter().enumerate() {
+            let (head, tail) = ws.acts.split_at_mut(i + 1);
+            let src = &head[i];
+            let dst = &mut tail[0];
+            let (n_in, n_out) = (l.n_in, l.n_out);
+            if transpose {
+                let wt = &mut ws.wt[i];
+                for o in 0..n_out {
+                    let row = &l.w[o * n_in..(o + 1) * n_in];
+                    for (c, &w) in row.iter().enumerate() {
+                        wt[c * n_out + o] = w;
+                    }
+                }
+                for s in 0..batch {
+                    let x = &src[s * n_in..(s + 1) * n_in];
+                    let out = &mut dst[s * n_out..(s + 1) * n_out];
+                    // out[o] = b[o] + Σ_c w[o][c]·x[c], accumulated in `c`
+                    // order — the scalar dot's exact summation, one SIMD
+                    // lane per output element.
+                    out.copy_from_slice(&l.b);
+                    for (c, &xi) in x.iter().enumerate() {
+                        let col = &wt[c * n_out..(c + 1) * n_out];
+                        for (acc, &w) in out.iter_mut().zip(col) {
+                            *acc += w * xi;
+                        }
+                    }
+                }
+            } else {
+                for s in 0..batch {
+                    l.apply_blocked(
+                        &src[s * n_in..(s + 1) * n_in],
+                        &mut dst[s * n_out..(s + 1) * n_out],
+                    );
+                }
+            }
+            if i != last {
+                for v in dst.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched backprop of `grad_out` (`[batch × output_dim]` flat, one
+    /// dLoss/dOutput row per sample) through the cached batch in `cache`,
+    /// overwriting `out` with the gradients *summed over the batch*.
+    ///
+    /// Determinism contract: each parameter gradient is accumulated over
+    /// samples in index order starting from 0.0 — the same left fold that
+    /// running the scalar [`Mlp::backward`] per sample and summing with
+    /// [`Gradients::add`] produces — so the result is bit-identical to the
+    /// scalar reference while touching each gradient slot exactly once
+    /// (instead of once per sample plus a zeroing pass).
+    pub fn backward_batch(
+        &self,
+        cache: &BatchActivations,
+        grad_out: &[f32],
+        scratch: &mut BackwardScratch,
+        out: &mut Gradients,
+    ) {
+        let batch = cache.batch;
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            grad_out.len(),
+            batch * self.output_dim(),
+            "grad_out mismatch"
+        );
+        debug_assert_eq!(out.dw.len(), self.layers.len(), "gradient shape mismatch");
+        let maxw = self.dims.iter().copied().max().expect("non-empty dims");
+        scratch.delta.resize(batch * maxw, 0.0);
+        scratch.prev.resize(batch * maxw, 0.0);
+        scratch.delta[..grad_out.len()].copy_from_slice(grad_out);
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let input = &cache.acts[i];
+            let (n_in, n_out) = (l.n_in, l.n_out);
+            let delta = &scratch.delta[..batch * n_out];
+            // dW[o] = Σ_s delta[s][o] ⊗ input[s]: one contiguous axpy per
+            // (o, s) pair, accumulating rows in sample order from zero.
+            //
+            // Samples with `d == 0.0` are skipped outright: an accumulator
+            // that starts at +0.0 can never become -0.0 under IEEE addition
+            // (that needs both operands negative zero), so adding the ±0.0
+            // term `d·x` is always a bit-exact no-op. The skip is what makes
+            // the one-hot DQN grad-out rows (one nonzero action per sample)
+            // and ReLU-dead hidden deltas cheap instead of dominant.
+            let dw = &mut out.dw[i];
+            for o in 0..n_out {
+                let row = &mut dw[o * n_in..(o + 1) * n_in];
+                row.fill(0.0);
+                for s in 0..batch {
+                    let d = delta[s * n_out + o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let x = &input[s * n_in..(s + 1) * n_in];
+                    for (slot, xi) in row.iter_mut().zip(x) {
+                        *slot += d * xi;
+                    }
+                }
+            }
+            // db[o] = Σ_s delta[s][o], same sample-order fold.
+            for (o, slot) in out.db[i].iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for s in 0..batch {
+                    acc += delta[s * n_out + o];
+                }
+                *slot = acc;
+            }
+            if i == 0 {
+                break;
+            }
+            // delta_prev = Wᵀ·delta per sample (row order preserved), masked
+            // by the previous ReLU's post-activations — exactly the scalar
+            // backward, just over flat rows.
+            let prev = &mut scratch.prev[..batch * n_in];
+            prev.fill(0.0);
+            for s in 0..batch {
+                let d = &delta[s * n_out..(s + 1) * n_out];
+                let p = &mut prev[s * n_in..(s + 1) * n_in];
+                for (r, &dr) in d.iter().enumerate() {
+                    // Zero rows are bit-exact no-ops (see the dW fold above).
+                    if dr == 0.0 {
+                        continue;
+                    }
+                    let wrow = &l.w[r * n_in..(r + 1) * n_in];
+                    for (pj, wj) in p.iter_mut().zip(wrow) {
+                        *pj += wj * dr;
+                    }
+                }
+                let a = &input[s * n_in..(s + 1) * n_in];
+                for (pj, aj) in p.iter_mut().zip(a) {
+                    if *aj <= 0.0 {
+                        *pj = 0.0;
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.delta, &mut scratch.prev);
+        }
+    }
+
     /// Apply a raw SGD step (used by tests; training uses [`Adam`]).
     pub fn sgd_step(&mut self, grads: &Gradients, lr: f32) {
         for (l, (dw, db)) in self.layers.iter_mut().zip(grads.dw.iter().zip(&grads.db)) {
@@ -264,10 +568,13 @@ impl Mlp {
         self.layers[layer].w[idx] = v;
     }
 
-    /// Copy parameters from `other` (target-network sync).
+    /// Copy parameters from `other` (target-network sync). Allocation-free:
+    /// the per-layer [`Dense::clone_from`] reuses the existing buffers.
     pub fn copy_from(&mut self, other: &Mlp) {
         assert_eq!(self.dims, other.dims, "architecture mismatch");
-        self.layers.clone_from(&other.layers);
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.clone_from(src);
+        }
     }
 }
 
@@ -498,6 +805,78 @@ mod tests {
         let back: Mlp = serde_json::from_str(&json).unwrap();
         let x = [0.5, -0.5, 0.25, 0.75];
         assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    /// The batched forward must agree bit-for-bit with the scalar forward,
+    /// per row, including after the workspace is reused at other shapes.
+    #[test]
+    fn forward_batch_bit_identical_to_scalar() {
+        let net = Mlp::new(&[6, 17, 9, 5], 21);
+        let mut ws = BatchActivations::new();
+        for batch in [1usize, 3, 32, 7] {
+            let xs: Vec<f32> = (0..batch * 6)
+                .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.031)
+                .collect();
+            net.forward_batch(&xs, batch, &mut ws);
+            for s in 0..batch {
+                let row = net.forward(&xs[s * 6..(s + 1) * 6]);
+                assert_eq!(row.as_slice(), ws.output_row(s), "batch {batch} row {s}");
+            }
+        }
+    }
+
+    /// The batched backward must reproduce the scalar per-sample
+    /// backward-and-sum fold bit-for-bit.
+    #[test]
+    fn backward_batch_bit_identical_to_scalar_fold() {
+        let net = Mlp::new(&[5, 13, 8, 4], 3);
+        let batch = 11usize;
+        let xs: Vec<f32> = (0..batch * 5)
+            .map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.027)
+            .collect();
+        let grad_out: Vec<f32> = (0..batch * 4)
+            .map(|i| ((i * 29 % 89) as f32 - 44.0) * 0.013)
+            .collect();
+
+        // Scalar reference: per-sample backward accumulated with add().
+        let mut total = Gradients::zeros(&net);
+        for s in 0..batch {
+            let cache = net.forward_cached(&xs[s * 5..(s + 1) * 5]);
+            let g = net.backward(&cache, &grad_out[s * 4..(s + 1) * 4]);
+            total.add(&g);
+        }
+
+        let mut ws = BatchActivations::new();
+        let mut scratch = BackwardScratch::new();
+        let mut batched = Gradients::zeros(&net);
+        net.forward_cached_batch(&xs, batch, &mut ws);
+        net.backward_batch(&ws, &grad_out, &mut scratch, &mut batched);
+        assert_eq!(total.dw, batched.dw);
+        assert_eq!(total.db, batched.db);
+
+        // And again through the same (now dirty) workspaces: results must
+        // not depend on leftover state.
+        let mut again = Gradients::zeros(&net);
+        net.forward_cached_batch(&xs, batch, &mut ws);
+        net.backward_batch(&ws, &grad_out, &mut scratch, &mut again);
+        assert_eq!(total.dw, again.dw);
+        assert_eq!(total.db, again.db);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers_and_matches_clone() {
+        let a = Mlp::new(&[4, 9, 3], 2);
+        let mut b = Mlp::new(&[4, 9, 3], 8);
+        let x = [0.4, -0.2, 0.9, 0.1];
+        b.copy_from(&a);
+        assert_eq!(a.forward(&x), b.forward(&x));
+        // Dense::clone_from must keep the shape bookkeeping coherent.
+        let c = a.layers[0].clone();
+        let mut d = b.layers[1].clone();
+        d.clone_from(&c);
+        assert_eq!(d.n_in, c.n_in);
+        assert_eq!(d.w, c.w);
+        assert_eq!(d.b, c.b);
     }
 
     #[test]

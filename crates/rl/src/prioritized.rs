@@ -146,6 +146,26 @@ impl PrioritizedReplay {
             .collect()
     }
 
+    /// Draw `n` priority-proportional indices into `out`, consuming the RNG
+    /// exactly like [`PrioritizedReplay::sample`] — one `f64` draw per
+    /// sample. `out` is cleared first; reusing one buffer across calls keeps
+    /// steady-state training allocation-free.
+    pub fn sample_indices_into(&self, rng: &mut SmallRng, n: usize, out: &mut Vec<usize>) {
+        assert!(!self.buf.is_empty(), "sampling an empty prioritized replay");
+        let total = self.tree.total();
+        out.clear();
+        for _ in 0..n {
+            let target = rng.gen::<f64>() * total;
+            out.push(self.tree.find(target).min(self.buf.len() - 1));
+        }
+    }
+
+    /// The transition stored at `idx` (pairs with
+    /// [`PrioritizedReplay::sample_indices_into`]).
+    pub fn get(&self, idx: usize) -> &Transition {
+        &self.buf[idx]
+    }
+
     /// Iterate over stored transitions (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &Transition> {
         self.buf.iter()

@@ -78,6 +78,24 @@ impl ReplayBuffer {
             .collect()
     }
 
+    /// Draw `n` uniform indices (with replacement) into `out`, consuming the
+    /// RNG exactly like [`ReplayBuffer::sample`] — one `gen_range` per draw.
+    /// `out` is cleared first; reusing one buffer across calls keeps
+    /// steady-state training allocation-free.
+    pub fn sample_indices_into(&self, rng: &mut SmallRng, n: usize, out: &mut Vec<usize>) {
+        assert!(!self.buf.is_empty(), "sampling an empty replay buffer");
+        out.clear();
+        for _ in 0..n {
+            out.push(rng.gen_range(0..self.buf.len()));
+        }
+    }
+
+    /// The transition stored at `idx` (pairs with
+    /// [`ReplayBuffer::sample_indices_into`]; storage order is unspecified).
+    pub fn get(&self, idx: usize) -> &Transition {
+        &self.buf[idx]
+    }
+
     /// Copy `n` uniformly-sampled transitions into `other` (the local↔global
     /// exchange primitive).
     pub fn exchange_into(&self, other: &mut ReplayBuffer, rng: &mut SmallRng, n: usize) {

@@ -1,9 +1,92 @@
 //! Property-based tests for the RL building blocks.
 
 use proptest::prelude::*;
-use rl::{DdqnAgent, DdqnConfig, Mlp, ReplayBuffer, Transition};
+use rl::mlp::Gradients;
+use rl::{BackwardScratch, BatchActivations, DdqnAgent, DdqnConfig, Mlp, ReplayBuffer, Transition};
 
 proptest! {
+    /// Differential test of the batched kernels: for random layer shapes,
+    /// batch sizes 1..64, random weights (seed) and random inputs, the
+    /// batched forward must be bit-identical per row to the scalar forward,
+    /// and the batched backward bit-identical to the scalar
+    /// per-sample-backward-then-sum fold. This pins the determinism contract
+    /// the agent's batched `train_step` relies on (the same reference-path
+    /// pattern as `HeapEventQueue` vs the timing wheel).
+    #[test]
+    fn batched_kernels_bit_identical_to_scalar(
+        seed in any::<u64>(),
+        batch in 1usize..64,
+        n_in in 1usize..8,
+        hidden in prop::collection::vec(1usize..12, 1..3),
+        n_out in 2usize..8,
+        xseed in any::<u32>(),
+    ) {
+        let mut dims = vec![n_in];
+        dims.extend_from_slice(&hidden);
+        dims.push(n_out);
+        let net = Mlp::new(&dims, seed);
+        // Deterministic pseudo-random inputs/gradients from xseed.
+        let mut z = u64::from(xseed) | 1;
+        let mut next = move || {
+            z ^= z << 13;
+            z ^= z >> 7;
+            z ^= z << 17;
+            ((z % 2001) as f32 - 1000.0) * 1e-3
+        };
+        let xs: Vec<f32> = (0..batch * n_in).map(|_| next()).collect();
+        let grad_out: Vec<f32> = (0..batch * n_out).map(|_| next()).collect();
+
+        let mut ws = BatchActivations::new();
+        let mut scratch = BackwardScratch::new();
+        let mut batched = Gradients::zeros(&net);
+        net.forward_cached_batch(&xs, batch, &mut ws);
+        net.backward_batch(&ws, &grad_out, &mut scratch, &mut batched);
+
+        let mut total = Gradients::zeros(&net);
+        for s in 0..batch {
+            let x = &xs[s * n_in..(s + 1) * n_in];
+            prop_assert_eq!(net.forward(x).as_slice(), ws.output_row(s), "row {}", s);
+            let cache = net.forward_cached(x);
+            total.add(&net.backward(&cache, &grad_out[s * n_out..(s + 1) * n_out]));
+        }
+        prop_assert_eq!(&total.dw, &batched.dw);
+        prop_assert_eq!(&total.db, &batched.db);
+    }
+
+    /// Agent-level differential: interleaved select/observe/train with the
+    /// batched `train_step` tracks the scalar reference bit-for-bit for
+    /// random seeds and replay flavours.
+    #[test]
+    fn agent_batched_training_matches_scalar(
+        seed in any::<u64>(),
+        prioritized in any::<bool>(),
+        steps in 80usize..160,
+    ) {
+        let mut cfg = DdqnConfig::default();
+        cfg.min_replay = 32;
+        cfg.use_prioritized_replay = prioritized;
+        cfg.target_sync_every = 20;
+        let mut batched = DdqnAgent::new(2, 3, cfg.clone(), seed);
+        let mut scalar = DdqnAgent::new(2, 3, cfg, seed);
+        for i in 0..steps {
+            let s = vec![(i % 4) as f32 * 0.5, (i % 6) as f32 * 0.3];
+            let a = batched.select_action(&s);
+            prop_assert_eq!(a, scalar.select_action(&s));
+            let t = Transition {
+                state: s.clone(),
+                action: a,
+                reward: ((i * 7) % 13) as f32 * 0.1 - 0.5,
+                next_state: s,
+                done: i % 23 == 0,
+            };
+            batched.observe(t.clone());
+            scalar.observe(t);
+            prop_assert_eq!(batched.train_step(), scalar.train_step_scalar());
+        }
+        let probe = [0.7, -0.1];
+        prop_assert_eq!(batched.q_values(&probe), scalar.q_values(&probe));
+    }
+
     /// Forward passes are finite for any finite input.
     #[test]
     fn mlp_forward_is_finite(
