@@ -2,7 +2,7 @@
 //! cache, FCT scenario runner, queue sampling, and result output.
 
 use acc_core::controller::{self, AccConfig};
-use acc_core::guard::{install_guarded_acc, GuardConfig};
+use acc_core::guard::{install_guarded_acc, GuardConfig, GuardStats, GuardedController};
 use acc_core::static_ecn::{install_static, StaticEcnPolicy};
 use acc_core::trainer;
 use acc_core::ActionSpace;
@@ -356,6 +356,89 @@ pub fn set_metrics_experiment(id: &str) {
     }
 }
 
+/// The shared profile book, armed by `--profile <path>`. A `Mutex` for the
+/// same reason as [`METRICS`]: matrix cells finish (and fold their profiles
+/// in) on pool workers, and run/tid allocation must be serialised.
+static PROFILE: Mutex<Option<crate::profile::ProfileBook>> = Mutex::new(None);
+
+fn profile_registry() -> std::sync::MutexGuard<'static, Option<crate::profile::ProfileBook>> {
+    PROFILE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arm self-profiling: every subsequent [`scenario`] enables the engine's
+/// profiler and folds its results into one artifact, written to `path` by
+/// [`write_profile`] at the end of the invocation.
+pub fn enable_profile(path: impl Into<PathBuf>) {
+    *profile_registry() = Some(crate::profile::ProfileBook::new(path));
+}
+
+/// Disarm self-profiling, discarding anything collected (tests use this).
+pub fn disable_profile() {
+    *profile_registry() = None;
+}
+
+/// True while `--profile` is armed.
+pub fn profile_armed() -> bool {
+    profile_registry().is_some()
+}
+
+/// Label subsequent profiled runs (experiment id / perf scenario name).
+pub fn set_profile_context(ctx: &str) {
+    if let Some(book) = profile_registry().as_mut() {
+        book.set_context(ctx);
+    }
+}
+
+/// Write the armed profile artifact and disarm. Returns `false` when a book
+/// was armed but could not be written (the CLI exits non-zero on that);
+/// `true` when nothing was armed or the write succeeded.
+pub fn write_profile() -> bool {
+    let Some(book) = profile_registry().take() else {
+        return true;
+    };
+    match book.write() {
+        Ok(()) => {
+            eprintln!(
+                "[profile] wrote {} ({} run(s))",
+                book.path().display(),
+                book.run_count()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("[profile] ERROR: {}: {e}", book.path().display());
+            false
+        }
+    }
+}
+
+/// Sum guard counters across every switch running a [`GuardedController`].
+/// All-zero (and `guarded: false` in the SLO block) for unguarded policies.
+fn sum_guard_stats(sim: &mut Simulator) -> (GuardStats, bool) {
+    let mut total = GuardStats::default();
+    let mut found = false;
+    for sw in sim.core().topo.switches().to_vec() {
+        if !sim.has_controller(sw) {
+            continue;
+        }
+        sim.with_controller(sw, |c, _| {
+            if let Some(g) = c.as_any_mut().downcast_mut::<GuardedController>() {
+                found = true;
+                let s = g.stats;
+                total.ticks += s.ticks;
+                total.violations_detected += s.violations_detected;
+                total.violations_applied += s.violations_applied;
+                total.clamps += s.clamps;
+                total.trips += s.trips;
+                total.recoveries += s.recoveries;
+                total.fallback_ticks += s.fallback_ticks;
+                total.agent_anomalies += s.agent_anomalies;
+            }
+        });
+    }
+    (total, found)
+}
+
 /// Identity of the matrix cell executing on this thread, if any. Scenarios
 /// built inside a cell derive their run-directory names from the cell index
 /// rather than from a shared arrival-order counter, so recorded paths (and
@@ -513,6 +596,18 @@ struct RunTelemetry {
     started: std::time::Instant,
 }
 
+/// Self-profiling bookkeeping of one scenario while `--profile` is armed:
+/// everything needed at drop time to label the run and compute per-event
+/// allocation rates.
+struct ProfRun {
+    label: String,
+    policy: String,
+    seed: u64,
+    started: std::time::Instant,
+    /// `(allocations, bytes)` of the process allocator probe at build time.
+    alloc0: Option<(u64, u64)>,
+}
+
 /// A built scenario ready to run.
 pub struct Scenario {
     /// The simulator (stacks installed, policy installed, traffic queued).
@@ -523,6 +618,8 @@ pub struct Scenario {
     pub fct: SharedFct,
     /// Flight recorder state when metrics are armed.
     telem: Option<RunTelemetry>,
+    /// Profiling bookkeeping when `--profile` is armed.
+    prof: Option<ProfRun>,
 }
 
 impl Scenario {
@@ -537,9 +634,83 @@ impl Scenario {
     }
 }
 
+impl Scenario {
+    /// Fold this run's profiler into the armed [`ProfileBook`]: per-kind
+    /// dispatch timing, timing-wheel counters, allocation rates and the SLO
+    /// block. No-op when the scenario was built with profiling off.
+    ///
+    /// [`ProfileBook`]: crate::profile::ProfileBook
+    fn finish_profile(&mut self) {
+        let Some(run) = self.prof.take() else { return };
+        // Read the allocator probe before doing anything that allocates so
+        // the delta covers only the scenario's own lifetime.
+        let alloc_now = crate::perf::alloc_counts();
+        let Some(prof) = self.sim.take_profiler() else {
+            return;
+        };
+        let wall = run.started.elapsed().as_secs_f64();
+        let core = self.sim.core();
+        let queue = core.event_queue_stats();
+        let events = core.events_processed;
+        let info = json!({
+            "policy": run.policy,
+            "seed": run.seed,
+            "hosts": core.topo.host_count(),
+            "switches": core.topo.switches().len(),
+            "sim_time_us": self.sim.now().as_us_f64(),
+            "wall_time_s": wall,
+            "events_processed": events,
+            "events_per_sec": if wall > 0.0 { events as f64 / wall } else { 0.0 },
+            "peak_event_queue": core.event_queue_peak(),
+        });
+        let alloc = match (run.alloc0, alloc_now) {
+            (Some((a0, b0)), Some((a1, b1))) if events > 0 => {
+                let (da, db) = (a1.saturating_sub(a0), b1.saturating_sub(b0));
+                json!({
+                    "allocations": da,
+                    "alloc_bytes": db,
+                    "allocations_per_event": da as f64 / events as f64,
+                    "alloc_bytes_per_event": db as f64 / events as f64,
+                })
+            }
+            _ => json!({
+                "allocations": Value::Null,
+                "alloc_bytes": Value::Null,
+                "allocations_per_event": Value::Null,
+                "alloc_bytes_per_event": Value::Null,
+            }),
+        };
+        let overall = self.fct.borrow().stats(|_| true);
+        let summary = self.fct.borrow().summary();
+        let (guard, guarded) = sum_guard_stats(&mut self.sim);
+        let slo = json!({
+            "fct_count": overall.count,
+            "fct_p50_us": overall.p50_us,
+            "fct_p99_us": overall.p99_us,
+            "fct_p999_us": overall.p999_us,
+            "fct_max_us": overall.max_us,
+            "dropped_non_finite": overall.dropped_non_finite,
+            "flows_total": summary.total,
+            "flows_completed": summary.completed,
+            "flows_unfinished": summary.unfinished,
+            "guarded": guarded,
+            "guard_ticks": guard.ticks,
+            "guard_trips": guard.trips,
+            "guard_clamps": guard.clamps,
+            "guard_violations_detected": guard.violations_detected,
+            "invalid_configs_applied": guard.violations_applied,
+        });
+        if let Some(book) = profile_registry().as_mut() {
+            book.add_run(&run.label, &prof, queue, info, slo, alloc);
+        }
+    }
+}
+
 impl Drop for Scenario {
-    /// Finalise the recording: flush the sinks and write `manifest.json`.
+    /// Finalise the run: fold the profile into the armed book (if any),
+    /// then flush the recording sinks and write `manifest.json`.
     fn drop(&mut self) {
+        self.finish_profile();
         let Some(t) = self.telem.take() else { return };
         // Faults executed after the last sampling tick are still owed to
         // the event timeline.
@@ -616,12 +787,43 @@ pub fn scenario(
 
     // Arm the flight recorder for this run when metrics are enabled.
     let telem = arm_recording(&mut sim, policy, scale, seed);
+    // And the self-profiler when `--profile` is armed.
+    let prof = arm_profiling(&mut sim, policy, seed, telem.as_ref());
     Scenario {
         sim,
         hosts,
         fct,
         telem,
+        prof,
     }
+}
+
+/// Switch the engine's self-profiler on when a profile book is armed, and
+/// snapshot the allocator probe so the drop path can report per-event
+/// allocation rates. The run label reuses the recorded run name when
+/// metrics are armed too, so profile tracks and run directories correlate.
+fn arm_profiling(
+    sim: &mut Simulator,
+    policy: Policy,
+    seed: u64,
+    telem: Option<&RunTelemetry>,
+) -> Option<ProfRun> {
+    let mut reg = profile_registry();
+    let book = reg.as_mut()?;
+    sim.enable_profiling();
+    let ctx = book.context();
+    let label = match telem {
+        Some(t) => t.run.clone(),
+        None if ctx.is_empty() => format!("{}_seed{seed}", policy.name()),
+        None => format!("{ctx}_{}_seed{seed}", policy.name()),
+    };
+    Some(ProfRun {
+        label,
+        policy: policy.name().to_string(),
+        seed,
+        started: std::time::Instant::now(),
+        alloc0: crate::perf::alloc_counts(),
+    })
 }
 
 /// Claim a fresh run directory and attach a recording sink to `sim`, when

@@ -35,6 +35,7 @@ pub mod fig16_unseen;
 pub mod fig17_reward;
 pub mod perf;
 pub mod perf_rl;
+pub mod profile;
 pub mod report;
 pub mod resources;
 

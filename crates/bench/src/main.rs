@@ -8,7 +8,11 @@
 //! * `--metrics-dir <dir>` — arm the flight recorder: every scenario the
 //!   selected experiments build records queue/agent JSONL time-series and a
 //!   `manifest.json` into a numbered subdirectory of `<dir>`;
-//! * `--metrics-interval-us <n>` — queue-sampling cadence (default 100 µs).
+//! * `--metrics-interval-us <n>` — queue-sampling cadence (default 100 µs);
+//! * `--profile <file>` — switch on the engine's self-profiler for every
+//!   scenario and write one Chrome-trace-compatible profile artifact
+//!   (`acc-profile/v1`) at exit; inspect it with `acc-bench report <file>`
+//!   or load it in `about://tracing` / Perfetto.
 //!
 //! Unknown flags and duplicate experiment ids are rejected with exit code 2
 //! rather than silently ignored.
@@ -74,11 +78,12 @@ fn train(scale: Scale, out: &str) {
 fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     println!(
         "usage: acc-bench <id>... [--quick] [--jobs <n>] [--metrics-dir <dir>] \
-         [--metrics-interval-us <n>]"
+         [--metrics-interval-us <n>] [--profile <file>]"
     );
     println!("       acc-bench all [--quick] [--jobs <n>]");
     println!("       acc-bench train [out.json] [--quick]   # save a deployable model bundle");
     println!("       acc-bench report <dir>                 # summarise recorded telemetry");
+    println!("       acc-bench report <profile.json>        # summarise a --profile artifact");
     println!(
         "       acc-bench perf [out.json] [--quick]    # event-loop benchmark -> BENCH_netsim.json"
     );
@@ -93,7 +98,10 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     println!("       --jobs|-j <n>              run-matrix worker threads (default: all cores;");
     println!("                                  1 = serial, output is identical either way)");
     println!("       --metrics-dir <dir>        record queue/agent JSONL + manifests");
-    println!("       --metrics-interval-us <n>  queue sampling cadence (default 100)\n");
+    println!("       --metrics-interval-us <n>  queue sampling cadence (default 100)");
+    println!("       --profile <file>           self-profile every run into one Chrome-trace");
+    println!("                                  JSON artifact (view: acc-bench report <file>,");
+    println!("                                  or load in about://tracing / Perfetto)\n");
     println!("{:<10} description", "id");
     for (id, desc, _) in all {
         println!("{id:<10} {desc}");
@@ -115,6 +123,7 @@ fn main() {
     let mut interval_us: u64 = 100;
     let mut jobs: Option<usize> = None;
     let mut scenario: Option<String> = None;
+    let mut profile: Option<String> = None;
     let mut which: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -136,6 +145,10 @@ fn main() {
                 Some(Ok(n)) if n > 0 => interval_us = n,
                 _ => bad_flag("flag '--metrics-interval-us' needs a positive integer"),
             },
+            "--profile" => match it.next() {
+                Some(p) => profile = Some(p.clone()),
+                None => bad_flag("flag '--profile' needs a file argument"),
+            },
             flag if flag.starts_with('-') => {
                 if let Some(s) = flag.strip_prefix("--scenario=") {
                     scenario = Some(s.to_string());
@@ -146,6 +159,8 @@ fn main() {
                         Ok(n) if n > 0 => interval_us = n,
                         _ => bad_flag("flag '--metrics-interval-us' needs a positive integer"),
                     }
+                } else if let Some(p) = flag.strip_prefix("--profile=") {
+                    profile = Some(p.to_string());
                 } else if let Some(n) = flag.strip_prefix("--jobs=") {
                     match n.parse::<usize>() {
                         Ok(n) if n > 0 => jobs = Some(n),
@@ -164,6 +179,14 @@ fn main() {
     }
     if scenario.is_some() && which.first().map(String::as_str) != Some("perf") {
         bad_flag("flag '--scenario' only applies to the 'perf' subcommand");
+    }
+    if profile.is_some() {
+        match which.first().map(String::as_str) {
+            None | Some("list") | Some("train") | Some("report") => {
+                bad_flag("flag '--profile' only applies to experiments and 'perf'")
+            }
+            _ => {}
+        }
     }
 
     let all = experiments();
@@ -187,6 +210,12 @@ fn main() {
             )
         });
         let family = scenario.as_deref().unwrap_or("netsim");
+        if profile.is_some() && family != "netsim" {
+            bad_flag("flag '--profile' only applies to the 'netsim' perf family");
+        }
+        if let Some(p) = &profile {
+            acc_bench::common::enable_profile(p);
+        }
         let result = match family {
             "netsim" => {
                 let out = which
@@ -207,15 +236,26 @@ fn main() {
             eprintln!("perf run failed: {e}");
             std::process::exit(1);
         }
+        if !acc_bench::common::write_profile() {
+            std::process::exit(1);
+        }
         return;
     }
     if which[0] == "report" {
-        let Some(dir) = which.get(1) else {
-            eprintln!("usage: acc-bench report <metrics-dir>");
+        let Some(target) = which.get(1) else {
+            eprintln!("usage: acc-bench report <metrics-dir | profile.json>");
             std::process::exit(2);
         };
-        if let Err(e) = acc_bench::report::print_report(std::path::Path::new(dir)) {
-            eprintln!("report failed for {dir}: {e}");
+        let path = std::path::Path::new(target);
+        // A profile artifact is a file; a telemetry recording is a
+        // directory of runs.
+        let result = if path.is_file() {
+            acc_bench::report::print_profile_report(path)
+        } else {
+            acc_bench::report::print_report(path)
+        };
+        if let Err(e) = result {
+            eprintln!("report failed for {target}: {e}");
             std::process::exit(1);
         }
         return;
@@ -242,10 +282,22 @@ fn main() {
         acc_bench::common::enable_metrics(dir, SimTime::from_us(interval_us));
         eprintln!("[metrics] recording runs under {dir} (queue sample every {interval_us} us)");
     }
+    if let Some(p) = &profile {
+        // The probe lets profiled runs report real allocs-per-event rates.
+        acc_bench::perf::set_alloc_probe(|| {
+            (
+                ALLOCS.load(Ordering::Relaxed),
+                ALLOC_BYTES.load(Ordering::Relaxed),
+            )
+        });
+        acc_bench::common::enable_profile(p);
+        eprintln!("[profile] self-profiling every run into {p}");
+    }
 
     let start = std::time::Instant::now();
     let run_one = |id: &str, f: fn(Scale) -> serde_json::Value| {
         acc_bench::common::set_metrics_experiment(id);
+        acc_bench::common::set_profile_context(id);
         let t = std::time::Instant::now();
         f(scale);
         eprintln!("[{id}] finished in {:.1}s", t.elapsed().as_secs_f64());
@@ -266,8 +318,12 @@ fn main() {
         }
     }
     eprintln!("total: {:.1}s", start.elapsed().as_secs_f64());
+    let profile_ok = acc_bench::common::write_profile();
     if acc_bench::common::metrics_failed() {
         eprintln!("ERROR: some recorded telemetry could not be written (see [metrics] lines)");
+        std::process::exit(1);
+    }
+    if !profile_ok {
         std::process::exit(1);
     }
 }

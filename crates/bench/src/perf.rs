@@ -226,9 +226,10 @@ fn incast_heavy(scale: Scale) -> Value {
     measure("incast-heavy", sc, horizon)
 }
 
-/// WebSearch at load 0.8 on the fig12 fabric: the bread-and-butter mix the
-/// figure sweeps run all day.
-fn websearch_load(scale: Scale) -> Value {
+/// Build the websearch-load scenario (WebSearch at load 0.8 on the fig12
+/// fabric) and its run horizon. Shared with the observability smoke tests,
+/// which re-run it with profiling on and off to bound profiler overhead.
+pub fn websearch_scenario(scale: Scale) -> (Scenario, SimTime) {
     let spec = if scale.quick {
         TopologySpec::paper_cacc_sim()
     } else {
@@ -240,6 +241,13 @@ fn websearch_load(scale: Scale) -> Value {
     let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
     let sc = scenario(&spec, Policy::Secn1, scale, 9, &arrivals);
     let horizon = dur + scale.pick(SimTime::from_ms(8), SimTime::from_ms(3));
+    (sc, horizon)
+}
+
+/// WebSearch at load 0.8 on the fig12 fabric: the bread-and-butter mix the
+/// figure sweeps run all day.
+fn websearch_load(scale: Scale) -> Value {
+    let (sc, horizon) = websearch_scenario(scale);
     measure("websearch-load", sc, horizon)
 }
 
@@ -265,6 +273,7 @@ fn fault_plan_load(scale: Scale) -> Value {
 /// Returns the JSON document (also used by the smoke test).
 pub fn run(scale: Scale, out: &Path) -> io::Result<Value> {
     crate::common::banner("perf", "netsim event-loop performance");
+    crate::common::set_profile_context("perf");
     let micro = queue_microbench(scale);
     let scenarios = vec![
         incast_heavy(scale),
@@ -306,6 +315,9 @@ pub fn validate(doc: &Value) -> Vec<String> {
         ),
         "scale must be quick|full",
     );
+    let probe = doc.get("alloc_probe").and_then(Value::as_bool);
+    need(probe.is_some(), "alloc_probe must be a bool");
+    let probe = probe.unwrap_or(false);
     let micro = doc.get("queue_microbench");
     for k in ["wheel_ops_per_sec", "heap_ops_per_sec", "speedup"] {
         need(
@@ -343,6 +355,19 @@ pub fn validate(doc: &Value) -> Vec<String> {
                         .is_some_and(|v| v > 0),
                     &format!("scenario {name}: peak_event_queue missing or zero"),
                 );
+                // With the allocator probe registered the allocation columns
+                // must be real measurements — a null here means the probe
+                // wiring regressed.
+                if probe {
+                    for k in ["allocations_per_event", "alloc_bytes_per_event"] {
+                        need(
+                            row.get(k)
+                                .and_then(Value::as_f64)
+                                .is_some_and(|v| v.is_finite() && v >= 0.0),
+                            &format!("scenario {name}: {k} must be finite with alloc_probe on"),
+                        );
+                    }
+                }
             }
         }
         _ => errs.push("scenarios missing or empty".into()),
@@ -365,11 +390,11 @@ mod tests {
         );
     }
 
-    fn doc(schema: &str, events_per_sec: f64) -> Value {
+    fn doc_alloc(schema: &str, events_per_sec: f64, probe: bool, alloc: Value) -> Value {
         json!({
             "schema": schema,
             "scale": "quick",
-            "alloc_probe": false,
+            "alloc_probe": probe,
             "queue_microbench": {
                 "wheel_ops_per_sec": 2.0e7, "heap_ops_per_sec": 1.0e7, "speedup": 2.0,
             },
@@ -377,9 +402,13 @@ mod tests {
                 "name": "incast-heavy", "events_processed": 10u64, "wall_s": 0.1,
                 "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
                 "sim_time_us": 8000.0,
-                "allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null,
+                "allocations_per_event": alloc.clone(), "alloc_bytes_per_event": alloc,
             }],
         })
+    }
+
+    fn doc(schema: &str, events_per_sec: f64) -> Value {
+        doc_alloc(schema, events_per_sec, false, Value::Null)
     }
 
     #[test]
@@ -389,5 +418,14 @@ mod tests {
         assert!(!validate(&doc(SCHEMA, 0.0)).is_empty());
         assert!(!validate(&doc("something-else", 100.0)).is_empty());
         assert!(!validate(&json!({"schema": SCHEMA})).is_empty());
+    }
+
+    #[test]
+    fn validate_requires_alloc_numbers_when_probed() {
+        // Probe registered but columns null: the wiring regressed.
+        assert!(!validate(&doc_alloc(SCHEMA, 100.0, true, Value::Null)).is_empty());
+        // Real measurements pass; garbage does not.
+        assert!(validate(&doc_alloc(SCHEMA, 100.0, true, json!(0.25))).is_empty());
+        assert!(!validate(&doc_alloc(SCHEMA, 100.0, true, json!(-1.0))).is_empty());
     }
 }

@@ -1,0 +1,338 @@
+//! Profile artifact assembly: the `--profile out.json` output of `acc-bench`.
+//!
+//! A [`ProfileBook`] collects the self-profiles of every scenario a CLI
+//! invocation runs and writes them as one JSON document that is *both* a
+//! Chrome `trace_event` file (open it in `about://tracing` or Perfetto —
+//! loaders only look at the `traceEvents` key and ignore the rest) *and* a
+//! machine-readable profile: the `profile.runs` array carries each run's
+//! per-event-kind timing summary, allocation counters and SLO block, which
+//! `acc-bench report <file>` renders.
+//!
+//! Each run gets its own `tid` track on a common timeline; profilers from
+//! different runs have different wall-clock origins, so their events are
+//! re-based onto the book's origin before emission. Runs executed
+//! concurrently by the matrix pool therefore appear as overlapping tracks,
+//! exactly as they executed.
+
+use netsim::event::QueueStats;
+use netsim::profile::SimProfiler;
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema tag of the artifact (`doc["schema"]`).
+pub const SCHEMA: &str = "acc-profile/v1";
+
+/// Accumulates per-run profiles and trace events for one CLI invocation.
+pub struct ProfileBook {
+    path: PathBuf,
+    origin: Instant,
+    context: String,
+    runs: Vec<Value>,
+    trace: Vec<Value>,
+    next_tid: u64,
+}
+
+impl ProfileBook {
+    /// An empty book that will be written to `path`. The wall-clock origin
+    /// of the trace timeline is the moment of this call.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        ProfileBook {
+            path: path.into(),
+            origin: Instant::now(),
+            context: String::new(),
+            runs: Vec::new(),
+            trace: Vec::new(),
+            next_tid: 1,
+        }
+    }
+
+    /// Where [`ProfileBook::write`] will put the artifact.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Label prepended to subsequent run labels (the CLI sets the experiment
+    /// id / perf scenario name here before building scenarios).
+    pub fn set_context(&mut self, ctx: &str) {
+        self.context = ctx.to_string();
+    }
+
+    /// The current context label.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Number of runs recorded so far.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Fold one finished scenario's profiler into the book.
+    ///
+    /// `info` carries run-shape facts (policy, seed, events processed, wall
+    /// time), `slo` the FCT/guard service-level block, `alloc` the
+    /// allocator-probe counters — all rendered verbatim into the run record.
+    pub fn add_run(
+        &mut self,
+        label: &str,
+        prof: &SimProfiler,
+        queue: QueueStats,
+        info: Value,
+        slo: Value,
+        alloc: Value,
+    ) {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        let offset_us = prof
+            .origin()
+            .saturating_duration_since(self.origin)
+            .as_secs_f64()
+            * 1e6;
+        let dur_us = prof.origin().elapsed().as_secs_f64() * 1e6;
+        // Name the track, draw the whole run as one span, then lay the
+        // profiler's own spans/instants on top of it.
+        self.trace.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": label},
+        }));
+        self.trace.push(json!({
+            "name": "run",
+            "cat": "run",
+            "ph": "X",
+            "ts": offset_us,
+            "dur": dur_us,
+            "pid": 1,
+            "tid": tid,
+            "args": {"info": label},
+        }));
+        self.trace.extend(prof.trace_events(offset_us, 1, tid));
+        self.runs.push(json!({
+            "label": label,
+            "tid": tid,
+            "info": info,
+            "summary": prof.summary_json(queue),
+            "slo": slo,
+            "alloc": alloc,
+        }));
+    }
+
+    /// The complete artifact as a JSON value.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "schema": SCHEMA,
+            "displayTimeUnit": "ms",
+            "traceEvents": self.trace.clone(),
+            "profile": {"runs": self.runs.clone()},
+        })
+    }
+
+    /// Write the artifact to [`ProfileBook::path`].
+    pub fn write(&self) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let text = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        std::fs::write(&self.path, text)
+    }
+}
+
+fn is_num(v: Option<&Value>) -> bool {
+    matches!(
+        v,
+        Some(Value::U64(_) | Value::I64(_) | Value::F64(_) | Value::U128(_))
+    )
+}
+
+/// Structural check of a profile artifact. Returns a list of problems;
+/// empty means the document is a well-formed `acc-profile/v1` file. Used by
+/// the obs smoke tests and mirrored by the CI schema check.
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        errs.push(format!("schema tag != {SCHEMA:?}"));
+    }
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        errs.push("traceEvents missing or not an array".into());
+        return errs;
+    };
+    if events.is_empty() {
+        errs.push("traceEvents is empty".into());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
+            errs.push(format!("traceEvents[{i}]: no ph"));
+            continue;
+        };
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            errs.push(format!("traceEvents[{i}]: no name"));
+        }
+        if !is_num(ev.get("pid")) || !is_num(ev.get("tid")) {
+            errs.push(format!("traceEvents[{i}]: pid/tid not numeric"));
+        }
+        match ph {
+            "X" => {
+                if !is_num(ev.get("ts")) || !is_num(ev.get("dur")) {
+                    errs.push(format!("traceEvents[{i}]: X span without ts/dur"));
+                }
+            }
+            "i" => {
+                if !is_num(ev.get("ts")) {
+                    errs.push(format!("traceEvents[{i}]: instant without ts"));
+                }
+            }
+            "M" => {}
+            other => errs.push(format!("traceEvents[{i}]: unknown ph {other:?}")),
+        }
+        if errs.len() > 20 {
+            errs.push("... (truncated)".into());
+            return errs;
+        }
+    }
+    let Some(runs) = doc
+        .get("profile")
+        .and_then(|p| p.get("runs"))
+        .and_then(Value::as_array)
+    else {
+        errs.push("profile.runs missing or not an array".into());
+        return errs;
+    };
+    if runs.is_empty() {
+        errs.push("profile.runs is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        if run.get("label").and_then(Value::as_str).is_none() {
+            errs.push(format!("runs[{i}]: no label"));
+        }
+        let Some(summary) = run.get("summary") else {
+            errs.push(format!("runs[{i}]: no summary"));
+            continue;
+        };
+        match summary.get("event_kinds").and_then(Value::as_array) {
+            None => errs.push(format!("runs[{i}]: summary.event_kinds missing")),
+            Some(kinds) => {
+                for (j, k) in kinds.iter().enumerate() {
+                    if k.get("kind").and_then(Value::as_str).is_none()
+                        || !is_num(k.get("count"))
+                        || !is_num(k.get("est_total_self_ns"))
+                    {
+                        errs.push(format!("runs[{i}].event_kinds[{j}]: malformed"));
+                    }
+                }
+            }
+        }
+        if summary
+            .get("event_queue")
+            .and_then(Value::as_object)
+            .is_none()
+        {
+            errs.push(format!("runs[{i}]: summary.event_queue missing"));
+        }
+        match run.get("slo") {
+            Some(slo) => {
+                for key in [
+                    "fct_count",
+                    "fct_p99_us",
+                    "guard_trips",
+                    "invalid_configs_applied",
+                ] {
+                    if !is_num(slo.get(key)) {
+                        errs.push(format!("runs[{i}].slo.{key}: missing or non-numeric"));
+                    }
+                }
+            }
+            None => errs.push(format!("runs[{i}]: no slo block")),
+        }
+        if run.get("alloc").and_then(Value::as_object).is_none() {
+            errs.push(format!("runs[{i}]: no alloc block"));
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book_with_one_run() -> ProfileBook {
+        let mut book = ProfileBook::new("/tmp/unused.json");
+        let mut prof = SimProfiler::new();
+        for _ in 0..64 {
+            let t0 = prof.dispatch_begin();
+            prof.dispatch_end(0, t0, 3);
+        }
+        prof.ecn_mark(4096);
+        let t = Instant::now();
+        prof.span("control_tick", "control", t, "sim_us=1.0".into());
+        book.add_run(
+            "demo_SECN1_seed7",
+            &prof,
+            QueueStats::default(),
+            json!({"policy": "SECN1", "seed": 7}),
+            json!({
+                "fct_count": 10u64, "fct_p50_us": 100.0, "fct_p99_us": 200.0,
+                "fct_p999_us": 250.0, "dropped_non_finite": 0u64,
+                "guard_trips": 0u64, "invalid_configs_applied": 0u64,
+            }),
+            json!({"allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null}),
+        );
+        book
+    }
+
+    #[test]
+    fn artifact_round_trips_and_validates() {
+        let book = book_with_one_run();
+        let doc = book.to_json();
+        let errs = validate(&doc);
+        assert!(errs.is_empty(), "unexpected problems: {errs:?}");
+        // And survives a serialize/parse cycle.
+        let text = serde_json::to_string_pretty(&doc).expect("serializes");
+        let parsed: Value = serde_json::from_str(&text).expect("parses");
+        assert!(validate(&parsed).is_empty());
+        // Trace carries the metadata, run span, and the control span.
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("M")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("control_tick")));
+    }
+
+    #[test]
+    fn validate_flags_malformed_documents() {
+        assert!(!validate(&json!({})).is_empty());
+        let mut doc = book_with_one_run().to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("schema".into(), Value::String("bogus".into()));
+        }
+        assert!(validate(&doc).iter().any(|e| e.contains("schema")));
+    }
+
+    #[test]
+    fn tracks_get_distinct_tids() {
+        let mut book = book_with_one_run();
+        let prof = SimProfiler::new();
+        book.add_run(
+            "second",
+            &prof,
+            QueueStats::default(),
+            json!({}),
+            json!({
+                "fct_count": 0u64, "fct_p99_us": 0.0,
+                "guard_trips": 0u64, "invalid_configs_applied": 0u64,
+            }),
+            json!({"allocations_per_event": Value::Null}),
+        );
+        let doc = book.to_json();
+        let runs = doc["profile"]["runs"].as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_ne!(runs[0]["tid"].as_u64(), runs[1]["tid"].as_u64());
+    }
+}

@@ -6,6 +6,7 @@
 //! ECN marks / drops / PFC pause time, an agent-convergence table, and the
 //! FCT summary captured in the manifest.
 
+use serde_json::Value;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead};
 use std::path::{Path, PathBuf};
@@ -293,11 +294,13 @@ fn print_run(run: &Run) {
         let g = |k: &str| overall.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
         if g("count") > 0.0 {
             println!(
-                "  FCT: avg {:.1} us, p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+                "  FCT: avg {:.1} us, p50 {:.1} us, p99 {:.1} us, max {:.1} us, \
+                 {:.0} non-finite sample(s) dropped",
                 g("avg_us"),
                 g("p50_us"),
                 g("p99_us"),
-                g("max_us")
+                g("max_us"),
+                g("dropped_non_finite"),
             );
         }
     }
@@ -327,6 +330,185 @@ pub fn print_report(root: &Path) -> io::Result<()> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// The `--profile` artifact view.
+// ---------------------------------------------------------------------------
+
+/// `v[k]` as f64 (0.0 when absent or non-numeric).
+fn num(v: &Value, k: &str) -> f64 {
+    v.get(k).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// One `  <label>: count N ...` percentile line for a serialized histogram;
+/// prints `none` for an empty one.
+fn print_hist(label: &str, h: Option<&Value>) {
+    let Some(h) = h else { return };
+    if num(h, "count") == 0.0 {
+        println!("  {label}: none");
+        return;
+    }
+    println!(
+        "  {label}: {:.0} samples, mean {:.0}, p50 {:.0}, p99 {:.0}, p99.9 {:.0}, max {:.0}",
+        num(h, "count"),
+        num(h, "mean"),
+        num(h, "p50"),
+        num(h, "p99"),
+        num(h, "p999"),
+        num(h, "max"),
+    );
+}
+
+/// How many hot event kinds the profile view lists.
+const TOP_K: usize = 5;
+
+fn print_profile_run(run: &Value) {
+    let label = run.get("label").and_then(Value::as_str).unwrap_or("?");
+    println!("── {label} ──");
+    if let Some(info) = run.get("info") {
+        println!(
+            "  policy {} | seed {:.0} | simulated {:.1} us in {:.2} s wall \
+             ({:.0} events, {:.0} ev/s, peak queue {:.0})",
+            info.get("policy").and_then(Value::as_str).unwrap_or("?"),
+            num(info, "seed"),
+            num(info, "sim_time_us"),
+            num(info, "wall_time_s"),
+            num(info, "events_processed"),
+            num(info, "events_per_sec"),
+            num(info, "peak_event_queue"),
+        );
+    }
+    let Some(summary) = run.get("summary") else {
+        return;
+    };
+
+    let mut kinds: Vec<&Value> = summary
+        .get("event_kinds")
+        .and_then(Value::as_array)
+        .map(|a| a.iter().collect())
+        .unwrap_or_default();
+    kinds.sort_by(|a, b| {
+        num(b, "est_total_self_ns")
+            .partial_cmp(&num(a, "est_total_self_ns"))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if !kinds.is_empty() {
+        let sampling = num(kinds[0], "sampling").max(1.0);
+        println!("  hot event kinds (self time estimated from 1/{sampling:.0} sampling):");
+        for k in kinds.iter().take(TOP_K) {
+            let h = k.get("self_ns");
+            println!(
+                "    {:<16} {:>10.0} events  est self {:>8.2} ms  per-event p50 {:.0} ns, p99 {:.0} ns",
+                k.get("kind").and_then(Value::as_str).unwrap_or("?"),
+                num(k, "count"),
+                num(k, "est_total_self_ns") / 1e6,
+                h.map(|h| num(h, "p50")).unwrap_or(0.0),
+                h.map(|h| num(h, "p99")).unwrap_or(0.0),
+            );
+        }
+        if kinds.len() > TOP_K {
+            println!("    ... {} more kind(s)", kinds.len() - TOP_K);
+        }
+    }
+
+    match run
+        .get("alloc")
+        .and_then(|a| a.get("allocations_per_event"))
+        .and_then(Value::as_f64)
+    {
+        Some(a) => {
+            let b = run
+                .get("alloc")
+                .map(|v| num(v, "alloc_bytes_per_event"))
+                .unwrap_or(0.0);
+            println!("  allocations/event: {a:.3} ({b:.1} bytes/event)");
+        }
+        None => println!("  allocations/event: n/a (allocator probe not registered)"),
+    }
+
+    if let Some(q) = summary.get("event_queue") {
+        println!(
+            "  timing wheel: {:.0} near pushes, {:.0} in-wheel, {:.0} overflow \
+             ({:.0} migrated back), {:.0} bucket advances",
+            num(q, "pushes_near"),
+            num(q, "pushes_wheel"),
+            num(q, "pushes_overflow"),
+            num(q, "overflow_migrations"),
+            num(q, "advances"),
+        );
+    }
+
+    print_hist("pending events at dispatch", summary.get("queue_depth"));
+    print_hist("ECN-mark qlen (bytes)", summary.get("ecn_mark_qlen"));
+    print_hist("drop qlen (bytes)", summary.get("drop_qlen"));
+    print_hist("PFC pause (ns)", summary.get("pause_ns"));
+
+    if let Some(slo) = run.get("slo") {
+        println!(
+            "  SLO: FCT p50 {:.1} us, p99 {:.1} us, p99.9 {:.1} us over {:.0} flows \
+             ({:.0} non-finite dropped, {:.0} unfinished)",
+            num(slo, "fct_p50_us"),
+            num(slo, "fct_p99_us"),
+            num(slo, "fct_p999_us"),
+            num(slo, "fct_count"),
+            num(slo, "dropped_non_finite"),
+            num(slo, "flows_unfinished"),
+        );
+        if slo.get("guarded").and_then(Value::as_bool) == Some(true) {
+            println!(
+                "       guard: {:.0} trips, {:.0} invalid configs applied, {:.0} clamps, \
+                 {:.0} violations detected",
+                num(slo, "guard_trips"),
+                num(slo, "invalid_configs_applied"),
+                num(slo, "guard_clamps"),
+                num(slo, "guard_violations_detected"),
+            );
+        } else {
+            println!("       guard: not installed (static or unguarded policy)");
+        }
+    }
+
+    println!(
+        "  trace: {:.0} span(s), {:.0} instant(s), {:.0} dropped at cap",
+        num(summary, "spans"),
+        num(summary, "instants"),
+        num(summary, "spans_dropped"),
+    );
+    println!();
+}
+
+/// Render a `--profile` artifact: per-run hot event kinds, allocation
+/// rates, queue-shape histograms, timing-wheel counters and the SLO block.
+pub fn print_profile_report(path: &Path) -> io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    let errs = crate::profile::validate(&doc);
+    if !errs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} is not a valid acc-profile/v1 artifact: {}",
+                path.display(),
+                errs.join("; ")
+            ),
+        ));
+    }
+    let runs = doc
+        .get("profile")
+        .and_then(|p| p.get("runs"))
+        .and_then(Value::as_array)
+        .expect("validated above");
+    println!(
+        "self-profile report: {} run(s) from {}\n",
+        runs.len(),
+        path.display()
+    );
+    for run in runs {
+        print_profile_run(run);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +517,41 @@ mod tests {
     fn missing_dir_is_an_error() {
         let err = print_report(Path::new("target/definitely-missing-metrics")).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn profile_report_rejects_non_artifacts() {
+        let path = Path::new("target/test_profile_report_bogus.json");
+        std::fs::write(path, "{\"schema\": \"nope\"}").unwrap();
+        let err = print_profile_report(path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn profile_report_renders_book_artifact() {
+        use netsim::event::QueueStats;
+        use netsim::profile::SimProfiler;
+        let path = Path::new("target/test_profile_report_ok.json");
+        let mut book = crate::profile::ProfileBook::new(path);
+        let mut prof = SimProfiler::new();
+        for _ in 0..32 {
+            let t0 = prof.dispatch_begin();
+            prof.dispatch_end(0, t0, 1);
+        }
+        book.add_run(
+            "smoke_SECN1_seed1",
+            &prof,
+            QueueStats::default(),
+            serde_json::json!({"policy": "SECN1", "seed": 1}),
+            serde_json::json!({
+                "fct_count": 0u64, "fct_p50_us": 0.0, "fct_p99_us": 0.0,
+                "fct_p999_us": 0.0, "guard_trips": 0u64,
+                "invalid_configs_applied": 0u64,
+            }),
+            serde_json::json!({"allocations_per_event": Value::Null}),
+        );
+        book.write().unwrap();
+        print_profile_report(path).unwrap();
     }
 
     #[test]

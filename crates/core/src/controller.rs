@@ -464,7 +464,12 @@ impl AccController {
 
 impl QueueController for AccController {
     fn on_tick(&mut self, view: &mut SwitchView<'_>) {
+        // The paper's three phases — observe, select+apply, train — each get
+        // a wall-clock span when the engine's self-profiler is on. One
+        // branch per tick when it is off.
+        let profiling = view.profiling_enabled();
         self.stats.ticks += 1;
+        let t0 = profiling.then(std::time::Instant::now);
         let n_ports = view.num_ports();
         let prios = self.cfg.target_prios.clone();
         for p in 0..n_ports {
@@ -472,7 +477,15 @@ impl QueueController for AccController {
                 self.prepare_queue(view, PortId(p as u16), prio);
             }
         }
+        if let Some(t0) = t0 {
+            view.profile_span("acc_observe", t0);
+        }
+        let t0 = profiling.then(std::time::Instant::now);
         self.decide_pending(view);
+        if let Some(t0) = t0 {
+            view.profile_span("acc_select_apply", t0);
+        }
+        let t0 = profiling.then(std::time::Instant::now);
         if self.cfg.online_training {
             let scalar = self.cfg.scalar_inference;
             let mut agent = self.agent.borrow_mut();
@@ -489,6 +502,9 @@ impl QueueController for AccController {
             }
         }
         self.maybe_exchange();
+        if let Some(t0) = t0 {
+            view.profile_span("acc_train", t0);
+        }
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -512,6 +512,9 @@ impl GuardedController {
 impl QueueController for GuardedController {
     fn on_tick(&mut self, view: &mut SwitchView<'_>) {
         self.inner.on_tick(view);
+        // The vet pass (everything after the inner tick) gets its own span
+        // when self-profiling is on.
+        let vet_t0 = view.profiling_enabled().then(std::time::Instant::now);
         self.stats.ticks += 1;
         let n_ports = view.num_ports();
         let prios = self.target_prios.clone();
@@ -589,6 +592,9 @@ impl QueueController for GuardedController {
                     self.emit(view, port, prio, "guard_recover", "");
                 }
             }
+        }
+        if let Some(t0) = vet_t0 {
+            view.profile_span("guard_vet", t0);
         }
     }
 

@@ -1,0 +1,121 @@
+//! Property tests for the log-linear histogram against an exact
+//! sorted-reference implementation: percentile error stays within the
+//! advertised bound, merging is associative/commutative and equivalent to
+//! recording everything into one histogram, and the extreme buckets
+//! (zero, `u64::MAX`) behave.
+
+use acc_metrics::Histogram;
+use proptest::prelude::*;
+
+/// Exact rank-based order statistic matching the histogram's definition:
+/// the `ceil(p/100 · n)`-th smallest sample (1-based, clamped to `[1, n]`).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Values spanning every magnitude regime: the exact sub-[`SUB_BUCKETS`]
+/// range, mid-size octaves, and the top of the u64 line.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (0u64..32u64).boxed(),
+        (0u64..4096u64).boxed(),
+        (0u64..=u64::MAX).boxed(),
+        Just(0u64).boxed(),
+        Just(u64::MAX).boxed(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_track_exact_reference(
+        values in prop::collection::vec(value_strategy(), 1..400usize),
+        p in 0.0f64..=100.0f64,
+    ) {
+        let mut h = Histogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = exact_percentile(&sorted, p);
+        let est = h.value_at_percentile(p);
+        // The estimate is a midpoint of the bucket holding the exact order
+        // statistic: off by at most one bucket width (= low/SUB_BUCKETS),
+        // plus 1 for integer midpoint rounding.
+        let bound = exact / acc_metrics::SUB_BUCKETS as u64 + 1;
+        let err = est.abs_diff(exact);
+        prop_assert!(
+            err <= bound,
+            "p{p}: est {est} vs exact {exact} (err {err} > bound {bound})"
+        );
+        // And the estimate never escapes the observed range.
+        prop_assert!(est >= sorted[0] && est <= *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_matches_single_histogram_and_is_associative(
+        a in prop::collection::vec(value_strategy(), 0..120usize),
+        b in prop::collection::vec(value_strategy(), 0..120usize),
+        c in prop::collection::vec(value_strategy(), 0..120usize),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊔ b) ⊔ c
+        let mut left = ha.clone();
+        left.merge_from(&hb);
+        left.merge_from(&hc);
+        // a ⊔ (b ⊔ c), built right-to-left
+        let mut bc = hb.clone();
+        bc.merge_from(&hc);
+        let mut right = ha.clone();
+        right.merge_from(&bc);
+        // everything recorded into one histogram
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = build(&all);
+
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), direct.count());
+            prop_assert_eq!(h.sum(), direct.sum());
+            prop_assert_eq!(h.min(), direct.min());
+            prop_assert_eq!(h.max(), direct.max());
+            for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+                prop_assert_eq!(h.value_at_percentile(p), direct.value_at_percentile(p));
+            }
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket_containing_it(v in value_strategy()) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < acc_metrics::BUCKET_COUNT);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        // Bucket width honors the relative-error contract.
+        prop_assert!(hi - lo <= lo.max(1) / acc_metrics::SUB_BUCKETS as u64 + 1);
+    }
+}
+
+#[test]
+fn empty_merge_is_identity() {
+    let mut h = Histogram::new();
+    h.record(100);
+    h.record(u64::MAX);
+    let snapshot = (h.count(), h.sum(), h.min(), h.max());
+    h.merge_from(&Histogram::new());
+    assert_eq!((h.count(), h.sum(), h.min(), h.max()), snapshot);
+
+    let mut empty = Histogram::new();
+    empty.merge_from(&h);
+    assert_eq!(empty.count(), h.count());
+    assert_eq!(empty.min(), h.min());
+    assert_eq!(empty.max(), h.max());
+}

@@ -123,4 +123,22 @@ impl SwitchView<'_> {
     pub fn pfc_pauses_sent(&self) -> u64 {
         self.core.pfc_pauses_of(self.node)
     }
+
+    /// True when the engine's self-profiler is on. Controllers that want
+    /// per-phase spans check this once per tick, so the disabled path costs
+    /// a single branch and no clock reads.
+    #[inline]
+    pub fn profiling_enabled(&self) -> bool {
+        self.core.prof.is_some()
+    }
+
+    /// Record a wall-clock span (category `control`) started at `start` —
+    /// e.g. one phase of a controller tick. No-op when profiling is off;
+    /// pair with [`SwitchView::profiling_enabled`] to skip the clock read.
+    pub fn profile_span(&mut self, name: &'static str, start: std::time::Instant) {
+        if let Some(p) = self.core.prof.as_mut() {
+            let sw = self.node.0;
+            p.span(name, "control", start, format!("sw={sw}"));
+        }
+    }
 }

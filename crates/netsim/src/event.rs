@@ -163,6 +163,25 @@ pub struct EventQueue {
     next_seq: u64,
     len: usize,
     peak_len: usize,
+    stats: QueueStats,
+}
+
+/// Lifetime operation counters for the timing wheel — which tier pushes
+/// landed in, how often the wheel rotated, and how many far-future events
+/// migrated out of the overflow heap. Plain `u64` bumps on paths the queue
+/// already takes; they never influence pop order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Pushes that landed in the near heap (current bucket or the past).
+    pub pushes_near: u64,
+    /// Pushes that landed in a wheel bucket (O(1) fast path).
+    pub pushes_wheel: u64,
+    /// Pushes beyond the wheel horizon, parked in the overflow heap.
+    pub pushes_overflow: u64,
+    /// Wheel rotations to a new current bucket.
+    pub advances: u64,
+    /// Events migrated overflow → wheel/near as the horizon caught up.
+    pub overflow_migrations: u64,
 }
 
 impl Default for EventQueue {
@@ -176,6 +195,7 @@ impl Default for EventQueue {
             next_seq: 0,
             len: 0,
             peak_len: 0,
+            stats: QueueStats::default(),
         }
     }
 }
@@ -199,12 +219,15 @@ impl EventQueue {
         if b <= self.cur_bucket {
             // Current bucket (or, for a standalone queue driven with
             // non-monotone times, the past): the near heap orders it.
+            self.stats.pushes_near += 1;
             self.near.push(s);
         } else if b - self.cur_bucket < WHEEL_SLOTS {
+            self.stats.pushes_wheel += 1;
             let slot = (b % WHEEL_SLOTS) as usize;
             self.wheel[slot].push(s);
             self.occupied |= 1u64 << slot;
         } else {
+            self.stats.pushes_overflow += 1;
             self.overflow.push(s);
         }
     }
@@ -230,6 +253,7 @@ impl EventQueue {
             (None, None) => return,
         };
         self.cur_bucket = target;
+        self.stats.advances += 1;
         let slot = (target % WHEEL_SLOTS) as usize;
         // Drain the new current bucket (keeps the Vec's capacity, so steady
         // state allocates nothing).
@@ -241,9 +265,11 @@ impl EventQueue {
             let b = bucket_of(s.time);
             if b <= self.cur_bucket {
                 let s = self.overflow.pop().expect("peeked");
+                self.stats.overflow_migrations += 1;
                 self.near.push(s);
             } else if b - self.cur_bucket < WHEEL_SLOTS {
                 let s = self.overflow.pop().expect("peeked");
+                self.stats.overflow_migrations += 1;
                 let slot = (b % WHEEL_SLOTS) as usize;
                 self.wheel[slot].push(s);
                 self.occupied |= 1u64 << slot;
@@ -295,6 +321,11 @@ impl EventQueue {
     /// the queue's high-water mark, reported by the perf harness.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Lifetime tier/rotation counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -442,6 +473,26 @@ mod tests {
         assert!(matches!(b.event, Event::HostTimer { token: 42, .. }));
         assert_eq!(q.pop().unwrap().time, SimTime::from_secs(1));
         assert!(q.pop().is_none());
+    }
+
+    /// The tier counters attribute each push to the tier it actually landed
+    /// in, and migrations/rotations tick as the wheel catches up.
+    #[test]
+    fn stats_track_tiers_and_migrations() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, tick()); // current bucket → near
+        q.push(SimTime::from_us(1), tick()); // within horizon → wheel
+        q.push(SimTime::from_ms(1), tick()); // beyond horizon → overflow
+        let s = q.stats();
+        assert_eq!(
+            (s.pushes_near, s.pushes_wheel, s.pushes_overflow),
+            (1, 1, 1)
+        );
+        assert_eq!(s.overflow_migrations, 0);
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.overflow_migrations, 1);
+        assert!(s.advances >= 2);
     }
 
     /// Interleaved pushes and pops, with pushes landing in the current

@@ -51,6 +51,7 @@ pub mod event;
 pub mod fault;
 pub mod ids;
 pub mod packet;
+pub mod profile;
 pub mod queues;
 pub mod routing;
 pub mod sim;

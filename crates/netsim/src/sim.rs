@@ -9,6 +9,7 @@ use crate::event::{Event, EventQueue};
 use crate::fault::{FaultKind, FaultLogEntry, FaultPlan, TelemFault};
 use crate::ids::{NodeId, PortId, Prio};
 use crate::packet::Packet;
+use crate::profile::{event_kind, SimProfiler};
 use crate::queues::{Dwrr, EgressQueue, QItem, QueueTelemetry};
 use crate::routing::RouteTable;
 use crate::time::{tx_time, SimTime};
@@ -140,6 +141,10 @@ pub struct SimCore {
     pub(crate) fault_rng: SmallRng,
     /// Executed faults awaiting collection by [`SimCore::drain_fault_log`].
     fault_log: Vec<FaultLogEntry>,
+    /// Self-profiler (see [`crate::profile`]). `None` (the default) costs
+    /// one pointer check per dispatch; enabled it observes wall-clock time
+    /// and counters only, never the simulated trajectory.
+    pub(crate) prof: Option<Box<SimProfiler>>,
 }
 
 impl SimCore {
@@ -189,6 +194,7 @@ impl SimCore {
             tracer: None,
             fault_rng,
             fault_log: Vec::new(),
+            prof: None,
         }
     }
 
@@ -236,6 +242,13 @@ impl SimCore {
     /// the `acc-bench perf` report.
     pub fn event_queue_peak(&self) -> u64 {
         self.events.peak_len() as u64
+    }
+
+    /// Timing-wheel push-tier and migration counters for this run's event
+    /// queue — exported by the self-profiler into `acc-bench` profile
+    /// artifacts.
+    pub fn event_queue_stats(&self) -> crate::event::QueueStats {
+        self.events.stats()
     }
 
     /// Mutable access to an egress queue (telemetry sync / reconfiguration
@@ -421,7 +434,11 @@ impl SimCore {
             ps.paused |= bit;
         } else {
             if let Some(since) = ps.pause_since[prio as usize].take() {
-                ps.pause_ps[prio as usize] += (now - since).as_ps();
+                let dur = (now - since).as_ps();
+                ps.pause_ps[prio as usize] += dur;
+                if let Some(p) = self.prof.as_mut() {
+                    p.pause(dur / 1000);
+                }
             }
             ps.paused &= !bit;
             self.try_send(node, port);
@@ -456,6 +473,9 @@ impl SimCore {
             let qlen = q.bytes();
             self.queue_mut(node, out_port, pkt.prio).record_drop();
             self.trace(TraceKind::Drop, node, out_port, pkt.prio, pkt.flow, qlen);
+            if let Some(p) = self.prof.as_mut() {
+                p.drop_at(qlen);
+            }
             return;
         }
 
@@ -468,6 +488,9 @@ impl SimCore {
                 if p >= 1.0 || (p > 0.0 && self.rng.gen::<f64>() < p) {
                     pkt.ecn = crate::packet::Ecn::Ce;
                     self.trace(TraceKind::CeMark, node, out_port, pkt.prio, pkt.flow, qlen);
+                    if let Some(prof) = self.prof.as_mut() {
+                        prof.ecn_mark(qlen);
+                    }
                 }
             }
         }
@@ -515,7 +538,11 @@ impl SimCore {
         let ps = &mut self.nodes[node.idx()].ports[port.idx()];
         for prio in 0..ps.pause_since.len() {
             if let Some(since) = ps.pause_since[prio].take() {
-                ps.pause_ps[prio] += (now - since).as_ps();
+                let dur = (now - since).as_ps();
+                ps.pause_ps[prio] += dur;
+                if let Some(p) = self.prof.as_mut() {
+                    p.pause(dur / 1000);
+                }
             }
         }
         ps.paused = 0;
@@ -537,6 +564,17 @@ impl SimCore {
         if !up {
             self.clear_pfc_state(node, port);
             self.clear_pfc_state(peer.peer_node, peer.peer_port);
+        }
+        if let Some(p) = self.prof.as_mut() {
+            // One window per administrative endpoint; the trace span covers
+            // down → restore.
+            let key = (node.0 as u64) << 32 | port.0 as u64;
+            if up {
+                p.close_window(key);
+            } else {
+                let sim_us = self.now.as_us_f64();
+                p.open_window(key, format!("sw{}:{} sim_us={sim_us:.1}", node.0, port.0));
+            }
         }
         self.log_fault(
             if up { "link_up" } else { "link_down" },
@@ -630,6 +668,12 @@ impl SimCore {
     /// [`Event::Fault`]s from an installed [`FaultPlan`]; harnesses may also
     /// call it directly.
     pub fn apply_fault(&mut self, kind: FaultKind) {
+        if let Some(p) = self.prof.as_mut() {
+            let sim_us = self.now.as_us_f64();
+            p.instant(crate::profile::fault_name(&kind), "fault", {
+                format!("sim_us={sim_us:.1}")
+            });
+        }
         match kind {
             FaultKind::LinkDown { node, port } => self.set_link_state(node, port, false),
             FaultKind::LinkUp { node, port } => self.set_link_state(node, port, true),
@@ -805,7 +849,11 @@ impl SimCore {
         let ps = &mut self.nodes[node.idx()].ports[port.idx()];
         for prio in 0..ps.pause_since.len() {
             if let Some(since) = ps.pause_since[prio].take() {
-                ps.pause_ps[prio] += (now - since).as_ps();
+                let dur = (now - since).as_ps();
+                ps.pause_ps[prio] += dur;
+                if let Some(p) = self.prof.as_mut() {
+                    p.pause(dur / 1000);
+                }
             }
         }
         ps.paused = 0;
@@ -914,6 +962,30 @@ impl Simulator {
         Ok(())
     }
 
+    /// Switch on self-profiling (see [`crate::profile`]). Idempotent; the
+    /// profiler observes wall-clock time and counters only, so the simulated
+    /// trajectory — and any recorded JSONL — is identical with or without it.
+    pub fn enable_profiling(&mut self) {
+        if self.core.prof.is_none() {
+            self.core.prof = Some(Box::new(SimProfiler::new()));
+        }
+    }
+
+    /// The live profiler, if profiling is enabled.
+    pub fn profiler(&self) -> Option<&SimProfiler> {
+        self.core.prof.as_deref()
+    }
+
+    /// Detach and return the profiler (flushing still-open fault windows),
+    /// leaving profiling disabled. Harnesses call this once at run end.
+    pub fn take_profiler(&mut self) -> Option<Box<SimProfiler>> {
+        let mut p = self.core.prof.take();
+        if let Some(p) = p.as_mut() {
+            p.finish();
+        }
+        p
+    }
+
     /// Install a structured event tracer (see [`crate::trace`]).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.core.tracer = Some(tracer);
@@ -1000,6 +1072,14 @@ impl Simulator {
         debug_assert!(s.time >= self.core.now, "time went backwards");
         self.core.now = s.time;
         self.core.events_processed += 1;
+        // Self-profiling: disabled this is one pointer check; enabled it
+        // reads the wall clock on 1-in-SAMPLE_EVERY dispatches and tallies
+        // the kind on all of them. Wall-clock only — the simulated
+        // trajectory is untouched either way.
+        let prof_t0 = match self.core.prof.as_mut() {
+            Some(p) => Some((event_kind(&s.event), p.dispatch_begin())),
+            None => None,
+        };
         match s.event {
             Event::Arrive { node, port, pkt } => {
                 if self.core.rx_fault_drop(node, port, &pkt) {
@@ -1049,6 +1129,7 @@ impl Simulator {
                 }
             }
             Event::ControlTick => {
+                let span_t0 = self.core.prof.as_ref().map(|_| std::time::Instant::now());
                 // Indexed loop over the cached list: `sw` is Copy, so no
                 // borrow of `self` outlives the controller call and no Vec
                 // is rebuilt per tick.
@@ -1063,6 +1144,12 @@ impl Simulator {
                         self.controllers[sw.idx()] = Some(c);
                     }
                 }
+                if let Some(t0) = span_t0 {
+                    let sim_us = self.core.now.as_us_f64();
+                    if let Some(p) = self.core.prof.as_mut() {
+                        p.span("control_tick", "control", t0, format!("sim_us={sim_us:.1}"));
+                    }
+                }
                 if let Some(dt) = self.core.cfg.control_interval {
                     let at = self.core.now + dt;
                     self.core.schedule(at, Event::ControlTick);
@@ -1070,13 +1157,31 @@ impl Simulator {
             }
             Event::TelemetrySample => {
                 if let Some(mut s) = self.sampler.take() {
+                    let span_t0 = self.core.prof.as_ref().map(|_| std::time::Instant::now());
                     (s.hook)(&mut self.core);
+                    if let Some(t0) = span_t0 {
+                        let sim_us = self.core.now.as_us_f64();
+                        if let Some(p) = self.core.prof.as_mut() {
+                            p.span(
+                                "telemetry_sample",
+                                "telemetry",
+                                t0,
+                                format!("sim_us={sim_us:.1}"),
+                            );
+                        }
+                    }
                     let at = self.core.now + s.interval;
                     self.core.schedule(at, Event::TelemetrySample);
                     self.sampler = Some(s);
                 }
             }
             Event::Fault(kind) => self.core.apply_fault(kind),
+        }
+        if let Some((kind, t0)) = prof_t0 {
+            let pending = self.core.events.len();
+            if let Some(p) = self.core.prof.as_mut() {
+                p.dispatch_end(kind, t0, pending);
+            }
         }
         true
     }
