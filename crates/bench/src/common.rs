@@ -414,7 +414,7 @@ pub fn write_profile() -> bool {
 
 /// Sum guard counters across every switch running a [`GuardedController`].
 /// All-zero (and `guarded: false` in the SLO block) for unguarded policies.
-fn sum_guard_stats(sim: &mut Simulator) -> (GuardStats, bool) {
+pub fn sum_guard_stats(sim: &mut Simulator) -> (GuardStats, bool) {
     let mut total = GuardStats::default();
     let mut found = false;
     for sw in sim.core().topo.switches().to_vec() {
@@ -755,6 +755,8 @@ impl Drop for Scenario {
             queue_samples: rec.queue_samples,
             agent_samples: rec.agent_samples,
             event_samples: rec.event_samples,
+            fault_log_dropped: core.fault_log_dropped,
+            trace_evicted: core.tracer.as_ref().map(|t| t.evicted).unwrap_or(0),
             flows_total: summary.total,
             flows_completed: summary.completed,
             fct: serde_json::to_value(&summary).unwrap_or(Value::Null),
@@ -775,6 +777,24 @@ pub fn scenario(
     seed: u64,
     arrivals: &[Arrival],
 ) -> Scenario {
+    scenario_installed(spec, policy, scale, seed, arrivals, |sim| {
+        install_policy(sim, policy, scale)
+    })
+}
+
+/// [`scenario`] with a caller-supplied controller installer in place of
+/// [`install_policy`] — the recording/profiling machinery (and therefore
+/// the byte-identity contract) is shared. `policy` only labels the run.
+/// The soak harness uses this to install guarded ACC with a custom online
+/// configuration and seed.
+pub fn scenario_installed(
+    spec: &TopologySpec,
+    policy: Policy,
+    scale: Scale,
+    seed: u64,
+    arrivals: &[Arrival],
+    install: impl FnOnce(&mut Simulator),
+) -> Scenario {
     let topo = spec.build();
     let simcfg = SimConfig::default()
         .with_seed(seed)
@@ -782,7 +802,7 @@ pub fn scenario(
     let mut sim = Simulator::new(topo, simcfg);
     let fct = FctCollector::new_shared();
     let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
-    install_policy(&mut sim, policy, scale);
+    install(&mut sim);
     gen::apply_arrivals(&mut sim, arrivals);
 
     // Arm the flight recorder for this run when metrics are enabled.

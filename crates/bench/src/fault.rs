@@ -121,8 +121,9 @@ fn sum_guard_stats(sim: &mut Simulator) -> Option<GuardStats> {
 }
 
 /// Count tuned queues whose final ECN config violates the basic safety
-/// invariants (`0 < Kmin <= Kmax`, `0 < Pmax <= 1`, finite).
-fn invalid_final_configs(sim: &Simulator) -> usize {
+/// invariants (`0 < Kmin <= Kmax`, `0 < Pmax <= 1`, finite). Shared with
+/// the soak harness, whose SLO report gates on this being zero.
+pub(crate) fn invalid_final_configs(sim: &Simulator) -> usize {
     let mut bad = 0;
     for &sw in sim.core().topo.switches() {
         let n_ports = sim.core().topo.node(sw).ports.len();

@@ -31,24 +31,42 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Live heap bytes and their high-water mark — `acc-bench soak`'s peak-RSS
+/// proxy (read through [`acc_bench::perf::set_peak_probe`]).
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn track_alloc(bytes: u64) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 // SAFETY: delegates directly to the `System` allocator; the counters do not
 // affect layout or aliasing.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        System.alloc(layout)
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            track_alloc(layout.size() as u64);
+        }
+        p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+            track_alloc(new_size as u64);
+        }
+        p
     }
 }
 
@@ -88,7 +106,10 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
         "       acc-bench perf [out.json] [--quick]    # event-loop benchmark -> BENCH_netsim.json"
     );
     println!(
-        "       acc-bench perf --scenario rl [out.json] # RL kernel benchmark -> BENCH_rl.json\n"
+        "       acc-bench perf --scenario rl [out.json] # RL kernel benchmark -> BENCH_rl.json"
+    );
+    println!(
+        "       acc-bench soak [out.json] [--quick]    # fleet soak 'datacenter day' -> SOAK_SLO.json\n"
     );
     println!("flags: --quick|-q                 smoke scale");
     println!("       --scenario <family>        perf only: 'netsim' (default), 'rl',");
@@ -237,6 +258,48 @@ fn main() {
             std::process::exit(1);
         }
         if !acc_bench::common::write_profile() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if which[0] == "soak" {
+        acc_bench::perf::set_alloc_probe(|| {
+            (
+                ALLOCS.load(Ordering::Relaxed),
+                ALLOC_BYTES.load(Ordering::Relaxed),
+            )
+        });
+        acc_bench::perf::set_peak_probe(|| PEAK_BYTES.load(Ordering::Relaxed));
+        if let Some(p) = &profile {
+            acc_bench::common::enable_profile(p);
+        }
+        // Checkpoints land next to the recorded telemetry when armed.
+        let mut ckpt_dir = None;
+        if let Some(dir) = &metrics_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create metrics dir {dir}: {e}");
+                std::process::exit(1);
+            }
+            acc_bench::common::enable_metrics(dir, SimTime::from_us(interval_us));
+            acc_bench::common::set_metrics_experiment("soak");
+            eprintln!("[metrics] recording runs under {dir} (queue sample every {interval_us} us)");
+            ckpt_dir = Some(std::path::Path::new(dir).join("soak_checkpoints"));
+        }
+        let out = which.get(1).map(|s| s.as_str()).unwrap_or("SOAK_SLO.json");
+        if let Err(e) = acc_bench::soak::run(
+            scale,
+            acc_bench::soak::SOAK_SEED,
+            std::path::Path::new(out),
+            ckpt_dir.as_deref(),
+        ) {
+            eprintln!("soak run failed: {e}");
+            std::process::exit(1);
+        }
+        if !acc_bench::common::write_profile() {
+            std::process::exit(1);
+        }
+        if acc_bench::common::metrics_failed() {
+            eprintln!("ERROR: some recorded telemetry could not be written (see [metrics] lines)");
             std::process::exit(1);
         }
         return;

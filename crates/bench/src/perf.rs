@@ -45,6 +45,20 @@ pub(crate) fn alloc_counts() -> Option<(u64, u64)> {
     ALLOC_PROBE.get().map(|f| f())
 }
 
+/// Probe returning the high-water mark of live heap bytes — the soak run's
+/// peak-RSS proxy. Registered by the binary alongside [`set_alloc_probe`].
+static PEAK_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Register the live-heap high-water-mark counter. First caller wins.
+pub fn set_peak_probe(probe: fn() -> u64) {
+    let _ = PEAK_PROBE.set(probe);
+}
+
+/// Read the peak-live-bytes probe, if any (shared with [`crate::soak`]).
+pub(crate) fn peak_live_bytes() -> Option<u64> {
+    PEAK_PROBE.get().map(|f| f())
+}
+
 // ---------------------------------------------------------------------------
 // Queue microbench: the classic hold pattern on an incast-like time profile.
 // ---------------------------------------------------------------------------

@@ -482,6 +482,11 @@ pub fn print_profile_report(path: &Path) -> io::Result<()> {
     let text = std::fs::read_to_string(path)?;
     let doc: Value = serde_json::from_str(&text)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    // One `report <file>` entry point, two artifact kinds: a soak SLO
+    // report announces itself by schema; everything else must be a profile.
+    if doc.get("schema").and_then(Value::as_str) == Some(telemetry::SOAK_SLO_SCHEMA) {
+        return print_soak_report(path, &text);
+    }
     let errs = crate::profile::validate(&doc);
     if !errs.is_empty() {
         return Err(io::Error::new(
@@ -506,6 +511,81 @@ pub fn print_profile_report(path: &Path) -> io::Result<()> {
     for run in runs {
         print_profile_run(run);
     }
+    Ok(())
+}
+
+/// Render a `SOAK_SLO.json` artifact, re-checking its invariants.
+fn print_soak_report(path: &Path, text: &str) -> io::Result<()> {
+    let report: telemetry::SoakSloReport = serde_json::from_str(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    println!(
+        "soak SLO report from {} ({} scale, seed {})\n",
+        path.display(),
+        report.scale,
+        report.seed
+    );
+    println!(
+        "{:<22} {:<10} {:>10} {:>10}  app metric",
+        "phase", "kind", "start_us", "end_us"
+    );
+    for p in &report.phases {
+        let metric = match (&p.app_metric, p.app_value) {
+            (Some(m), Some(v)) => format!("{m}={v:.0}"),
+            _ => "-".into(),
+        };
+        println!(
+            "{:<22} {:<10} {:>10.0} {:>10.0}  {metric}",
+            p.name, p.kind, p.start_us, p.end_us
+        );
+    }
+    println!(
+        "\nsim {:.1} ms in {:.1} s wall | FCT n={} p50={:.1} p99={:.1} p999={:.1} us",
+        report.sim_time_us / 1e3,
+        report.wall_time_s,
+        report.fct.count,
+        report.fct.p50_us,
+        report.fct.p99_us,
+        report.fct.p999_us,
+    );
+    println!(
+        "guard: {} trips, {} recoveries, {} clamps, {} violations applied | \
+         rl: {} train steps",
+        report.guard.trips,
+        report.guard.recoveries,
+        report.guard.clamps,
+        report.guard.violations_applied,
+        report.rl.train_steps,
+    );
+    println!(
+        "fleet: {} checkpoints, {} swaps, {} promoted, {} rollbacks, \
+         {} backoff-skips, {} quarantine-skips",
+        report.fleet.checkpoints,
+        report.fleet.swaps,
+        report.fleet.promoted,
+        report.fleet.rollbacks,
+        report.fleet.backoff_skips,
+        report.fleet.quarantined_skips,
+    );
+    println!(
+        "faults: {} executed, {} drops | log dropped {}, trace evicted {} | \
+         invalid final configs: {}",
+        report.faults.events_executed,
+        report.faults.fault_drops,
+        report.faults.fault_log_dropped,
+        report.faults.trace_evicted,
+        report.invalid_final_configs,
+    );
+    if let Some(a) = &report.alloc {
+        println!(
+            "alloc: peak live {:.1} MiB over {} allocations",
+            a.peak_live_bytes as f64 / (1 << 20) as f64,
+            a.allocations
+        );
+    }
+    report
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    println!("\nSLO invariants: OK");
     Ok(())
 }
 

@@ -1,0 +1,479 @@
+//! `soak` — the fleet soak harness: one compressed "datacenter day".
+//!
+//! A seeded [`SoakPlan`] drives the Clos fabric through rotating workload
+//! phases (diurnal WebSearch load, closed-loop storage and PS-training
+//! clusters, incast bursts) while a continuous [`FaultPlan`] abuses it and
+//! every switch runs a guarded ACC agent fine-tuning online. Riding on top
+//! is the production model-lifecycle loop ([`FleetManager`]): at phase
+//! boundaries the harness checkpoints the online policy into a crash-safe
+//! [`DeployBundle`], hot-swaps the candidate onto the whole fleet under a
+//! probation window, and rolls back to last-known-good (quarantining the
+//! candidate) if guards trip during probation. The schedule deliberately
+//! plants a telemetry-freeze inside one probation window so every soak run
+//! exercises at least one promotion *and* one forced rollback.
+//!
+//! The run condenses into a schema-versioned `SOAK_SLO.json`
+//! ([`SoakSloReport`]): FCT tails, per-phase IOPS / training iterations/s,
+//! train-step throughput, guard and fleet ledgers, fault/buffer-loss
+//! accounting, a peak-RSS proxy from the allocator probe, and the headline
+//! `invalid_final_configs` gate (must be zero). With `--metrics-dir` armed
+//! the recorded JSONL is byte-identical across same-seed reruns; wall-clock
+//! lives only in the report and the manifest.
+
+use crate::common::{self, Policy, Scale};
+use crate::fault::invalid_final_configs;
+use acc_core::controller::AccController;
+use acc_core::guard::{install_guarded_acc, GuardConfig, GuardedController};
+use acc_core::{
+    trainer, ActionSpace, DeployBundle, FleetConfig, FleetManager, PhaseKind, ProbationOutcome,
+    RewardConfig, SoakPlan, SwapOutcome,
+};
+use netsim::prelude::*;
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+use telemetry::slo::{AllocSlo, FaultSlo, FctSlo, FleetSlo, GuardSlo, PhaseSlo, RlSlo};
+use telemetry::{SoakSloReport, SOAK_SLO_SCHEMA};
+use transport::CcKind;
+use workloads::gen::{apply_arrivals, incast_wave, PoissonGen};
+use workloads::{
+    SizeDist, StorageCluster, StorageConfig, StorageProfile, TrainingCluster, TrainingConfig,
+};
+
+/// The master seed: traffic, engine, fault plan and agents all derive from
+/// it, so two runs with the same seed replay the identical day.
+pub const SOAK_SEED: u64 = 42;
+
+/// Map a soak-plan storage name to a concrete cluster configuration.
+///
+/// The plan speaks in deployment vocabulary (`mirrored`, `striped`); the
+/// harness grounds those in Table-1 profiles (OLTP-like mirrored pairs,
+/// backup-like striped streams). The six Table-1 names are accepted
+/// directly; anything else is rejected before the simulation starts.
+fn storage_config(name: &str, seed: u64) -> Result<StorageConfig, String> {
+    let (profile, replication) = match name {
+        "mirrored" => (StorageProfile::oltp(), 2),
+        "striped" => (StorageProfile::backup(), 1),
+        other => match StorageProfile::all().into_iter().find(|p| p.name == other) {
+            Some(p) => (p, 2),
+            None => return Err(format!("unknown storage profile {other:?} in soak plan")),
+        },
+    };
+    Ok(StorageConfig {
+        profile,
+        io_depth: 8,
+        replication,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Map a soak-plan training preset to a cluster configuration scaled so
+/// several iterations fit inside one phase (the soak compresses a day into
+/// milliseconds; the full-size models of Fig. 10 would not complete a
+/// single iteration per phase).
+fn training_config(preset: &str, scale: Scale) -> Result<TrainingConfig, String> {
+    let mut cfg = match preset {
+        "alexnet" => TrainingConfig::alexnet(),
+        "resnet50" => TrainingConfig::resnet50(),
+        other => return Err(format!("unknown training preset {other:?} in soak plan")),
+    };
+    let div = scale.pick(6, 60);
+    cfg.gradient_bytes /= div as u64;
+    cfg.compute_time = SimTime::from_ps(cfg.compute_time.as_ps() / div as u64);
+    Ok(cfg)
+}
+
+/// The continuous fault schedule for the day, every time a fraction of the
+/// horizon. The telemetry freeze at 40.5–46% is load-bearing: it opens just
+/// after the phase-3 boundary swap, so the candidate deployed there takes
+/// guard trips during its probation window and is rolled back — the soak's
+/// guaranteed rollback exercise. Phases 2 and 8 (the other probation
+/// windows) are kept fault-free so their candidates promote.
+pub fn soak_fault_plan(topo: &Topology, day: SimTime, seed: u64) -> FaultPlan {
+    let f = |x: f64| SimTime::from_ps((day.as_ps() as f64 * x) as u64);
+    let switches = topo.switches();
+    let leaf0 = switches[0];
+    let leaf1 = switches[1];
+    let spine = *switches.last().expect("soak fabric has switches");
+    FaultPlan::new(seed)
+        // Dawn: a leaf port flaps while load is low.
+        .link_flap(leaf0, PortId(6), f(0.03), f(0.06))
+        // Morning: a spine port silently drops 2% during the backup phase.
+        .loss_window(spine, PortId(0), 0.02, f(0.15), f(0.18))
+        // A leaf port degrades to 10G under the training phase.
+        .degrade_window(leaf1, PortId(6), 10_000_000_000, f(0.32), f(0.36))
+        // Noon: leaf0's telemetry freezes inside the phase-3 candidate's
+        // probation window — the forced-rollback fault.
+        .telemetry_freeze(leaf0, f(0.405), f(0.46))
+        // Afternoon: leaf1's telemetry blanks to zeros.
+        .telemetry_blank(leaf1, f(0.55), f(0.58))
+        // Evening: a spine reboots outright (queues flushed, ECN reset).
+        .at(f(0.65), FaultKind::SwitchReboot { node: spine })
+}
+
+/// Sum of training minibatches run by every switch's agent, guarded or not.
+fn total_train_steps(sim: &mut Simulator) -> u64 {
+    let mut steps = 0;
+    for sw in sim.core().topo.switches().to_vec() {
+        if !sim.has_controller(sw) {
+            continue;
+        }
+        steps += sim.with_controller(sw, |c, _| {
+            if c.as_any_mut().is::<GuardedController>() {
+                let g = c.as_any_mut().downcast_mut::<GuardedController>().unwrap();
+                return g
+                    .inner_mut()
+                    .as_any_mut()
+                    .downcast_mut::<AccController>()
+                    .map(|a| a.stats.train_steps)
+                    .unwrap_or(0);
+            }
+            c.as_any_mut()
+                .downcast_mut::<AccController>()
+                .map(|a| a.stats.train_steps)
+                .unwrap_or(0)
+        });
+    }
+    steps
+}
+
+fn us(t: SimTime) -> f64 {
+    t.as_ps() as f64 / 1e6
+}
+
+/// Ground every phase of `plan` in a concrete generator config, rejecting
+/// unknown storage/training names before any simulation work happens.
+pub fn resolve_generators(plan: &SoakPlan, scale: Scale, seed: u64) -> Result<(), String> {
+    for p in &plan.phases {
+        match &p.kind {
+            PhaseKind::Storage { profile } => {
+                storage_config(profile, seed)?;
+            }
+            PhaseKind::Training { preset } => {
+                training_config(preset, scale)?;
+            }
+            PhaseKind::Websearch { .. } | PhaseKind::Incast { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Run the full soak and build the SLO report. `checkpoint_dir`, when set,
+/// receives the crash-safe `ckpt_NNNN.json` bundles.
+pub fn run_soak(
+    scale: Scale,
+    seed: u64,
+    checkpoint_dir: Option<&Path>,
+) -> Result<SoakSloReport, String> {
+    let phase_dur = scale.pick(SimTime::from_ms(10), SimTime::from_ms(2));
+    let plan = SoakPlan::datacenter_day(seed, phase_dur);
+    plan.validate()?;
+
+    resolve_generators(&plan, scale, seed)?;
+    if let Some(dir) = checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("checkpoint dir: {e}"))?;
+    }
+
+    let spec = scale.pick(
+        TopologySpec::paper_large_sim(),
+        TopologySpec::paper_testbed(),
+    );
+    let topo = spec.build();
+    let day = plan.total();
+    let space = ActionSpace::templates();
+
+    // Guarded fleet, online fine-tuning from the offline pretrained model.
+    let mut sc = common::scenario_installed(&spec, Policy::AccGuarded, scale, seed, &[], |sim| {
+        let cfg = trainer::online_config(&common::acc_config(seed), 0.05, 2_000.0);
+        let _ = install_guarded_acc(
+            sim,
+            &cfg,
+            &ActionSpace::templates(),
+            &GuardConfig::default(),
+        );
+    });
+    let hosts = sc.hosts.clone();
+    let host_bps = 25_000_000_000u64;
+
+    let initial = DeployBundle::new(
+        "soak initial (offline pretrained)",
+        common::pretrained_model(scale),
+        space.clone(),
+        RewardConfig::default(),
+        3,
+    );
+    let mut fleet = FleetManager::new(
+        FleetConfig {
+            checkpoint_dir: checkpoint_dir.map(|d| d.to_path_buf()),
+            probation_trip_budget: 0,
+            quarantine_backoff: 1,
+            provenance: "soak online checkpoint".into(),
+        },
+        initial,
+    )
+    .map_err(|e| format!("initial bundle rejected: {e}"))?;
+    fleet.deploy(&mut sc.sim);
+
+    let fault_plan = soak_fault_plan(&topo, day, seed);
+    let faults_scheduled = fault_plan.len();
+    sc.sim
+        .install_fault_plan(&fault_plan)
+        .map_err(|e| format!("soak fault plan invalid: {e}"))?;
+
+    let ckpt_switch = sc.sim.core().topo.switches()[0];
+    let n_phases = plan.phases.len();
+    let mut storage_runs: Vec<(usize, Rc<RefCell<StorageCluster>>)> = Vec::new();
+    let mut training_runs: Vec<(usize, Rc<RefCell<TrainingCluster>>)> = Vec::new();
+
+    let wall_start = std::time::Instant::now();
+    let mut t = SimTime::ZERO;
+    for (i, phase) in plan.phases.iter().enumerate() {
+        let start = t;
+        let end = t + phase.dur;
+        match &phase.kind {
+            PhaseKind::Websearch { load } => {
+                let g = PoissonGen::new(
+                    SizeDist::web_search(),
+                    *load,
+                    CcKind::Dcqcn,
+                    seed.wrapping_add(1000 + i as u64),
+                );
+                let arrivals = g.generate(&hosts, host_bps, start, phase.dur);
+                apply_arrivals(&mut sc.sim, &arrivals);
+            }
+            PhaseKind::Storage { profile } => {
+                let cfg = storage_config(profile, seed.wrapping_add(2000 + i as u64))?;
+                let cluster = Rc::new(RefCell::new(StorageCluster::new(&hosts, cfg)));
+                cluster.borrow_mut().set_deadline(Some(end));
+                transport::set_app_hook(&mut sc.sim, cluster.clone());
+                let init = cluster.borrow_mut().initial_arrivals(start);
+                apply_arrivals(&mut sc.sim, &init);
+                storage_runs.push((i, cluster));
+            }
+            PhaseKind::Training { preset } => {
+                let cfg = training_config(preset, scale)?;
+                // The paper's 7-worker + 1-PS GPU pod.
+                let cluster = Rc::new(RefCell::new(TrainingCluster::new(&hosts[..8], cfg)));
+                cluster.borrow_mut().set_deadline(Some(end));
+                transport::set_app_hook(&mut sc.sim, cluster.clone());
+                let init = cluster.borrow().initial_arrivals(start);
+                apply_arrivals(&mut sc.sim, &init);
+                training_runs.push((i, cluster));
+            }
+            PhaseKind::Incast { fanin } => {
+                // Repeated fan-in waves onto hosts[0] from far-leaf senders;
+                // waves sized to keep the victim port busy through the phase.
+                let fanin = (*fanin).min(hosts.len() - 1);
+                let senders: Vec<NodeId> = hosts[hosts.len() - fanin..].to_vec();
+                let wave_gap = SimTime::from_ps(phase.dur.as_ps() / 4);
+                for w in 0..4u64 {
+                    let at = start + SimTime::from_ps(wave_gap.as_ps() * w);
+                    let arrivals = incast_wave(&senders, hosts[0], 2, 64 * 1024, CcKind::Dcqcn, at);
+                    apply_arrivals(&mut sc.sim, &arrivals);
+                }
+            }
+        }
+        sc.sim.run_until(end);
+
+        // Boundary protocol: settle the open probation first, then (on
+        // every other boundary, except the day's end) checkpoint the online
+        // policy and offer it to the fleet.
+        match fleet.end_probation(&mut sc.sim) {
+            ProbationOutcome::Idle => {}
+            ProbationOutcome::Promoted { digest } => {
+                println!("[soak] boundary {i}: candidate {digest:#018x} promoted");
+            }
+            ProbationOutcome::RolledBack { digest, trips } => {
+                println!(
+                    "[soak] boundary {i}: candidate {digest:#018x} ROLLED BACK \
+                     ({trips} guard trips in probation)"
+                );
+            }
+        }
+        if i % 2 == 1 && i + 1 < n_phases {
+            let candidate = fleet
+                .checkpoint(&mut sc.sim, ckpt_switch)
+                .map_err(|e| format!("checkpoint at boundary {i}: {e}"))?;
+            match fleet.try_swap(&mut sc.sim, candidate) {
+                SwapOutcome::Swapped { digest } => {
+                    println!("[soak] boundary {i}: hot-swapped candidate {digest:#018x}");
+                }
+                SwapOutcome::SkippedBackoff => {
+                    println!("[soak] boundary {i}: swap skipped (post-rollback backoff)");
+                }
+                SwapOutcome::SkippedQuarantined { digest } => {
+                    println!("[soak] boundary {i}: swap skipped ({digest:#018x} quarantined)");
+                }
+                SwapOutcome::Invalid { error } => {
+                    println!("[soak] boundary {i}: candidate rejected ({error})");
+                }
+            }
+        }
+        t = end;
+    }
+    let drain = scale.pick(SimTime::from_ms(10), SimTime::from_ms(3));
+    sc.sim.run_until(day + drain);
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    // Condense the day into the report.
+    let mut phases = Vec::with_capacity(n_phases);
+    let mut t = SimTime::ZERO;
+    for (i, phase) in plan.phases.iter().enumerate() {
+        let (start, end) = (t, t + phase.dur);
+        t = end;
+        let (kind, metric): (&str, Option<(&str, f64)>) = match &phase.kind {
+            PhaseKind::Websearch { .. } => ("websearch", None),
+            PhaseKind::Incast { .. } => ("incast", None),
+            PhaseKind::Storage { .. } => {
+                let c = &storage_runs.iter().find(|(p, _)| *p == i).unwrap().1;
+                ("storage", Some(("iops", c.borrow().iops(start, end))))
+            }
+            PhaseKind::Training { .. } => {
+                let c = &training_runs.iter().find(|(p, _)| *p == i).unwrap().1;
+                (
+                    "training",
+                    Some((
+                        "iterations_per_sec",
+                        c.borrow().iterations_per_sec(start, end),
+                    )),
+                )
+            }
+        };
+        phases.push(PhaseSlo {
+            name: phase.name.clone(),
+            kind: kind.into(),
+            start_us: us(start),
+            end_us: us(end),
+            app_metric: metric.map(|(m, _)| m.to_string()),
+            app_value: metric.map(|(_, v)| v),
+        });
+    }
+
+    let overall = sc.fct.borrow().stats(|_| true);
+    let (guard, _found) = common::sum_guard_stats(&mut sc.sim);
+    let train_steps = total_train_steps(&mut sc.sim);
+    let invalid = invalid_final_configs(&sc.sim) as u64;
+    let fs = fleet.stats;
+    let core = sc.sim.core();
+    let report = SoakSloReport {
+        schema: SOAK_SLO_SCHEMA.into(),
+        scale: if scale.quick { "quick" } else { "full" }.into(),
+        seed,
+        sim_time_us: us(day + drain),
+        wall_time_s: wall,
+        phases,
+        fct: FctSlo {
+            count: overall.count as u64,
+            p50_us: overall.p50_us,
+            p99_us: overall.p99_us,
+            p999_us: overall.p999_us,
+            mean_us: overall.avg_us,
+        },
+        rl: RlSlo {
+            train_steps,
+            steps_per_wall_sec: train_steps as f64 / wall.max(1e-9),
+        },
+        guard: GuardSlo {
+            ticks: guard.ticks,
+            violations_detected: guard.violations_detected,
+            violations_applied: guard.violations_applied,
+            clamps: guard.clamps,
+            trips: guard.trips,
+            recoveries: guard.recoveries,
+            fallback_ticks: guard.fallback_ticks,
+            agent_anomalies: guard.agent_anomalies,
+        },
+        fleet: FleetSlo {
+            checkpoints: fs.checkpoints,
+            swaps: fs.swaps,
+            promoted: fs.promoted,
+            rollbacks: fs.rollbacks,
+            quarantined_skips: fs.quarantined_skips,
+            backoff_skips: fs.backoff_skips,
+            invalid_bundles: fs.invalid_bundles,
+        },
+        faults: FaultSlo {
+            events_executed: core.faults_executed,
+            fault_log_dropped: core.fault_log_dropped,
+            trace_evicted: core.tracer.as_ref().map(|tr| tr.evicted).unwrap_or(0),
+            fault_drops: core.fault_drops,
+        },
+        alloc: crate::perf::peak_live_bytes().map(|peak| {
+            let (allocations, alloc_bytes) = crate::perf::alloc_counts().unwrap_or((0, 0));
+            AllocSlo {
+                peak_live_bytes: peak,
+                allocations,
+                alloc_bytes,
+            }
+        }),
+        invalid_final_configs: invalid,
+    };
+    println!(
+        "[soak] day={:.1}ms faults={faults_scheduled} flows={}/{} trips={} swaps={} \
+         promoted={} rollbacks={} invalid-configs={invalid}",
+        us(day) / 1e3,
+        sc.fct.borrow().summary().completed,
+        sc.fct.borrow().summary().total,
+        guard.trips,
+        fs.swaps,
+        fs.promoted,
+        fs.rollbacks,
+    );
+    Ok(report)
+}
+
+/// CLI entry: run the soak, print the headline table, write and validate
+/// `SOAK_SLO.json`.
+pub fn run(
+    scale: Scale,
+    seed: u64,
+    out: &Path,
+    checkpoint_dir: Option<&Path>,
+) -> Result<(), String> {
+    common::banner(
+        "soak",
+        "datacenter day: rotating workloads + faults + checkpoint hot-swap/rollback",
+    );
+    let report = run_soak(scale, seed, checkpoint_dir)?;
+    println!(
+        "\n{:<22} {:<10} {:>12} {:>12} app metric",
+        "phase", "kind", "start_us", "end_us"
+    );
+    for p in &report.phases {
+        let metric = match (&p.app_metric, p.app_value) {
+            (Some(m), Some(v)) => format!("{m}={v:.0}"),
+            _ => "-".into(),
+        };
+        println!(
+            "{:<22} {:<10} {:>12.0} {:>12.0} {metric}",
+            p.name, p.kind, p.start_us, p.end_us
+        );
+    }
+    println!(
+        "\nFCT: n={} p50={:.1}us p99={:.1}us p999={:.1}us | RL: {} steps ({:.0}/s) | \
+         guard trips={} recoveries={}",
+        report.fct.count,
+        report.fct.p50_us,
+        report.fct.p99_us,
+        report.fct.p999_us,
+        report.rl.train_steps,
+        report.rl.steps_per_wall_sec,
+        report.guard.trips,
+        report.guard.recoveries,
+    );
+    println!(
+        "fleet: {} checkpoints, {} swaps, {} promoted, {} rollbacks, {} backoff-skips",
+        report.fleet.checkpoints,
+        report.fleet.swaps,
+        report.fleet.promoted,
+        report.fleet.rollbacks,
+        report.fleet.backoff_skips,
+    );
+
+    report.validate()?;
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, text).map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}

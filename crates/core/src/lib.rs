@@ -42,6 +42,7 @@ pub mod deploy;
 pub mod guard;
 pub mod hybrid;
 pub mod reward;
+pub mod soak;
 pub mod state;
 pub mod static_ecn;
 pub mod trainer;
@@ -49,12 +50,15 @@ pub mod trainer;
 pub use action::ActionSpace;
 pub use centralized::{CentralBrain, CentralizedAcc};
 pub use controller::{AccConfig, AccController};
-pub use deploy::{DeployBundle, DeployError};
+pub use deploy::{
+    DeployBundle, DeployError, FleetConfig, FleetManager, FleetStats, ProbationOutcome, SwapOutcome,
+};
 pub use guard::{
     GuardConfig, GuardDecision, GuardObs, GuardStats, GuardViolation, GuardedController, QueueGuard,
 };
 pub use hybrid::{CentralTrainer, HybridAcc};
 pub use reward::{e_n, ladder_index, QueuePenalty, RewardConfig};
+pub use soak::{PhaseKind, SoakPhase, SoakPlan};
 pub use state::{QueueObs, StateWindow, FEATURES_PER_OBS};
 pub use static_ecn::StaticEcnPolicy;
 

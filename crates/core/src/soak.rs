@@ -1,0 +1,215 @@
+//! Soak plans: the "datacenter day" schedule a fleet soak run executes.
+//!
+//! A [`SoakPlan`] is a seeded sequence of workload phases — diurnal
+//! websearch load, storage traffic, distributed training, incast bursts —
+//! that a soak harness plays back-to-back on one long-lived simulation
+//! while guarded ACC agents fine-tune online and the fleet loop
+//! ([`crate::deploy::FleetManager`]) checkpoints, hot-swaps and (when
+//! guards trip) rolls back policies at phase boundaries.
+//!
+//! Phases name workloads *symbolically* (`"mirrored"`, `"alexnet"`), so
+//! the plan can live in `acc-core` without depending on the generator
+//! crate; the harness maps names to concrete generators and rejects
+//! unknown ones through [`SoakPlan::validate`]'s caller.
+
+use netsim::prelude::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What traffic a phase carries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Open-loop websearch RPC mix at a fractional link load (the diurnal
+    /// knob: mornings ~0.3, midday peak ~0.7).
+    Websearch {
+        /// Offered load as a fraction of edge-link capacity, in `(0, 1]`.
+        load: f64,
+    },
+    /// Closed-loop distributed-storage cluster.
+    Storage {
+        /// Storage profile name (e.g. `"mirrored"`, `"striped"`).
+        profile: String,
+    },
+    /// Closed-loop parameter-server training cluster.
+    Training {
+        /// Model preset name (e.g. `"alexnet"`, `"resnet50"`).
+        preset: String,
+    },
+    /// Synchronized incast waves on top of a light background load.
+    Incast {
+        /// Senders per synchronized wave.
+        fanin: usize,
+    },
+}
+
+/// One phase of a soak plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoakPhase {
+    /// Display name, unique within the plan (used in per-phase SLO rows).
+    pub name: String,
+    /// Traffic this phase carries.
+    pub kind: PhaseKind,
+    /// Simulated duration of the phase.
+    pub dur: SimTime,
+}
+
+/// A complete soak schedule: seeded, ordered phases played back-to-back.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoakPlan {
+    /// Master seed; the harness derives per-phase generator seeds from it.
+    pub seed: u64,
+    /// Phases in playback order.
+    pub phases: Vec<SoakPhase>,
+}
+
+impl SoakPlan {
+    /// The canonical "datacenter day" rotation: a diurnal websearch curve
+    /// interleaved with storage, training and incast phases. `phase_dur`
+    /// scales the whole day (quick CI runs use milliseconds, real soaks
+    /// use seconds-to-minutes of simulated time per phase).
+    pub fn datacenter_day(seed: u64, phase_dur: SimTime) -> Self {
+        let p = |name: &str, kind: PhaseKind| SoakPhase {
+            name: name.into(),
+            kind,
+            dur: phase_dur,
+        };
+        SoakPlan {
+            seed,
+            phases: vec![
+                p("dawn-websearch", PhaseKind::Websearch { load: 0.3 }),
+                p(
+                    "backup-storage",
+                    PhaseKind::Storage {
+                        profile: "mirrored".into(),
+                    },
+                ),
+                p("midday-websearch", PhaseKind::Websearch { load: 0.7 }),
+                p(
+                    "batch-training",
+                    PhaseKind::Training {
+                        preset: "alexnet".into(),
+                    },
+                ),
+                p("noon-incast", PhaseKind::Incast { fanin: 12 }),
+                p("afternoon-websearch", PhaseKind::Websearch { load: 0.5 }),
+                p(
+                    "replication-storage",
+                    PhaseKind::Storage {
+                        profile: "striped".into(),
+                    },
+                ),
+                p(
+                    "evening-training",
+                    PhaseKind::Training {
+                        preset: "resnet50".into(),
+                    },
+                ),
+                p("peak-incast", PhaseKind::Incast { fanin: 16 }),
+                p("night-websearch", PhaseKind::Websearch { load: 0.3 }),
+            ],
+        }
+    }
+
+    /// Structural sanity: at least one phase, positive durations, finite
+    /// in-range loads, non-zero fan-ins, unique phase names.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("soak plan has no phases".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for ph in &self.phases {
+            if !seen.insert(ph.name.as_str()) {
+                return Err(format!("duplicate phase name {:?}", ph.name));
+            }
+            if ph.dur == SimTime::ZERO {
+                return Err(format!("phase {:?} has zero duration", ph.name));
+            }
+            match &ph.kind {
+                PhaseKind::Websearch { load } => {
+                    if !(load.is_finite() && *load > 0.0 && *load <= 1.0) {
+                        return Err(format!(
+                            "phase {:?}: websearch load {load} outside (0, 1]",
+                            ph.name
+                        ));
+                    }
+                }
+                PhaseKind::Incast { fanin } => {
+                    if *fanin == 0 {
+                        return Err(format!("phase {:?}: incast fan-in is zero", ph.name));
+                    }
+                }
+                PhaseKind::Storage { profile } => {
+                    if profile.is_empty() {
+                        return Err(format!("phase {:?}: empty storage profile", ph.name));
+                    }
+                }
+                PhaseKind::Training { preset } => {
+                    if preset.is_empty() {
+                        return Err(format!("phase {:?}: empty training preset", ph.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total simulated time the plan covers.
+    pub fn total(&self) -> SimTime {
+        let ps = self.phases.iter().map(|p| p.dur.as_ps()).sum();
+        SimTime::from_ps(ps)
+    }
+
+    /// Cumulative end time of each phase (the swap boundaries).
+    pub fn boundaries(&self) -> Vec<SimTime> {
+        let mut acc = 0u64;
+        self.phases
+            .iter()
+            .map(|p| {
+                acc += p.dur.as_ps();
+                SimTime::from_ps(acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datacenter_day_is_valid_and_covers_the_day() {
+        let plan = SoakPlan::datacenter_day(7, SimTime::from_ms(2));
+        plan.validate().unwrap();
+        assert_eq!(plan.phases.len(), 10);
+        assert_eq!(plan.total(), SimTime::from_ms(20));
+        let b = plan.boundaries();
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], SimTime::from_ms(2));
+        assert_eq!(*b.last().unwrap(), plan.total());
+    }
+
+    #[test]
+    fn bad_plans_rejected() {
+        let mut plan = SoakPlan::datacenter_day(7, SimTime::from_ms(1));
+        plan.phases[0].kind = PhaseKind::Websearch { load: 1.5 };
+        assert!(plan.validate().unwrap_err().contains("websearch load"));
+        let mut dup = SoakPlan::datacenter_day(7, SimTime::from_ms(1));
+        dup.phases[1].name = dup.phases[0].name.clone();
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+        let empty = SoakPlan {
+            seed: 0,
+            phases: vec![],
+        };
+        assert!(empty.validate().is_err());
+        let mut zero = SoakPlan::datacenter_day(7, SimTime::from_ms(1));
+        zero.phases[2].dur = SimTime::ZERO;
+        assert!(zero.validate().unwrap_err().contains("zero duration"));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = SoakPlan::datacenter_day(21, SimTime::from_ms(3));
+        let text = serde_json::to_string(&plan).unwrap();
+        let back: SoakPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+}

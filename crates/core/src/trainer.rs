@@ -65,15 +65,39 @@ pub fn install_shared_training_recorded(
     agent
 }
 
+/// Resolve the [`AccController`] behind a switch controller, looking
+/// through a [`crate::guard::GuardedController`] wrapper if present.
+fn acc_mut(c: &mut dyn QueueController) -> &mut AccController {
+    // Two-step probe rather than if-let chains: the borrow of `c` must end
+    // before the second downcast attempt.
+    if c.as_any_mut().is::<AccController>() {
+        return c.as_any_mut().downcast_mut::<AccController>().unwrap();
+    }
+    c.as_any_mut()
+        .downcast_mut::<crate::guard::GuardedController>()
+        .expect("switch runs neither AccController nor GuardedController")
+        .inner_mut()
+        .as_any_mut()
+        .downcast_mut::<AccController>()
+        .expect("guarded switch does not wrap an AccController")
+}
+
 /// Extract the trained model from any switch of a simulation that runs
-/// [`AccController`]s.
+/// [`AccController`]s, bare or wrapped in a
+/// [`crate::guard::GuardedController`].
 pub fn extract_model(sim: &mut Simulator, switch: NodeId) -> Mlp {
+    sim.with_controller(switch, |c, _| acc_mut(c).export_model())
+}
+
+/// Hot-swap `model` into the running controller on `switch` (bare or
+/// guarded ACC): the agent's online network adopts the weights in place,
+/// keeping its optimizer state, replay memory and exploration schedule.
+/// This is the fleet-deployment primitive — checkpoint promotion and
+/// rollback both route through it.
+pub fn load_model_into(sim: &mut Simulator, switch: NodeId, model: &Mlp) {
     sim.with_controller(switch, |c, _| {
-        c.as_any_mut()
-            .downcast_mut::<AccController>()
-            .expect("switch does not run AccController")
-            .export_model()
-    })
+        acc_mut(c).agent().borrow_mut().load_model(model);
+    });
 }
 
 /// The recommended online configuration after offline pre-training: keep

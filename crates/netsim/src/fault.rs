@@ -46,6 +46,89 @@ use crate::queues::QueueTelemetry;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Why a [`FaultPlan`] (or one of its [`FaultKind`]s) was rejected. Typed so
+/// tooling that loads hand-edited plans can distinguish a bad parameter from
+/// a structurally impossible schedule — and so the rejection happens at
+/// deserialization time, not mid-run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// `DegradeLink` with a zero line rate (a degraded link still serializes).
+    ZeroDegradedRate {
+        /// Link endpoint.
+        node: NodeId,
+        /// Port on that endpoint.
+        port: PortId,
+    },
+    /// `PacketLoss` fraction is NaN/infinite.
+    NonFiniteLossFraction {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port.
+        port: PortId,
+    },
+    /// `PacketLoss` fraction outside `[0, 1]`.
+    LossFractionOutOfRange {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port.
+        port: PortId,
+        /// The offending fraction.
+        frac: f64,
+    },
+    /// Two `SwitchReboot`s of the same switch scheduled closer together than
+    /// the reboot settle window — the second would flush a switch that is
+    /// still settling from the first, which is never a meaningful schedule
+    /// (it is almost always a duplicated line in a hand-edited plan).
+    OverlappingReboots {
+        /// The switch rebooted twice.
+        node: NodeId,
+        /// First scheduled reboot.
+        first: SimTime,
+        /// Conflicting second reboot.
+        second: SimTime,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::ZeroDegradedRate { node, port } => {
+                write!(f, "DegradeLink at {}:{} needs rate_bps > 0", node.0, port.0)
+            }
+            FaultPlanError::NonFiniteLossFraction { node, port } => {
+                write!(f, "PacketLoss frac at {}:{} is not finite", node.0, port.0)
+            }
+            FaultPlanError::LossFractionOutOfRange { node, port, frac } => {
+                write!(
+                    f,
+                    "PacketLoss frac {frac} at {}:{} outside [0, 1]",
+                    node.0, port.0
+                )
+            }
+            FaultPlanError::OverlappingReboots {
+                node,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "switch {} rebooted at {first} and again at {second}: reboot windows \
+                     must be at least {} apart",
+                    node.0, REBOOT_SETTLE
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Minimum spacing between two reboots of the same switch: a reboot flushes
+/// queues and resets state, and the fabric needs at least this long before a
+/// second reboot of the same box describes a distinct fault (rather than a
+/// duplicated schedule entry).
+pub const REBOOT_SETTLE: SimTime = SimTime::from_us(100);
+
 /// One injectable fault.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -134,14 +217,19 @@ impl FaultKind {
         }
     }
 
-    /// Parameter sanity check; `Err` carries a human-readable reason.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Parameter sanity check; `Err` says exactly what is wrong.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         match *self {
-            FaultKind::DegradeLink { rate_bps: 0, .. } => {
-                Err("DegradeLink rate_bps must be positive".into())
+            FaultKind::DegradeLink {
+                node,
+                port,
+                rate_bps: 0,
+            } => Err(FaultPlanError::ZeroDegradedRate { node, port }),
+            FaultKind::PacketLoss { node, port, frac } if !frac.is_finite() => {
+                Err(FaultPlanError::NonFiniteLossFraction { node, port })
             }
-            FaultKind::PacketLoss { frac, .. } if !(0.0..=1.0).contains(&frac) => {
-                Err(format!("PacketLoss frac {frac} outside [0, 1]"))
+            FaultKind::PacketLoss { node, port, frac } if !(0.0..=1.0).contains(&frac) => {
+                Err(FaultPlanError::LossFractionOutOfRange { node, port, frac })
             }
             _ => Ok(()),
         }
@@ -162,7 +250,12 @@ pub struct FaultEvent {
 /// Build one with the chainable helpers, or deserialize it from JSON (the
 /// schema is documented in `EXPERIMENTS.md`), then hand it to
 /// [`crate::sim::Simulator::install_fault_plan`].
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization validates: a hand-edited plan with a non-finite loss
+/// fraction, a zero degraded rate or overlapping per-switch reboots is
+/// rejected while being parsed (with a [`FaultPlanError`] message), never
+/// mid-run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct FaultPlan {
     /// Seed of the dedicated fault RNG (drives probabilistic packet loss).
     pub seed: u64,
@@ -269,12 +362,55 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// Validate every scheduled fault.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate every scheduled fault, plus the cross-event invariants
+    /// (per-switch reboot windows must not overlap within
+    /// [`REBOOT_SETTLE`]).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         for ev in &self.events {
             ev.kind.validate()?;
         }
+        // Reboots of the same switch must be spaced apart: collect per-node
+        // reboot times, sort, and reject any pair inside the settle window.
+        let mut reboots: Vec<(NodeId, SimTime)> = self
+            .events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                FaultKind::SwitchReboot { node } => Some((node, ev.at)),
+                _ => None,
+            })
+            .collect();
+        reboots.sort_by_key(|&(n, t)| (n.0, t));
+        for w in reboots.windows(2) {
+            let ((n1, t1), (n2, t2)) = (w[0], w[1]);
+            if n1 == n2 && t2 - t1 < REBOOT_SETTLE {
+                return Err(FaultPlanError::OverlappingReboots {
+                    node: n1,
+                    first: t1,
+                    second: t2,
+                });
+            }
+        }
         Ok(())
+    }
+}
+
+/// Wire shape of a [`FaultPlan`]; the real type validates on top of this.
+#[derive(Deserialize)]
+struct FaultPlanWire {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl serde::Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let w = FaultPlanWire::from_value(v)?;
+        let plan = FaultPlan {
+            seed: w.seed,
+            events: w.events,
+        };
+        plan.validate()
+            .map_err(|e| serde::Error::new(format!("invalid fault plan: {e}")))?;
+        Ok(plan)
     }
 }
 
@@ -357,6 +493,94 @@ mod tests {
             },
         );
         assert!(bad_frac.validate().is_err());
+    }
+
+    #[test]
+    fn typed_errors_name_the_offender() {
+        let bad = FaultKind::PacketLoss {
+            node: NodeId(3),
+            port: PortId(1),
+            frac: f64::NAN,
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(FaultPlanError::NonFiniteLossFraction {
+                node: NodeId(3),
+                port: PortId(1)
+            })
+        );
+        let oob = FaultKind::PacketLoss {
+            node: NodeId(3),
+            port: PortId(1),
+            frac: 1.5,
+        };
+        assert!(matches!(
+            oob.validate(),
+            Err(FaultPlanError::LossFractionOutOfRange { frac, .. }) if frac == 1.5
+        ));
+    }
+
+    #[test]
+    fn overlapping_reboots_rejected() {
+        let plan = FaultPlan::new(0)
+            .at(
+                SimTime::from_us(500),
+                FaultKind::SwitchReboot { node: NodeId(4) },
+            )
+            .at(
+                SimTime::from_us(550),
+                FaultKind::SwitchReboot { node: NodeId(4) },
+            );
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::OverlappingReboots {
+                node: NodeId(4),
+                ..
+            })
+        ));
+        // Same spacing on *different* switches is fine, as is a spaced pair.
+        let ok = FaultPlan::new(0)
+            .at(
+                SimTime::from_us(500),
+                FaultKind::SwitchReboot { node: NodeId(4) },
+            )
+            .at(
+                SimTime::from_us(550),
+                FaultKind::SwitchReboot { node: NodeId(5) },
+            )
+            .at(
+                SimTime::from_us(700),
+                FaultKind::SwitchReboot { node: NodeId(4) },
+            );
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn deserialization_validates() {
+        // A hand-edited plan with an out-of-range loss fraction fails at
+        // parse time with a message naming the problem.
+        let text = r#"{"seed":1,"events":[
+            {"at":1000,"kind":{"PacketLoss":{"node":2,"port":0,"frac":2.5}}}
+        ]}"#;
+        let err = serde_json::from_str::<FaultPlan>(text).unwrap_err();
+        assert!(
+            err.to_string().contains("invalid fault plan"),
+            "unexpected error: {err}"
+        );
+        // Overlapping reboots are structural, not per-event — also caught.
+        let dup = serde_json::to_string(
+            &FaultPlan::new(0)
+                .at(
+                    SimTime::from_us(1),
+                    FaultKind::SwitchReboot { node: NodeId(1) },
+                )
+                .at(
+                    SimTime::from_us(2),
+                    FaultKind::SwitchReboot { node: NodeId(1) },
+                ),
+        )
+        .unwrap();
+        assert!(serde_json::from_str::<FaultPlan>(&dup).is_err());
     }
 
     #[test]

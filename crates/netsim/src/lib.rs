@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::config::{PortConfig, SimConfig};
     pub use crate::control::{QueueController, QueueSnapshot, SwitchView};
     pub use crate::driver::{HostCtx, NicDriver};
-    pub use crate::fault::{FaultEvent, FaultKind, FaultLogEntry, FaultPlan};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultLogEntry, FaultPlan, FaultPlanError};
     pub use crate::ids::{FlowId, NodeId, PortId, Prio};
     pub use crate::packet::{Ecn, Packet, PacketKind};
     pub use crate::queues::EcnConfig;

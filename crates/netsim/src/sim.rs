@@ -6,7 +6,7 @@ use crate::config::SimConfig;
 use crate::control::{QueueController, SwitchView};
 use crate::driver::{HostCtx, NicDriver};
 use crate::event::{Event, EventQueue};
-use crate::fault::{FaultKind, FaultLogEntry, FaultPlan, TelemFault};
+use crate::fault::{FaultKind, FaultLogEntry, FaultPlan, FaultPlanError, TelemFault};
 use crate::ids::{NodeId, PortId, Prio};
 use crate::packet::Packet;
 use crate::profile::{event_kind, SimProfiler};
@@ -141,6 +141,13 @@ pub struct SimCore {
     pub(crate) fault_rng: SmallRng,
     /// Executed faults awaiting collection by [`SimCore::drain_fault_log`].
     fault_log: Vec<FaultLogEntry>,
+    /// Entries discarded because the log hit [`FAULT_LOG_CAP`] between
+    /// drains. Surfaced in run manifests so a soak run that outpaces its
+    /// sampler is visible rather than silently lossy.
+    pub fault_log_dropped: u64,
+    /// Cumulative count of faults executed, independent of the (drainable,
+    /// capped) fault log — the number a long soak reports at the end.
+    pub faults_executed: u64,
     /// Self-profiler (see [`crate::profile`]). `None` (the default) costs
     /// one pointer check per dispatch; enabled it observes wall-clock time
     /// and counters only, never the simulated trajectory.
@@ -194,6 +201,8 @@ impl SimCore {
             tracer: None,
             fault_rng,
             fault_log: Vec::new(),
+            fault_log_dropped: 0,
+            faults_executed: 0,
             prof: None,
         }
     }
@@ -627,7 +636,10 @@ impl SimCore {
 
     /// Append one executed fault to the in-core fault log.
     fn log_fault(&mut self, kind: &'static str, node: NodeId, port: PortId, detail: String) {
-        if self.fault_log.len() < FAULT_LOG_CAP {
+        self.faults_executed += 1;
+        if self.fault_log.len() >= FAULT_LOG_CAP {
+            self.fault_log_dropped += 1;
+        } else {
             self.fault_log.push(FaultLogEntry {
                 at: self.now,
                 kind,
@@ -951,7 +963,7 @@ impl Simulator {
     /// on identical simulations reproduce identical runs; a plan with no
     /// probabilistic faults leaves the packet trajectory of the fault-free
     /// portions untouched.
-    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultPlanError> {
         plan.validate()?;
         self.core.fault_rng = SmallRng::seed_from_u64(plan.seed ^ FAULT_SEED_SALT);
         let now = self.core.now;

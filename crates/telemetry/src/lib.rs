@@ -41,9 +41,11 @@ pub mod recorder;
 pub mod sampler;
 pub mod samples;
 pub mod sink;
+pub mod slo;
 
 pub use manifest::RunManifest;
 pub use recorder::{RunRecorder, SharedRecorder};
 pub use sampler::install_queue_sampler;
 pub use samples::{AgentSample, EventSample, QueueSample};
 pub use sink::{JsonlSink, MemorySink, TelemetrySink};
+pub use slo::{SoakSloReport, SOAK_SLO_SCHEMA};

@@ -1,0 +1,278 @@
+//! The soak SLO report: `SOAK_SLO.json`.
+//!
+//! A fleet soak run (`acc-bench soak`) condenses a whole "datacenter day"
+//! into one schema-versioned artifact: tail FCT percentiles, per-phase
+//! application metrics (IOPS, training iterations/s), online-training
+//! throughput, guard-layer counters, the fleet swap/rollback ledger, fault
+//! and buffer-loss accounting, and a peak-RSS proxy from the allocator
+//! probe. CI parses it, checks the schema, and gates on the invariants
+//! ([`SoakSloReport::validate`]) — most importantly
+//! `invalid_final_configs == 0`: a day of faults, hot-swaps and rollbacks
+//! must never leave an out-of-bounds ECN configuration in the fabric.
+//!
+//! Unlike the recorded JSONL series (byte-identical across same-seed
+//! reruns), the report intentionally carries wall-clock fields, so it is
+//! excluded from determinism diffs the same way `manifest.json` is.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of [`SoakSloReport`]. Bump on incompatible changes.
+pub const SOAK_SLO_SCHEMA: &str = "acc-soak-slo/v1";
+
+/// Flow-completion-time tails over the whole soak run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FctSlo {
+    /// Completed flows measured.
+    pub count: u64,
+    /// Median FCT, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile FCT, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile FCT, microseconds.
+    pub p999_us: f64,
+    /// Mean FCT, microseconds.
+    pub mean_us: f64,
+}
+
+/// One row per schedule phase.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSlo {
+    /// Phase name from the soak plan.
+    pub name: String,
+    /// Workload kind (`websearch`, `storage`, `training`, `incast`).
+    pub kind: String,
+    /// Phase start, simulated microseconds.
+    pub start_us: f64,
+    /// Phase end, simulated microseconds.
+    pub end_us: f64,
+    /// Application metric name, when the phase has one (`iops`,
+    /// `iterations_per_sec`).
+    pub app_metric: Option<String>,
+    /// Application metric value (present iff `app_metric` is).
+    pub app_value: Option<f64>,
+}
+
+/// Online-training throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RlSlo {
+    /// Gradient steps the fleet's agents took over the run.
+    pub train_steps: u64,
+    /// Steps per wall-clock second (throughput; wall-clock dependent).
+    pub steps_per_wall_sec: f64,
+}
+
+/// Guard-layer counters summed over every switch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardSlo {
+    /// Control ticks handled.
+    pub ticks: u64,
+    /// Violations detected (config + health).
+    pub violations_detected: u64,
+    /// Config violations left live in the fabric (must be 0 enforcing).
+    pub violations_applied: u64,
+    /// Agent configs the guard overwrote.
+    pub clamps: u64,
+    /// Trips into static-ECN fallback.
+    pub trips: u64,
+    /// Recoveries back to the agent.
+    pub recoveries: u64,
+    /// Queue-ticks spent in fallback.
+    pub fallback_ticks: u64,
+    /// Agent-level training anomalies.
+    pub agent_anomalies: u64,
+}
+
+/// Fleet checkpoint/hot-swap/rollback ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSlo {
+    /// Bundles checkpointed.
+    pub checkpoints: u64,
+    /// Hot-swaps applied (probation windows opened).
+    pub swaps: u64,
+    /// Candidates promoted to last-known-good.
+    pub promoted: u64,
+    /// Probation windows ended in rollback.
+    pub rollbacks: u64,
+    /// Swap opportunities skipped on quarantine.
+    pub quarantined_skips: u64,
+    /// Swap opportunities skipped on backoff.
+    pub backoff_skips: u64,
+    /// Candidates rejected by bundle validation.
+    pub invalid_bundles: u64,
+}
+
+/// Fault execution and bounded-buffer loss accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSlo {
+    /// Faults executed by the engine (drained from the fault log).
+    pub events_executed: u64,
+    /// Fault-log entries lost to the in-core cap.
+    pub fault_log_dropped: u64,
+    /// Trace records evicted from the tracer ring.
+    pub trace_evicted: u64,
+    /// Packets dropped by injected faults.
+    pub fault_drops: u64,
+}
+
+/// Allocator-probe summary — the peak-RSS proxy for leak detection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocSlo {
+    /// High-water mark of live heap bytes during the run.
+    pub peak_live_bytes: u64,
+    /// Total allocations over the run.
+    pub allocations: u64,
+    /// Total bytes allocated over the run.
+    pub alloc_bytes: u64,
+}
+
+/// The full `SOAK_SLO.json` document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoakSloReport {
+    /// Always [`SOAK_SLO_SCHEMA`].
+    pub schema: String,
+    /// `quick` or `full`.
+    pub scale: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Simulated time covered, microseconds.
+    pub sim_time_us: f64,
+    /// Wall-clock duration, seconds.
+    pub wall_time_s: f64,
+    /// Per-phase rows, in schedule order.
+    pub phases: Vec<PhaseSlo>,
+    /// FCT tails.
+    pub fct: FctSlo,
+    /// Online-training throughput.
+    pub rl: RlSlo,
+    /// Guard counters.
+    pub guard: GuardSlo,
+    /// Fleet swap/rollback ledger.
+    pub fleet: FleetSlo,
+    /// Fault/buffer accounting.
+    pub faults: FaultSlo,
+    /// Allocator probe (`None` when no probe was registered).
+    pub alloc: Option<AllocSlo>,
+    /// ECN configs outside guard bounds left in the fabric at the end of
+    /// the run. The soak pass/fail headline: must be zero.
+    pub invalid_final_configs: u64,
+}
+
+impl SoakSloReport {
+    /// Structural invariants CI gates on: right schema, ordered phases,
+    /// monotone FCT percentiles, paired app-metric fields, and the
+    /// zero-invalid-configs headline.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SOAK_SLO_SCHEMA {
+            return Err(format!("schema {:?} != {SOAK_SLO_SCHEMA:?}", self.schema));
+        }
+        if self.phases.is_empty() {
+            return Err("no phases".into());
+        }
+        let mut prev_end = f64::NEG_INFINITY;
+        for p in &self.phases {
+            if p.end_us.partial_cmp(&p.start_us) != Some(std::cmp::Ordering::Greater) {
+                return Err(format!("phase {:?}: end <= start", p.name));
+            }
+            if p.start_us < prev_end {
+                return Err(format!("phase {:?} overlaps its predecessor", p.name));
+            }
+            prev_end = p.end_us;
+            if p.app_metric.is_some() != p.app_value.is_some() {
+                return Err(format!("phase {:?}: unpaired app metric", p.name));
+            }
+        }
+        let f = &self.fct;
+        if f.count == 0 {
+            return Err("no completed flows".into());
+        }
+        if !(f.p50_us <= f.p99_us && f.p99_us <= f.p999_us) {
+            return Err(format!(
+                "FCT percentiles not monotone: p50={} p99={} p999={}",
+                f.p50_us, f.p99_us, f.p999_us
+            ));
+        }
+        if self.invalid_final_configs != 0 {
+            return Err(format!(
+                "{} invalid ECN configs left in the fabric",
+                self.invalid_final_configs
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SoakSloReport {
+        SoakSloReport {
+            schema: SOAK_SLO_SCHEMA.into(),
+            scale: "quick".into(),
+            seed: 7,
+            sim_time_us: 20_000.0,
+            wall_time_s: 3.5,
+            phases: vec![PhaseSlo {
+                name: "dawn-websearch".into(),
+                kind: "websearch".into(),
+                start_us: 0.0,
+                end_us: 2_000.0,
+                app_metric: None,
+                app_value: None,
+            }],
+            fct: FctSlo {
+                count: 1000,
+                p50_us: 40.0,
+                p99_us: 300.0,
+                p999_us: 900.0,
+                mean_us: 80.0,
+            },
+            rl: RlSlo {
+                train_steps: 5000,
+                steps_per_wall_sec: 1428.0,
+            },
+            guard: GuardSlo::default(),
+            fleet: FleetSlo {
+                checkpoints: 4,
+                swaps: 2,
+                promoted: 1,
+                rollbacks: 1,
+                ..Default::default()
+            },
+            faults: FaultSlo::default(),
+            alloc: Some(AllocSlo {
+                peak_live_bytes: 1 << 20,
+                allocations: 10,
+                alloc_bytes: 100,
+            }),
+            invalid_final_configs: 0,
+        }
+    }
+
+    #[test]
+    fn valid_report_round_trips() {
+        let r = report();
+        r.validate().unwrap();
+        let text = serde_json::to_string(&r).unwrap();
+        let back: SoakSloReport = serde_json::from_str(&text).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.fleet.rollbacks, 1);
+        assert_eq!(back.alloc.unwrap().peak_live_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn invariants_enforced() {
+        let mut bad = report();
+        bad.invalid_final_configs = 2;
+        assert!(bad.validate().unwrap_err().contains("invalid ECN"));
+        let mut tails = report();
+        tails.fct.p99_us = 10.0;
+        assert!(tails.validate().unwrap_err().contains("monotone"));
+        let mut schema = report();
+        schema.schema = "acc-soak-slo/v0".into();
+        assert!(schema.validate().is_err());
+        let mut unpaired = report();
+        unpaired.phases[0].app_metric = Some("iops".into());
+        assert!(unpaired.validate().unwrap_err().contains("unpaired"));
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apptag;
 pub mod dists;
 pub mod gen;
 pub mod replay;

@@ -27,7 +27,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use transport::{AppHook, CcKind, CompletedMsg, Message};
 
-/// Message-tag type field (upper 4 bits of the tag).
+/// Message-tag type field (bits 56..60 of the tag; bits 60..64 carry the
+/// application id so co-resident apps — see [`crate::apptag`] — never
+/// interpret each other's messages).
 const T_READ_REQ: u64 = 1;
 const T_READ_RESP: u64 = 2;
 const T_WRITE_DATA: u64 = 3;
@@ -35,19 +37,19 @@ const T_REPL_DATA: u64 = 4;
 const T_REPL_ACK: u64 = 5;
 const T_WRITE_ACK: u64 = 6;
 
-const TAG_SHIFT: u64 = 60;
+use crate::apptag::{self, APP_STORAGE};
 
 #[inline]
 fn tag(ty: u64, io: u64) -> u64 {
-    (ty << TAG_SHIFT) | io
+    apptag::tag(APP_STORAGE, ty, io)
 }
 #[inline]
 fn tag_ty(t: u64) -> u64 {
-    t >> TAG_SHIFT
+    apptag::ty(t)
 }
 #[inline]
 fn tag_io(t: u64) -> u64 {
-    t & ((1 << TAG_SHIFT) - 1)
+    apptag::payload(t)
 }
 
 /// One of the Table-1 traffic profiles.
@@ -194,6 +196,9 @@ pub struct StorageCluster {
     ios: HashMap<u64, IoState>,
     /// Completion log: (time, io latency, was_read).
     pub completions: Vec<(SimTime, SimTime, bool)>,
+    /// Closed-loop cutoff: completions at or after this time do not
+    /// reissue. Lets a soak phase drain instead of running forever.
+    deadline: Option<SimTime>,
 }
 
 impl StorageCluster {
@@ -216,7 +221,18 @@ impl StorageCluster {
             writes: HashMap::new(),
             ios: HashMap::new(),
             completions: Vec::new(),
+            deadline: None,
         }
+    }
+
+    /// Stop issuing new IOs at `at` (in-flight chains still complete).
+    /// `None` restores the indefinite closed loop.
+    pub fn set_deadline(&mut self, at: Option<SimTime>) {
+        self.deadline = at;
+    }
+
+    fn past_deadline(&self, now: SimTime) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
     }
 
     /// Compute nodes of the cluster.
@@ -280,10 +296,18 @@ impl StorageCluster {
     }
 
     /// Record an IO completion (the caller then issues the next IO from the
-    /// same compute node — the closed loop).
-    fn finish_io(&mut self, io: u64, now: SimTime) {
-        let st = self.ios.remove(&io).expect("unknown IO completed");
-        self.completions.push((now, now - st.issued_at, st.is_read));
+    /// same compute node — the closed loop). Returns `false` for IOs this
+    /// cluster never issued: after a soak phase rotation, responses to a
+    /// *previous* cluster instance may still be in flight, and they must be
+    /// ignored rather than counted (or panicked on).
+    fn finish_io(&mut self, io: u64, now: SimTime) -> bool {
+        match self.ios.remove(&io) {
+            Some(st) => {
+                self.completions.push((now, now - st.issued_at, st.is_read));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Completed IOs per second over `[from, to)`.
@@ -311,6 +335,10 @@ impl StorageCluster {
 
 impl AppHook for StorageCluster {
     fn on_message_received(&mut self, m: &CompletedMsg) -> Vec<(SimTime, Message)> {
+        if apptag::app(m.tag) != APP_STORAGE {
+            // Another app's (or untagged) traffic on shared host stacks.
+            return vec![];
+        }
         let ty = tag_ty(m.tag);
         let io = tag_io(m.tag);
         match ty {
@@ -328,14 +356,15 @@ impl AppHook for StorageCluster {
                 )]
             }
             T_READ_RESP => {
-                // At the compute node: IO done; issue the next one.
+                // At the compute node: IO done; issue the next one (unless
+                // the IO is a stale predecessor's or the phase is draining).
                 let now = m.end;
-                self.finish_io(io, now);
-                let ci = self
-                    .compute
-                    .iter()
-                    .position(|&c| c == m.dst)
-                    .expect("read response landed on a non-compute node");
+                if !self.finish_io(io, now) || self.past_deadline(now) {
+                    return vec![];
+                }
+                let Some(ci) = self.compute.iter().position(|&c| c == m.dst) else {
+                    return vec![];
+                };
                 let (src, msg) = self.issue_io(ci, now);
                 debug_assert_eq!(src, m.dst);
                 vec![(SimTime::ZERO, msg)]
@@ -391,9 +420,11 @@ impl AppHook for StorageCluster {
             }
             T_REPL_ACK => {
                 // At the primary: when all replicas answered, complete to the
-                // compute node.
+                // compute node. Unknown writes are stale cross-phase acks.
                 let done = {
-                    let w = self.writes.get_mut(&io).expect("ack for unknown write");
+                    let Some(w) = self.writes.get_mut(&io) else {
+                        return vec![];
+                    };
                     w.acks_pending -= 1;
                     w.acks_pending == 0
                 };
@@ -408,14 +439,15 @@ impl AppHook for StorageCluster {
                 }
             }
             T_WRITE_ACK => {
-                // At the compute node: IO done; issue the next one.
+                // At the compute node: IO done; issue the next one (same
+                // stale/drain handling as reads).
                 let now = m.end;
-                self.finish_io(io, now);
-                let ci = self
-                    .compute
-                    .iter()
-                    .position(|&c| c == m.dst)
-                    .expect("write ack landed on a non-compute node");
+                if !self.finish_io(io, now) || self.past_deadline(now) {
+                    return vec![];
+                }
+                let Some(ci) = self.compute.iter().position(|&c| c == m.dst) else {
+                    return vec![];
+                };
                 let (src, msg) = self.issue_io(ci, now);
                 debug_assert_eq!(src, m.dst);
                 vec![(SimTime::ZERO, msg)]

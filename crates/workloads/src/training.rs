@@ -20,13 +20,14 @@ use std::collections::HashSet;
 use std::rc::Rc;
 use transport::{AppHook, CcKind, CompletedMsg, Message};
 
+use crate::apptag::{self, APP_TRAINING};
+
 const T_GRAD: u64 = 1;
 const T_MODEL: u64 = 2;
-const TAG_SHIFT: u64 = 60;
 
 #[inline]
 fn tag(ty: u64, worker: u64) -> u64 {
-    (ty << TAG_SHIFT) | worker
+    apptag::tag(APP_TRAINING, ty, worker)
 }
 
 /// Training-cluster parameters.
@@ -69,6 +70,9 @@ pub struct TrainingCluster {
     grads_this_iter: HashSet<u64>,
     /// Completed iterations with their completion times.
     pub iterations: Vec<SimTime>,
+    /// Cutoff after which workers stop pushing new gradients (the current
+    /// iteration still drains). Lets a soak phase end cleanly.
+    deadline: Option<SimTime>,
 }
 
 impl TrainingCluster {
@@ -83,7 +87,13 @@ impl TrainingCluster {
             ps: ps[0],
             grads_this_iter: HashSet::new(),
             iterations: Vec::new(),
+            deadline: None,
         }
+    }
+
+    /// Stop starting new iterations at `at` (`None` trains indefinitely).
+    pub fn set_deadline(&mut self, at: Option<SimTime>) {
+        self.deadline = at;
     }
 
     /// Worker nodes.
@@ -123,16 +133,28 @@ impl TrainingCluster {
 
 impl AppHook for TrainingCluster {
     fn on_message_received(&mut self, m: &CompletedMsg) -> Vec<(SimTime, Message)> {
-        let ty = m.tag >> TAG_SHIFT;
-        let idx = m.tag & ((1 << TAG_SHIFT) - 1);
+        if apptag::app(m.tag) != APP_TRAINING {
+            // Another app's (or untagged) traffic on shared host stacks.
+            return vec![];
+        }
+        let ty = apptag::ty(m.tag);
+        let idx = apptag::payload(m.tag);
         match ty {
             T_GRAD => {
-                // At the PS.
-                debug_assert_eq!(m.dst, self.ps);
+                // At the PS. A stale cross-phase gradient aimed at a
+                // different PS node is not ours.
+                if m.dst != self.ps || idx as usize >= self.workers.len() {
+                    return vec![];
+                }
                 self.grads_this_iter.insert(idx);
                 if self.grads_this_iter.len() == self.workers.len() {
                     self.grads_this_iter.clear();
                     self.iterations.push(m.end);
+                    if self.deadline.is_some_and(|d| m.end >= d) {
+                        // Phase over: record the iteration, skip the
+                        // broadcast that would start the next one.
+                        return vec![];
+                    }
                     // Broadcast the fresh model.
                     self.workers
                         .iter()
@@ -151,6 +173,9 @@ impl AppHook for TrainingCluster {
             }
             T_MODEL => {
                 // At a worker: compute, then push the next gradient.
+                if self.deadline.is_some_and(|d| m.end >= d) || idx as usize >= self.workers.len() {
+                    return vec![];
+                }
                 vec![(
                     self.cfg.compute_time,
                     Message::new(self.ps, self.cfg.gradient_bytes, self.cfg.cc)
