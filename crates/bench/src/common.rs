@@ -724,7 +724,7 @@ impl Drop for Scenario {
                     port: f.port.0,
                     prio: u8::MAX,
                     kind: f.kind.to_string(),
-                    detail: f.detail,
+                    detail: f.detail.to_string(),
                 });
             }
         }
@@ -803,6 +803,10 @@ pub fn scenario_installed(
     let fct = FctCollector::new_shared();
     let hosts = transport::install_stacks(&mut sim, StackConfig::default(), &fct);
     install(&mut sim);
+    // The arrival list is final: pre-size the FCT collector so flow
+    // registration mid-run never reallocates (apply_arrivals does the same
+    // for the per-host stacks).
+    fct.borrow_mut().reserve(arrivals.len());
     gen::apply_arrivals(&mut sim, arrivals);
 
     // Arm the flight recorder for this run when metrics are enabled.

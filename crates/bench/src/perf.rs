@@ -26,7 +26,15 @@ use workloads::gen::{incast_wave, PoissonGen};
 use workloads::SizeDist;
 
 /// Schema tag written into `BENCH_netsim.json`; bump on breaking changes.
-pub const SCHEMA: &str = "acc-bench-perf/v1";
+/// v2: scenario rows split into a warmup window (one-time growth: arenas,
+/// event-queue slots, flow tables reaching high-water capacity) and a
+/// steady-state measured window; `events_per_sec` and the allocation
+/// columns describe the measured window only.
+pub const SCHEMA: &str = "acc-bench-perf/v2";
+
+/// Fraction of the horizon burned as warmup before measurement starts (the
+/// denominator: warmup runs to `horizon / WARMUP_DENOM`).
+const WARMUP_DENOM: u64 = 5;
 
 /// Probe returning process-wide `(allocation count, allocated bytes)`.
 ///
@@ -175,14 +183,31 @@ fn queue_microbench(scale: Scale) -> Value {
 
 /// Run a built scenario to `horizon` under the wall clock and the
 /// allocation probe, returning its JSON row.
+///
+/// The first `1/WARMUP_DENOM` of the horizon is a warmup window: one-time
+/// capacity growth (per-port queue arenas, event-queue slot vectors, flow
+/// tables filling to their reserves) happens there and is reported
+/// separately. `events_per_sec` and the allocation columns cover only the
+/// steady-state remainder, which the zero-alloc gates assert over.
 fn measure(name: &str, mut sc: Scenario, horizon: SimTime) -> Value {
+    let warmup_until = SimTime::from_ps(horizon.as_ps() / WARMUP_DENOM);
+    let warm_before = alloc_counts();
+    let warm_start = Instant::now();
+    sc.sim.run_until(warmup_until);
+    let warmup_wall = warm_start.elapsed().as_secs_f64();
+    let warmup_events = sc.sim.core().events_processed;
+    let warmup_allocs = match (warm_before, alloc_counts()) {
+        (Some((a0, _)), Some((a1, _))) => Some(a1 - a0),
+        _ => None,
+    };
+
     let before = alloc_counts();
     let start = Instant::now();
     sc.sim.run_until(horizon);
     let wall = start.elapsed().as_secs_f64();
     let after = alloc_counts();
     let core = sc.sim.core();
-    let events = core.events_processed;
+    let events = core.events_processed - warmup_events;
     let eps = events as f64 / wall.max(1e-9);
     let (allocs_per_event, bytes_per_event) = match (before, after) {
         (Some((a0, b0)), Some((a1, b1))) if events > 0 => (
@@ -207,6 +232,9 @@ fn measure(name: &str, mut sc: Scenario, horizon: SimTime) -> Value {
         "events_processed": events,
         "wall_s": wall,
         "events_per_sec": eps,
+        "warmup_events": warmup_events,
+        "warmup_wall_s": warmup_wall,
+        "warmup_allocations": warmup_allocs,
         "peak_event_queue": core.event_queue_peak(),
         "sim_time_us": sc.sim.now().as_us_f64(),
         "allocations_per_event": allocs_per_event,
@@ -308,7 +336,7 @@ pub fn run(scale: Scale, out: &Path) -> io::Result<Value> {
     Ok(doc)
 }
 
-/// Validate a `BENCH_netsim.json` document against the v1 schema: every
+/// Validate a `BENCH_netsim.json` document against the v2 schema: every
 /// field the trajectory tooling reads must be present and well-typed.
 /// Returns the list of problems (empty = valid).
 pub fn validate(doc: &Value) -> Vec<String> {
@@ -369,6 +397,18 @@ pub fn validate(doc: &Value) -> Vec<String> {
                         .is_some_and(|v| v > 0),
                     &format!("scenario {name}: peak_event_queue missing or zero"),
                 );
+                need(
+                    row.get("warmup_events")
+                        .and_then(Value::as_u64)
+                        .is_some_and(|v| v > 0),
+                    &format!("scenario {name}: warmup_events missing or zero"),
+                );
+                need(
+                    row.get("warmup_wall_s")
+                        .and_then(Value::as_f64)
+                        .is_some_and(|v| v.is_finite() && v >= 0.0),
+                    &format!("scenario {name}: warmup_wall_s missing or negative"),
+                );
                 // With the allocator probe registered the allocation columns
                 // must be real measurements — a null here means the probe
                 // wiring regressed.
@@ -415,6 +455,8 @@ mod tests {
             "scenarios": [{
                 "name": "incast-heavy", "events_processed": 10u64, "wall_s": 0.1,
                 "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
+                "warmup_events": 3u64, "warmup_wall_s": 0.02,
+                "warmup_allocations": 100u64,
                 "sim_time_us": 8000.0,
                 "allocations_per_event": alloc.clone(), "alloc_bytes_per_event": alloc,
             }],

@@ -19,6 +19,20 @@ pub struct PortConfig {
     /// Per-class maximum queue depth in bytes (drop-tail bound). PFC should
     /// keep lossless classes well below this.
     pub max_queue_bytes: Vec<u64>,
+    /// Initial capacity, in packets, of each port's arena (the slab backing
+    /// all of the port's egress queues). The arena grows on demand, but any
+    /// growth is a heap allocation on the packet hot path — size this above
+    /// the deepest per-port backlog the workload reaches to keep the
+    /// steady state allocation-free (`SimCore::max_arena_slots` reports the
+    /// high-water mark actually seen).
+    #[serde(default = "default_arena_slots")]
+    pub arena_slots: usize,
+}
+
+/// Serde default for [`PortConfig::arena_slots`] (configs recorded before
+/// the field existed deserialize to the same capacity new ones default to).
+fn default_arena_slots() -> usize {
+    2048
 }
 
 impl Default for PortConfig {
@@ -33,6 +47,7 @@ impl Default for PortConfig {
             weights: vec![3, 7, 0],
             ecn: vec![None, Some(EcnConfig::dcqcn_paper()), None],
             max_queue_bytes: vec![5 * 1024 * 1024, u64::MAX, 4 * 1024 * 1024],
+            arena_slots: default_arena_slots(),
         }
     }
 }
@@ -46,6 +61,7 @@ impl PortConfig {
             weights: vec![1; num_prios],
             ecn: vec![None; num_prios],
             max_queue_bytes: vec![10 * 1024 * 1024; num_prios],
+            arena_slots: default_arena_slots(),
         }
     }
 

@@ -187,10 +187,13 @@ pub struct QueueStats {
 impl Default for EventQueue {
     fn default() -> Self {
         EventQueue {
-            near: BinaryHeap::new(),
-            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            // Pre-sized so steady-state scheduling never grows the heaps or
+            // slot vectors (capacity is kept when slots drain); the netsim
+            // perf scenarios peak well under these bounds.
+            near: BinaryHeap::with_capacity(1024),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::with_capacity(512)).collect(),
             occupied: 0,
-            overflow: BinaryHeap::new(),
+            overflow: BinaryHeap::with_capacity(1024),
             cur_bucket: 0,
             next_seq: 0,
             len: 0,

@@ -417,8 +417,11 @@ impl serde::Deserialize for FaultPlan {
 /// One executed fault, as recorded in [`crate::sim::SimCore`]'s fault log.
 ///
 /// The telemetry layer drains these into its event stream; `detail` carries
-/// the fault's parameters in a stable `key=value` form.
-#[derive(Clone, Debug, PartialEq)]
+/// the fault's parameters. Both the entry and its detail are plain `Copy`
+/// data — logging a fault on the hot path never touches the allocator; the
+/// stable `key=value` text form is only rendered when a consumer formats
+/// the detail (see [`FaultDetail`]'s `Display`).
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultLogEntry {
     /// Execution time.
     pub at: SimTime,
@@ -428,8 +431,46 @@ pub struct FaultLogEntry {
     pub node: NodeId,
     /// Port the fault applied to (`PortId(u16::MAX)` for node-wide faults).
     pub port: PortId,
-    /// Parameters, e.g. `rate_bps=10000000000` (empty when none).
-    pub detail: String,
+    /// Parameters (renders as e.g. `rate_bps=10000000000`; empty when none).
+    pub detail: FaultDetail,
+}
+
+/// The parameters of an executed fault, as structured `Copy` data.
+///
+/// Replaces the per-record `format!`ed `String` the fault log used to
+/// carry. The `Display` impl reproduces the old strings byte-for-byte
+/// (`peer=<node>:<port>`, `rate_bps=<bps>`, `frac=<f64>`, `flushed=<n>`,
+/// and empty for [`FaultDetail::None`]), so recorded JSONL is unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum FaultDetail {
+    /// No parameters (telemetry faults, rate restores).
+    #[default]
+    None,
+    /// The peer endpoint of a link fault: `peer=<node>:<port>`.
+    Peer {
+        /// Peer node.
+        node: NodeId,
+        /// Peer port.
+        port: PortId,
+    },
+    /// Degraded serialization rate: `rate_bps=<bps>`.
+    RateBps(u64),
+    /// Injected loss fraction: `frac=<frac>`.
+    LossFrac(f64),
+    /// Packets flushed by a switch reboot: `flushed=<n>`.
+    Flushed(u64),
+}
+
+impl std::fmt::Display for FaultDetail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultDetail::None => Ok(()),
+            FaultDetail::Peer { node, port } => write!(f, "peer={}:{}", node.0, port.0),
+            FaultDetail::RateBps(rate) => write!(f, "rate_bps={rate}"),
+            FaultDetail::LossFrac(frac) => write!(f, "frac={frac}"),
+            FaultDetail::Flushed(n) => write!(f, "flushed={n}"),
+        }
+    }
 }
 
 /// How a node's telemetry reads are currently distorted (fault injection).
@@ -444,6 +485,28 @@ pub(crate) enum TelemFault {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The enum detail must render the exact strings the fault log carried
+    /// when it `format!`ed per record — recorded JSONL depends on them.
+    #[test]
+    fn fault_detail_renders_legacy_strings() {
+        assert_eq!(FaultDetail::None.to_string(), "");
+        assert_eq!(
+            FaultDetail::Peer {
+                node: NodeId(28),
+                port: PortId(0)
+            }
+            .to_string(),
+            "peer=28:0"
+        );
+        assert_eq!(
+            FaultDetail::RateBps(10_000_000_000).to_string(),
+            "rate_bps=10000000000"
+        );
+        assert_eq!(FaultDetail::LossFrac(0.3).to_string(), "frac=0.3");
+        assert_eq!(FaultDetail::LossFrac(1.0).to_string(), "frac=1");
+        assert_eq!(FaultDetail::Flushed(17).to_string(), "flushed=17");
+    }
 
     #[test]
     fn plan_builders_accumulate_events() {

@@ -16,6 +16,11 @@ pub struct RouteTable {
     next_hops: Vec<Vec<Vec<PortId>>>,
     /// Maps a host `NodeId` to its dense rank in the tables.
     host_rank: Vec<Option<u32>>,
+    /// BFS distance scratch, kept so rebuilds after link flaps are
+    /// allocation-free once the candidate vectors have grown to size.
+    dist: Vec<u32>,
+    /// BFS frontier scratch (same rationale as `dist`).
+    bfs: VecDeque<NodeId>,
 }
 
 impl RouteTable {
@@ -34,52 +39,60 @@ impl RouteTable {
         for (r, &h) in hosts.iter().enumerate() {
             host_rank[h.idx()] = Some(r as u32);
         }
-        let mut next_hops = vec![vec![Vec::new(); hosts.len()]; n];
+        let mut table = RouteTable {
+            next_hops: vec![vec![Vec::new(); hosts.len()]; n],
+            host_rank,
+            dist: vec![u32::MAX; n],
+            bfs: VecDeque::with_capacity(n),
+        };
+        table.rebuild_filtered(topo, is_up);
+        table
+    }
 
-        let mut dist = vec![u32::MAX; n];
-        let mut queue = VecDeque::new();
+    /// Recompute every route in place for the same topology, considering
+    /// only links for which `is_up` returns true. Reuses the existing
+    /// candidate-port vectors and BFS scratch, so repeated rebuilds (link
+    /// flap storms) allocate nothing once the vectors reach their
+    /// high-water capacity.
+    pub fn rebuild_filtered(&mut self, topo: &Topology, is_up: impl Fn(NodeId, PortId) -> bool) {
+        let n = topo.nodes.len();
+        let hosts = topo.hosts();
+        debug_assert_eq!(self.next_hops.len(), n, "rebuild with a different topology");
         for (rank, &dst) in hosts.iter().enumerate() {
-            dist.iter_mut().for_each(|d| *d = u32::MAX);
-            dist[dst.idx()] = 0;
-            queue.clear();
-            queue.push_back(dst);
-            while let Some(u) = queue.pop_front() {
-                let du = dist[u.idx()];
-                for (pi, p) in topo.node(u).ports.iter().enumerate() {
+            self.dist.iter_mut().for_each(|d| *d = u32::MAX);
+            self.dist[dst.idx()] = 0;
+            self.bfs.clear();
+            self.bfs.push_back(dst);
+            while let Some(u) = self.bfs.pop_front() {
+                let du = self.dist[u.idx()];
+                for p in topo.node(u).ports.iter() {
                     // BFS runs from the destination towards sources, so the
                     // usable direction is peer -> u: check the peer's port.
                     if !is_up(p.peer_node, p.peer_port) {
                         continue;
                     }
-                    let _ = pi;
                     let v = p.peer_node;
-                    if dist[v.idx()] == u32::MAX {
-                        dist[v.idx()] = du + 1;
-                        queue.push_back(v);
+                    if self.dist[v.idx()] == u32::MAX {
+                        self.dist[v.idx()] = du + 1;
+                        self.bfs.push_back(v);
                     }
                 }
             }
             for node in 0..n {
-                if node == dst.idx() || dist[node] == u32::MAX {
+                let ports = &mut self.next_hops[node][rank];
+                ports.clear();
+                if node == dst.idx() || self.dist[node] == u32::MAX {
                     continue;
                 }
-                let d = dist[node];
-                let ports: Vec<PortId> = topo.nodes[node]
-                    .ports
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, p)| {
-                        dist[p.peer_node.idx()] == d - 1
-                            && is_up(NodeId(node as u32), PortId(*i as u16))
-                    })
-                    .map(|(i, _)| PortId(i as u16))
-                    .collect();
-                next_hops[node][rank] = ports;
+                let d = self.dist[node];
+                for (i, p) in topo.nodes[node].ports.iter().enumerate() {
+                    if self.dist[p.peer_node.idx()] == d - 1
+                        && is_up(NodeId(node as u32), PortId(i as u16))
+                    {
+                        ports.push(PortId(i as u16));
+                    }
+                }
             }
-        }
-        RouteTable {
-            next_hops,
-            host_rank,
         }
     }
 

@@ -6,11 +6,11 @@ use crate::config::SimConfig;
 use crate::control::{QueueController, SwitchView};
 use crate::driver::{HostCtx, NicDriver};
 use crate::event::{Event, EventQueue};
-use crate::fault::{FaultKind, FaultLogEntry, FaultPlan, FaultPlanError, TelemFault};
+use crate::fault::{FaultDetail, FaultKind, FaultLogEntry, FaultPlan, FaultPlanError, TelemFault};
 use crate::ids::{NodeId, PortId, Prio};
 use crate::packet::Packet;
 use crate::profile::{event_kind, SimProfiler};
-use crate::queues::{Dwrr, EgressQueue, QItem, QueueTelemetry};
+use crate::queues::{Dwrr, EgressQueue, QItem, QueueArena, QueueTelemetry};
 use crate::routing::RouteTable;
 use crate::time::{tx_time, SimTime};
 use crate::topology::Topology;
@@ -51,6 +51,9 @@ pub(crate) struct PortState {
     ingress_bytes: Vec<u64>,
     /// Egress FIFOs, one per class.
     queues: Vec<EgressQueue>,
+    /// Slab backing every class's FIFO on this port (intrusive links; see
+    /// [`QueueArena`]) — enqueue/dequeue never allocates at steady state.
+    arena: QueueArena,
     /// Egress scheduler.
     dwrr: Dwrr,
     in_flight: Option<InFlight>,
@@ -83,6 +86,7 @@ impl PortState {
             pfc_sent: 0,
             ingress_bytes: vec![0; pc.num_prios],
             queues,
+            arena: QueueArena::with_capacity(pc.arena_slots),
             dwrr: Dwrr::new(pc.weights.clone()),
             in_flight: None,
             pfc_pause_events: 0,
@@ -152,6 +156,14 @@ pub struct SimCore {
     /// one pointer check per dispatch; enabled it observes wall-clock time
     /// and counters only, never the simulated trajectory.
     pub(crate) prof: Option<Box<SimProfiler>>,
+    /// Reused scratch for reboot queue flushes (grows to the deepest flush
+    /// ever seen, then reboots stop allocating).
+    flush_scratch: Vec<QItem>,
+    /// Reused scratch for the PFC resumes a reboot sends upstream.
+    resume_scratch: Vec<(PortId, Prio)>,
+    /// Recycled telemetry-freeze snapshot storage: when a freeze ends, its
+    /// buffer parks here so the next freeze reuses the capacity.
+    telem_snap_pool: Vec<(u64, QueueTelemetry)>,
 }
 
 impl SimCore {
@@ -184,6 +196,12 @@ impl SimCore {
         let routes = RouteTable::build(&topo);
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let fault_rng = SmallRng::seed_from_u64(cfg.seed ^ FAULT_SEED_SALT);
+        // Fault-path scratch buffers are sized from the topology up front so
+        // the *first* reboot or telemetry freeze after warmup doesn't grow
+        // them (growth on first use would show up as a steady-state alloc).
+        let max_ports = topo.nodes.iter().map(|n| n.ports.len()).max().unwrap_or(0);
+        let snap_cap = max_ports * cfg.port.num_prios;
+        let flush_cap = cfg.port.arena_slots;
         SimCore {
             cfg,
             now: SimTime::ZERO,
@@ -204,6 +222,9 @@ impl SimCore {
             fault_log_dropped: 0,
             faults_executed: 0,
             prof: None,
+            flush_scratch: Vec::with_capacity(flush_cap),
+            resume_scratch: Vec::with_capacity(snap_cap),
+            telem_snap_pool: Vec::with_capacity(snap_cap),
         }
     }
 
@@ -260,6 +281,19 @@ impl SimCore {
         self.events.stats()
     }
 
+    /// Largest per-port packet-arena ever grown in this run, in slots — the
+    /// packet path's high-water mark (arenas never shrink, so the current
+    /// maximum is the historical one). Diagnostic for sizing
+    /// [`crate::config::PortConfig::arena_slots`].
+    pub fn max_arena_slots(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.ports.iter())
+            .map(|p| p.arena.slot_count())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Mutable access to an egress queue (telemetry sync / reconfiguration
     /// from harness code).
     pub fn queue_mut(&mut self, node: NodeId, port: PortId, prio: Prio) -> &mut EgressQueue {
@@ -306,10 +340,10 @@ impl SimCore {
         debug_assert!(self.topo.is_host(host));
         debug_assert!((pkt.prio as usize) < self.cfg.port.num_prios);
         let now = self.now;
-        let q = self.queue_mut(host, PortId(0), pkt.prio);
+        let ps = &mut self.nodes[host.idx()].ports[0];
         // Host NICs have effectively unbounded send memory (the transport's
         // windows/rate limits bound it in practice); no drop here.
-        q.push(QItem { pkt, ingress: None }, now);
+        ps.queues[pkt.prio as usize].push(&mut ps.arena, QItem { pkt, ingress: None }, now);
         self.try_send(host, PortId(0));
     }
 
@@ -323,14 +357,14 @@ impl SimCore {
         let n = ps.queues.len();
         let mut heads = [None; 8];
         for (i, q) in ps.queues.iter().enumerate() {
-            heads[i] = q.head_size();
+            heads[i] = q.head_size(&ps.arena);
         }
         let Some(prio) = ps.dwrr.pick(&heads[..n], ps.paused) else {
             return;
         };
         let now = self.now;
         let item = ps.queues[prio]
-            .pop(now)
+            .pop(&mut ps.arena, now)
             .expect("dwrr picked an empty queue");
         ps.in_flight = Some(InFlight {
             size: item.pkt.size,
@@ -525,8 +559,10 @@ impl SimCore {
             }
         }
 
-        let q = self.queue_mut(node, out_port, pkt.prio);
+        let ps = &mut self.nodes[node.idx()].ports[out_port.idx()];
+        let q = &mut ps.queues[prio];
         q.push(
+            &mut ps.arena,
             QItem {
                 pkt,
                 ingress: Some(in_port),
@@ -589,7 +625,10 @@ impl SimCore {
             if up { "link_up" } else { "link_down" },
             node,
             port,
-            format!("peer={}:{}", peer.peer_node.0, peer.peer_port.0),
+            FaultDetail::Peer {
+                node: peer.peer_node,
+                port: peer.peer_port,
+            },
         );
         let kind = if up {
             TraceKind::LinkUp
@@ -606,13 +645,17 @@ impl SimCore {
             crate::ids::FlowId(0),
             0,
         );
-        // Rebuild routing honouring every port's current state.
-        let states: Vec<Vec<bool>> = self
-            .nodes
-            .iter()
-            .map(|n| n.ports.iter().map(|p| p.link_up).collect())
-            .collect();
-        self.routes = RouteTable::build_filtered(&self.topo, |n, p| states[n.idx()][p.idx()]);
+        // Rebuild routing honouring every port's current state, reusing the
+        // existing table's storage (no fresh table allocation per flap).
+        {
+            let SimCore {
+                ref mut routes,
+                ref nodes,
+                ref topo,
+                ..
+            } = *self;
+            routes.rebuild_filtered(topo, |n, p| nodes[n.idx()].ports[p.idx()].link_up);
+        }
         if up {
             // Restart the transmitters on both ends.
             self.try_send(node, port);
@@ -635,7 +678,7 @@ impl SimCore {
     }
 
     /// Append one executed fault to the in-core fault log.
-    fn log_fault(&mut self, kind: &'static str, node: NodeId, port: PortId, detail: String) {
+    fn log_fault(&mut self, kind: &'static str, node: NodeId, port: PortId, detail: FaultDetail) {
         self.faults_executed += 1;
         if self.fault_log.len() >= FAULT_LOG_CAP {
             self.fault_log_dropped += 1;
@@ -707,7 +750,7 @@ impl SimCore {
                     crate::ids::FlowId(0),
                     0,
                 );
-                self.log_fault("link_degrade", node, port, format!("rate_bps={rate}"));
+                self.log_fault("link_degrade", node, port, FaultDetail::RateBps(rate));
             }
             FaultKind::RestoreLinkRate { node, port } => {
                 let peer = *self.topo.port(node, port);
@@ -721,7 +764,7 @@ impl SimCore {
                     crate::ids::FlowId(0),
                     0,
                 );
-                self.log_fault("link_rate_restore", node, port, String::new());
+                self.log_fault("link_rate_restore", node, port, FaultDetail::None);
             }
             FaultKind::PacketLoss { node, port, frac } => {
                 let frac = frac.clamp(0.0, 1.0);
@@ -734,20 +777,24 @@ impl SimCore {
                     crate::ids::FlowId(0),
                     0,
                 );
-                self.log_fault("packet_loss", node, port, format!("frac={frac}"));
+                self.log_fault("packet_loss", node, port, FaultDetail::LossFrac(frac));
             }
             FaultKind::SwitchReboot { node } => self.reboot_switch(node),
             FaultKind::TelemetryFreeze { node } => {
                 let now = self.now;
+                // Reuse the pooled snapshot vector (recycled on restore) so a
+                // freeze/restore cycle settles into zero allocations.
+                let mut snap = std::mem::take(&mut self.telem_snap_pool);
+                snap.clear();
                 let st = &mut self.nodes[node.idx()];
-                let mut snap = Vec::new();
                 for p in st.ports.iter_mut() {
                     for q in p.queues.iter_mut() {
                         q.sync_clock(now);
                         snap.push((q.bytes(), q.telem));
                     }
                 }
-                st.telem_fault = Some(TelemFault::Frozen(snap));
+                self.recycle_telem_fault(node);
+                self.nodes[node.idx()].telem_fault = Some(TelemFault::Frozen(snap));
                 self.trace(
                     TraceKind::TelemetryFault,
                     node,
@@ -756,9 +803,10 @@ impl SimCore {
                     crate::ids::FlowId(0),
                     0,
                 );
-                self.log_fault("telem_freeze", node, PortId(u16::MAX), String::new());
+                self.log_fault("telem_freeze", node, PortId(u16::MAX), FaultDetail::None);
             }
             FaultKind::TelemetryBlank { node } => {
+                self.recycle_telem_fault(node);
                 self.nodes[node.idx()].telem_fault = Some(TelemFault::Blank);
                 self.trace(
                     TraceKind::TelemetryFault,
@@ -768,10 +816,10 @@ impl SimCore {
                     crate::ids::FlowId(0),
                     0,
                 );
-                self.log_fault("telem_blank", node, PortId(u16::MAX), String::new());
+                self.log_fault("telem_blank", node, PortId(u16::MAX), FaultDetail::None);
             }
             FaultKind::TelemetryRestore { node } => {
-                self.nodes[node.idx()].telem_fault = None;
+                self.recycle_telem_fault(node);
                 self.trace(
                     TraceKind::TelemetryFault,
                     node,
@@ -780,7 +828,7 @@ impl SimCore {
                     crate::ids::FlowId(0),
                     0,
                 );
-                self.log_fault("telem_restore", node, PortId(u16::MAX), String::new());
+                self.log_fault("telem_restore", node, PortId(u16::MAX), FaultDetail::None);
             }
         }
     }
@@ -796,20 +844,23 @@ impl SimCore {
     /// outlives the device (and samplers difference them as monotone).
     fn reboot_switch(&mut self, node: NodeId) {
         let now = self.now;
-        let weights = self.cfg.port.weights.clone();
-        let default_ecn = self.cfg.port.ecn.clone();
         let num_ports = self.nodes[node.idx()].ports.len();
         let mut flushed: u64 = 0;
-        let mut resumes: Vec<(PortId, Prio)> = Vec::new();
+        // Reuse the core-owned scratch buffers across reboots (Vec::new()
+        // placeholders left behind by `take` never allocate).
+        let mut items = std::mem::take(&mut self.flush_scratch);
+        let mut resumes = std::mem::take(&mut self.resume_scratch);
+        resumes.clear();
         for pi in 0..num_ports {
             let port = PortId(pi as u16);
             self.clear_pfc_state_keep_sent(node, port);
             let nq = self.nodes[node.idx()].ports[pi].queues.len();
-            for (prio, &ecn_default) in default_ecn.iter().enumerate().take(nq) {
-                let items = self.nodes[node.idx()].ports[pi].queues[prio].flush(now);
-                flushed += items.len() as u64;
+            for prio in 0..nq {
                 let st = &mut self.nodes[node.idx()];
-                for item in items {
+                let ps = &mut st.ports[pi];
+                ps.queues[prio].flush_into(&mut ps.arena, now, &mut items);
+                flushed += items.len() as u64;
+                for item in &items {
                     if let Some(buf) = st.buffer.as_mut() {
                         buf.release(item.pkt.size);
                     }
@@ -818,26 +869,29 @@ impl SimCore {
                         *ib = ib.saturating_sub(item.pkt.size as u64);
                     }
                 }
-                st.ports[pi].queues[prio].ecn = ecn_default;
+                st.ports[pi].queues[prio].ecn = self.cfg.port.ecn[prio];
             }
             let ps = &mut self.nodes[node.idx()].ports[pi];
-            ps.dwrr = Dwrr::new(weights.clone());
+            ps.dwrr.reset();
             let sent = ps.pfc_sent;
             ps.pfc_sent = 0;
             for prio in 0..nq {
-                if sent & (1u8 << (prio as u8 & 7)) != 0 {
+                if sent & (1u8 << prio) != 0 {
                     resumes.push((port, prio as Prio));
                 }
             }
         }
         self.total_drops += flushed;
         self.fault_drops += flushed;
-        for (port, prio) in resumes {
+        for &(port, prio) in &resumes {
             if self.nodes[node.idx()].ports[port.idx()].link_up {
                 self.send_pfc(node, port, prio, false);
             }
         }
-        self.nodes[node.idx()].telem_fault = None;
+        items.clear();
+        self.flush_scratch = items;
+        self.resume_scratch = resumes;
+        self.recycle_telem_fault(node);
         self.trace(
             TraceKind::SwitchReboot,
             node,
@@ -850,8 +904,19 @@ impl SimCore {
             "switch_reboot",
             node,
             PortId(u16::MAX),
-            format!("flushed={flushed}"),
+            FaultDetail::Flushed(flushed),
         );
+    }
+
+    /// Clear a node's telemetry fault, recycling a frozen snapshot's storage
+    /// into the shared pool so the next freeze reuses it.
+    fn recycle_telem_fault(&mut self, node: NodeId) {
+        if let Some(TelemFault::Frozen(mut v)) = self.nodes[node.idx()].telem_fault.take() {
+            if v.capacity() > self.telem_snap_pool.capacity() {
+                v.clear();
+                self.telem_snap_pool = v;
+            }
+        }
     }
 
     /// [`Self::clear_pfc_state`] minus the `pfc_sent` clear (the reboot path
@@ -966,6 +1031,11 @@ impl Simulator {
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultPlanError> {
         plan.validate()?;
         self.core.fault_rng = SmallRng::seed_from_u64(plan.seed ^ FAULT_SEED_SALT);
+        // Every scheduled fault appends at most one log entry; reserving up
+        // front keeps the steady-state loop free of fault-log growth.
+        self.core
+            .fault_log
+            .reserve(plan.events.len().min(FAULT_LOG_CAP));
         let now = self.core.now;
         for ev in &plan.events {
             let at = ev.at.max(now);

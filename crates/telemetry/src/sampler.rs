@@ -97,7 +97,7 @@ pub fn install_queue_sampler(sim: &mut Simulator, interval: SimTime, recorder: S
                     port: f.port.0,
                     prio: u8::MAX,
                     kind: f.kind.to_string(),
-                    detail: f.detail,
+                    detail: f.detail.to_string(),
                 });
             }
         }),

@@ -65,6 +65,19 @@ pub fn install_stacks(sim: &mut Simulator, cfg: StackConfig, fct: &SharedFct) ->
     hosts
 }
 
+/// Reserve flow-map/queue capacity on `host`'s stack for `n_send` messages
+/// it will originate and `n_recv` it will terminate (see
+/// [`HostStack::reserve`]). Call before scheduling a pre-counted workload so
+/// the measured run performs no flow-table growth.
+pub fn reserve_stack(sim: &mut Simulator, host: NodeId, n_send: usize, n_recv: usize) {
+    sim.with_driver(host, |d, _ctx| {
+        d.as_any_mut()
+            .downcast_mut::<HostStack>()
+            .expect("driver is not a HostStack")
+            .reserve(n_send, n_recv);
+    });
+}
+
 /// Schedule `msg` to start from `host` at absolute time `at`.
 pub fn schedule_message(sim: &mut Simulator, host: NodeId, at: SimTime, msg: Message) {
     sim.with_driver(host, |d, ctx| {

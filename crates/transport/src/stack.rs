@@ -147,6 +147,17 @@ impl HostStack {
         self.app = Some(hook);
     }
 
+    /// Reserve capacity for `n_send` locally originated messages and
+    /// `n_recv` messages terminating here. Workload installers call this
+    /// with per-host totals so the steady-state run never rehashes a flow
+    /// map or grows the pending/ready queues.
+    pub fn reserve(&mut self, n_send: usize, n_recv: usize) {
+        self.flows.reserve(n_send);
+        self.pending.reserve(n_send);
+        self.ready.reserve(n_send);
+        self.recv.reserve(n_recv);
+    }
+
     /// Number of flows this stack is currently sending.
     pub fn active_flows(&self) -> usize {
         self.flows.len()

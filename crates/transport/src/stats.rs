@@ -56,6 +56,13 @@ impl FctCollector {
         Rc::new(RefCell::new(FctCollector::default()))
     }
 
+    /// Reserve capacity for `n` additional flow records so registration
+    /// during a pre-sized run never rehashes or reallocates.
+    pub fn reserve(&mut self, n: usize) {
+        self.records.reserve(n);
+        self.order.reserve(n);
+    }
+
     /// Register a new flow at start time. Records that arrive already
     /// completed (replayed traces, synthetic fixtures) count towards
     /// [`FctCollector::completed_count`] immediately.
