@@ -65,15 +65,13 @@ fn run_cell(k: usize, dt: SimTime, w1: f64, scale: Scale) -> Cell {
     let measure_from = SimTime::from_ps(total.as_ps() * 3 / 4);
     sim.run_until(measure_from);
     let (tx0, int0) = {
-        let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
-        q.sync_clock(measure_from);
-        (q.telem.tx_bytes, q.telem.qlen_integral_byte_ps)
+        let t = sim.core_mut().synced_queue_telem(sw, PortId(15), PRIO_RDMA);
+        (t.tx_bytes, t.qlen_integral_byte_ps)
     };
     sim.run_until(total);
     let (tx1, int1) = {
-        let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
-        q.sync_clock(total);
-        (q.telem.tx_bytes, q.telem.qlen_integral_byte_ps)
+        let t = sim.core_mut().synced_queue_telem(sw, PortId(15), PRIO_RDMA);
+        (t.tx_bytes, t.qlen_integral_byte_ps)
     };
     let window = total - measure_from;
     let goodput = (tx1 - tx0) as f64 * 8.0 / window.as_secs_f64() / 1e9;

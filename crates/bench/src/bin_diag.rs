@@ -21,8 +21,9 @@ fn main() {
         sim.run_until(SimTime::from_ms(ms));
         let sw = sim.core().topo.switches()[0];
         let q = sim.core().queue(sw, PortId(15), PRIO_RDMA);
+        let t = sim.core().queue_telem(sw, PortId(15), PRIO_RDMA);
         println!("t={}ms q={}KB marked={}/{} pauses={} drops={}",
-            ms, q.bytes()/1024, q.telem.tx_marked_pkts, q.telem.tx_pkts,
+            ms, q.bytes()/1024, t.tx_marked_pkts, t.tx_pkts,
             sim.core().total_pfc_pauses, sim.core().total_drops);
         // host0 backlog
         println!("   host0 rdma backlog = {} B", sim.core().queue(hosts[0], PortId(0), PRIO_RDMA).bytes());

@@ -89,6 +89,15 @@ impl Policy {
             Policy::AccMonitored => "ACC-monitored",
         }
     }
+
+    /// Whether the policy's installer is partition-invariant — i.e. each
+    /// switch's behaviour depends on that switch alone, never on which
+    /// other switches share its process — and so may run sharded (see
+    /// [`install_policy_sharded`]). The guarded arms share a global replay
+    /// buffer and are the only exceptions.
+    pub fn partition_invariant(self) -> bool {
+        !matches!(self, Policy::AccGuarded | Policy::AccMonitored)
+    }
 }
 
 /// The base ACC configuration used throughout the harness.
@@ -142,6 +151,58 @@ pub fn install_policy(sim: &mut Simulator, policy: Policy, scale: Scale) {
                 ..GuardConfig::default()
             };
             install_guarded_acc(sim, &cfg, &space, &guard);
+        }
+    }
+}
+
+/// Install `policy` on all switches of a **sharded** `sim`, restricted to
+/// installers whose behaviour is partition-invariant (a function of the
+/// switch alone, never of which other switches share its process):
+///
+/// * static policies — per-switch, stateless: invariant as-is;
+/// * ACC variants — routed through
+///   [`controller::install_acc_independent`], which gives every switch a
+///   private replay buffer seeded by its global index. This differs from
+///   the unsharded [`install_policy`] (whose `install_acc` shares one
+///   replay across switches, making trajectories depend on process
+///   grouping), so sharded experiments use this installer at **every**
+///   shard count, including one — that is what the byte-identity contract
+///   compares.
+///
+/// The guarded arms share a global replay *and* fold guard statistics
+/// across switches mid-run; they are not partition-invariant and are
+/// rejected here.
+pub fn install_policy_sharded(sim: &mut Simulator, policy: Policy, scale: Scale) {
+    let space = ActionSpace::templates();
+    match policy {
+        Policy::Secn0 => install_static(sim, StaticEcnPolicy::Secn0),
+        Policy::Secn1 => install_static(sim, StaticEcnPolicy::Secn1),
+        Policy::Secn2 => install_static(sim, StaticEcnPolicy::Secn2),
+        Policy::Vendor => install_static(sim, StaticEcnPolicy::Vendor),
+        Policy::Acc => {
+            let model = pretrained_model(scale);
+            let cfg = trainer::online_config(&acc_config(11), 0.08, 500.0);
+            controller::install_acc_independent(sim, &cfg, &space, Some(&model));
+        }
+        Policy::AccFresh => {
+            controller::install_acc_independent(sim, &acc_config(13), &space, None);
+        }
+        Policy::AccFreshScalar => {
+            let mut cfg = acc_config(13);
+            cfg.scalar_inference = true;
+            controller::install_acc_independent(sim, &cfg, &space, None);
+        }
+        Policy::AccFrozen => {
+            let model = pretrained_model(scale);
+            let cfg = trainer::frozen_config(&acc_config(17));
+            controller::install_acc_independent(sim, &cfg, &space, Some(&model));
+        }
+        Policy::AccGuarded | Policy::AccMonitored => {
+            panic!(
+                "policy {} is not partition-invariant (guarded ACC shares a \
+                 global replay buffer) and cannot run sharded",
+                policy.name()
+            );
         }
     }
 }
@@ -277,7 +338,12 @@ pub struct FctBuckets {
 
 /// Summarise `fct` over flows that started at/after `from`.
 pub fn buckets(fct: &SharedFct, from: SimTime) -> FctBuckets {
-    let f = fct.borrow();
+    buckets_of(&fct.borrow(), from)
+}
+
+/// [`buckets`] over a plain collector (the sharded runner returns its merged
+/// collector by value).
+pub fn buckets_of(f: &FctCollector, from: SimTime) -> FctBuckets {
     let started = |r: &&transport::FlowRecord| r.start >= from;
     FctBuckets {
         overall: f.stats(|r| r.start >= from),
@@ -318,7 +384,7 @@ fn metrics_registry() -> std::sync::MutexGuard<'static, Option<MetricsCtx>> {
 /// reporting success.
 static METRICS_FAILED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
-fn note_metrics_failure(what: &std::path::Path, e: &dyn std::fmt::Display) {
+pub(crate) fn note_metrics_failure(what: &std::path::Path, e: &dyn std::fmt::Display) {
     eprintln!("[metrics] ERROR: {}: {e}", what.display());
     METRICS_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
 }
@@ -471,6 +537,25 @@ static JOBS: AtomicUsize = AtomicUsize::new(0);
 /// the default of one worker per available core.
 pub fn set_jobs(n: usize) {
     JOBS.store(n, Ordering::Relaxed);
+}
+
+/// Shard count requested with `--shards N`; 0 = flag absent (unsharded
+/// execution through the classic [`scenario`] path).
+static SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the requested shard count (the CLI's `--shards N`).
+pub fn set_shards(n: u32) {
+    SHARDS.store(n as usize, Ordering::Relaxed);
+}
+
+/// The `--shards` request: `Some(n)` routes supporting experiments through
+/// the sharded runner (even at `n == 1`, so shard-count diffs compare the
+/// same code path), `None` means the flag was absent.
+pub fn shards() -> Option<u32> {
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n as u32),
+    }
 }
 
 /// The effective [`run_matrix`] worker count.
@@ -850,8 +935,24 @@ fn arm_profiling(
     })
 }
 
-/// Claim a fresh run directory and attach a recording sink to `sim`, when
-/// the registry is armed.
+/// An exclusively-claimed run directory plus the labels recorded runs carry.
+/// Shared between [`arm_recording`] (unsharded scenarios) and the sharded
+/// runner in [`crate::shard_run`], so both name and claim directories
+/// identically.
+pub(crate) struct ClaimedRun {
+    /// Experiment id the registry was labelled with (`"run"` if none).
+    pub experiment: String,
+    /// Run name (also the directory's basename).
+    pub run: String,
+    /// The claimed directory (freshly created, exclusive).
+    pub dir: PathBuf,
+    /// Armed queue-sampling interval.
+    pub interval: SimTime,
+}
+
+/// Claim a fresh run directory under the armed metrics registry. `None`
+/// when metrics are off or the claim failed (failure is reported through
+/// [`note_metrics_failure`]).
 ///
 /// Directory names: inside a matrix cell the name is derived from the cell
 /// index (`<exp>_<cell>_<policy>_seed<seed>`, with an `rN` suffix for a
@@ -862,75 +963,89 @@ fn arm_profiling(
 /// existing recording is never truncated — a deterministic-name collision
 /// (re-running into a used `--metrics-dir`) is reported through
 /// [`note_metrics_failure`] so the process exits non-zero.
-fn arm_recording(
-    sim: &mut Simulator,
-    policy: Policy,
-    scale: Scale,
-    seed: u64,
-) -> Option<RunTelemetry> {
+pub(crate) fn claim_run(policy: Policy, seed: u64) -> Option<ClaimedRun> {
     let cell = CURRENT_CELL.with(|c| {
         c.borrow_mut().as_mut().map(|ctx| {
             ctx.runs += 1;
             (ctx.index, ctx.runs)
         })
     });
-    let (exp, run, dir, interval) = {
-        let mut reg = metrics_registry();
-        let ctx = reg.as_mut()?;
-        let exp = if ctx.experiment.is_empty() {
-            "run".to_string()
-        } else {
-            ctx.experiment.clone()
-        };
-        if let Err(e) = std::fs::create_dir_all(&ctx.dir) {
-            note_metrics_failure(&ctx.dir, &e);
-            return None;
-        }
-        let (run, dir) = match cell {
-            Some((index, nth)) => {
-                let sub = if nth > 1 {
-                    format!("r{nth}")
-                } else {
-                    String::new()
-                };
-                let run = format!("{exp}_{:04}{sub}_{}_seed{seed}", index + 1, policy.name());
-                let dir = ctx.dir.join(&run);
-                match std::fs::create_dir(&dir) {
-                    Ok(()) => (run, dir),
-                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                        note_metrics_failure(
-                            &dir,
-                            &"run directory already exists — refusing to overwrite an \
-                              earlier recording (point --metrics-dir somewhere fresh)",
-                        );
-                        return None;
-                    }
-                    Err(e) => {
-                        note_metrics_failure(&dir, &e);
-                        return None;
-                    }
-                }
-            }
-            None => loop {
-                ctx.runs += 1;
-                if ctx.runs > 9999 {
-                    note_metrics_failure(&ctx.dir, &"no free run directory below 10000");
+    let mut reg = metrics_registry();
+    let ctx = reg.as_mut()?;
+    let exp = if ctx.experiment.is_empty() {
+        "run".to_string()
+    } else {
+        ctx.experiment.clone()
+    };
+    if let Err(e) = std::fs::create_dir_all(&ctx.dir) {
+        note_metrics_failure(&ctx.dir, &e);
+        return None;
+    }
+    let (run, dir) = match cell {
+        Some((index, nth)) => {
+            let sub = if nth > 1 {
+                format!("r{nth}")
+            } else {
+                String::new()
+            };
+            let run = format!("{exp}_{:04}{sub}_{}_seed{seed}", index + 1, policy.name());
+            let dir = ctx.dir.join(&run);
+            match std::fs::create_dir(&dir) {
+                Ok(()) => (run, dir),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    note_metrics_failure(
+                        &dir,
+                        &"run directory already exists — refusing to overwrite an \
+                          earlier recording (point --metrics-dir somewhere fresh)",
+                    );
                     return None;
                 }
-                let run = format!("{exp}_{:04}_{}_seed{seed}", ctx.runs, policy.name());
-                let dir = ctx.dir.join(&run);
-                match std::fs::create_dir(&dir) {
-                    Ok(()) => break (run, dir),
-                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
-                    Err(e) => {
-                        note_metrics_failure(&dir, &e);
-                        return None;
-                    }
+                Err(e) => {
+                    note_metrics_failure(&dir, &e);
+                    return None;
                 }
-            },
-        };
-        (exp, run, dir, ctx.interval)
+            }
+        }
+        None => loop {
+            ctx.runs += 1;
+            if ctx.runs > 9999 {
+                note_metrics_failure(&ctx.dir, &"no free run directory below 10000");
+                return None;
+            }
+            let run = format!("{exp}_{:04}_{}_seed{seed}", ctx.runs, policy.name());
+            let dir = ctx.dir.join(&run);
+            match std::fs::create_dir(&dir) {
+                Ok(()) => break (run, dir),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => {
+                    note_metrics_failure(&dir, &e);
+                    return None;
+                }
+            }
+        },
     };
+    Some(ClaimedRun {
+        experiment: exp,
+        run,
+        dir,
+        interval: ctx.interval,
+    })
+}
+
+/// Claim a fresh run directory ([`claim_run`]) and attach a recording sink
+/// to `sim`, when the registry is armed.
+fn arm_recording(
+    sim: &mut Simulator,
+    policy: Policy,
+    scale: Scale,
+    seed: u64,
+) -> Option<RunTelemetry> {
+    let ClaimedRun {
+        experiment: exp,
+        run,
+        dir,
+        interval,
+    } = claim_run(policy, seed)?;
     let sink = match JsonlSink::create_new(&dir) {
         Ok(s) => s,
         Err(e) => {
@@ -1007,8 +1122,7 @@ pub fn node_tx_bytes(sim: &Simulator, node: NodeId, prio: Prio) -> u64 {
     (0..nports)
         .map(|p| {
             sim.core()
-                .queue(node, PortId(p as u16), prio)
-                .telem
+                .queue_telem(node, PortId(p as u16), prio)
                 .tx_bytes
         })
         .sum()
@@ -1017,12 +1131,11 @@ pub fn node_tx_bytes(sim: &Simulator, node: NodeId, prio: Prio) -> u64 {
 /// Time-average queue depth (bytes) of one queue over the whole run.
 pub fn queue_time_avg(sim: &mut Simulator, node: NodeId, port: PortId, prio: Prio) -> f64 {
     let now = sim.now();
-    let q = sim.core_mut().queue_mut(node, port, prio);
-    q.sync_clock(now);
+    let t = sim.core_mut().synced_queue_telem(node, port, prio);
     if now.as_ps() == 0 {
         return 0.0;
     }
-    q.telem.qlen_integral_byte_ps as f64 / now.as_ps() as f64
+    t.qlen_integral_byte_ps as f64 / now.as_ps() as f64
 }
 
 /// Write an experiment's JSON record to `results/<name>.json` (full scale)

@@ -122,10 +122,15 @@ fn sum_guard_stats(sim: &mut Simulator) -> Option<GuardStats> {
 
 /// Count tuned queues whose final ECN config violates the basic safety
 /// invariants (`0 < Kmin <= Kmax`, `0 < Pmax <= 1`, finite). Shared with
-/// the soak harness, whose SLO report gates on this being zero.
+/// the soak harness, whose SLO report gates on this being zero. In a
+/// sharded simulator only owned switches are counted (each shard carries
+/// the full topology; summing gated counts visits every switch once).
 pub(crate) fn invalid_final_configs(sim: &Simulator) -> usize {
     let mut bad = 0;
     for &sw in sim.core().topo.switches() {
+        if !sim.core().owns_node(sw) {
+            continue;
+        }
         let n_ports = sim.core().topo.node(sw).ports.len();
         for p in 0..n_ports {
             match sim.core().queue(sw, PortId(p as u16), PRIO_RDMA).ecn {
@@ -156,6 +161,34 @@ pub fn run_policy(policy: Policy, scale: Scale, seed: u64) -> FaultOutcome {
     let horizon = scale.pick(SimTime::from_ms(60), SimTime::from_ms(20));
     let g = PoissonGen::new(SizeDist::web_search(), 0.5, CcKind::Dcqcn, 300);
     let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, horizon);
+    // `--shards N` routes partition-invariant arms through the sharded
+    // engine; the guarded arms share a global replay buffer and fall
+    // through to the unsharded path below even when sharding is requested.
+    if let Some(n) = common::shards().filter(|_| policy.partition_invariant()) {
+        let plan = fault_plan(&topo, horizon, seed);
+        let report = crate::shard_run::run_scenario_sharded(
+            &spec,
+            policy,
+            scale,
+            seed,
+            &arrivals,
+            Some(&plan),
+            n,
+            horizon + scale.pick(SimTime::from_ms(10), SimTime::from_ms(5)),
+        );
+        let summary = report.fct.summary();
+        let overall = report.fct.stats(|_| true);
+        return FaultOutcome {
+            policy: policy.name(),
+            guard: None,
+            invalid_final_configs: report.invalid_final_configs,
+            fault_drops: report.fault_drops,
+            faults_injected: plan.len(),
+            avg_fct_us: overall.avg_us,
+            completed: summary.completed,
+            total: summary.total,
+        };
+    }
     let mut sc = scenario(&spec, policy, scale, seed, &arrivals);
     let plan = fault_plan(&topo, horizon, seed);
     sc.sim

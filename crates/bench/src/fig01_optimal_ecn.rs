@@ -54,15 +54,13 @@ fn run_case(senders: usize, flows: usize, k: u64, scale: Scale) -> Outcome {
     let sw = sim.core().topo.switches()[0];
     let port = PortId(15);
     let (tx0, int0) = {
-        let q = sim.core_mut().queue_mut(sw, port, PRIO_RDMA);
-        q.sync_clock(warmup);
-        (q.telem.tx_bytes, q.telem.qlen_integral_byte_ps)
+        let t = sim.core_mut().synced_queue_telem(sw, port, PRIO_RDMA);
+        (t.tx_bytes, t.qlen_integral_byte_ps)
     };
     sim.run_until(horizon);
     let (tx1, int1) = {
-        let q = sim.core_mut().queue_mut(sw, port, PRIO_RDMA);
-        q.sync_clock(horizon);
-        (q.telem.tx_bytes, q.telem.qlen_integral_byte_ps)
+        let t = sim.core_mut().synced_queue_telem(sw, port, PRIO_RDMA);
+        (t.tx_bytes, t.qlen_integral_byte_ps)
     };
     assert_eq!(sim.core().lossless_drops, 0, "PFC violated");
     let window = horizon - warmup;

@@ -49,11 +49,9 @@ fn run_policy(policy: Policy, scale: Scale) -> Vec<PhaseResult> {
     for pi in 0..phases.len() {
         let end = phase_len.mul(pi as u64 + 1);
         sc.sim.run_until(end);
-        let now = sc.sim.now();
-        let q = sc.sim.core_mut().queue_mut(sw, port, PRIO_RDMA);
-        q.sync_clock(now);
-        let integral = q.telem.qlen_integral_byte_ps;
-        let tx = q.telem.tx_bytes;
+        let t = sc.sim.core_mut().synced_queue_telem(sw, port, PRIO_RDMA);
+        let integral = t.qlen_integral_byte_ps;
+        let tx = t.tx_bytes;
         let avg_q = (integral - prev_integral) as f64 / phase_len.as_ps() as f64;
         let goodput = (tx - prev_tx) as f64 * 8.0 / phase_len.as_secs_f64() / 1e9;
         prev_integral = integral;

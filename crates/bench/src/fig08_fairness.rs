@@ -75,8 +75,8 @@ fn run_one(n_senders: usize, policy: Policy, scale: Scale) -> Outcome {
 
     let sw = sim.core().topo.switches()[0];
     let rx = PortId(8);
-    let rdma = sim.core().queue(sw, rx, PRIO_RDMA).telem.tx_bytes;
-    let tcp = sim.core().queue(sw, rx, PRIO_TCP).telem.tx_bytes;
+    let rdma = sim.core().queue_telem(sw, rx, PRIO_RDMA).tx_bytes;
+    let tcp = sim.core().queue_telem(sw, rx, PRIO_TCP).tx_bytes;
     let total = (rdma + tcp) as f64;
     let probes = fct.borrow().stats(|r| r.tag == PROBE_TAG);
     Outcome {

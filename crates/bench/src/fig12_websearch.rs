@@ -22,10 +22,19 @@ fn run_one(policy: Policy, load: f64, scale: Scale) -> FctBuckets {
     let dur = scale.pick(SimTime::from_ms(25), SimTime::from_ms(8));
     let g = PoissonGen::new(SizeDist::web_search(), load, CcKind::Dcqcn, 41);
     let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
+    let horizon = dur + scale.pick(SimTime::from_ms(20), SimTime::from_ms(12));
+    // With `--shards N` the run goes through the sharded engine — including
+    // N = 1, so shard-count comparisons diff the same code path (the
+    // partition-invariant installer differs from the unsharded ACC one).
+    if let Some(n) = common::shards() {
+        let report = crate::shard_run::run_scenario_sharded(
+            &spec, policy, scale, 9, &arrivals, None, n, horizon,
+        );
+        return common::buckets_of(&report.fct, SimTime::ZERO);
+    }
     let mut sc = scenario(&spec, policy, scale, 9, &arrivals);
     // Generous drain margin so elephants can finish.
-    sc.sim
-        .run_until(dur + scale.pick(SimTime::from_ms(20), SimTime::from_ms(12)));
+    sc.sim.run_until(horizon);
     buckets(&sc.fct, SimTime::ZERO)
 }
 

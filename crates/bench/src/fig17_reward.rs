@@ -57,11 +57,10 @@ fn run_one(penalty: QueuePenalty, scale: Scale) -> (Vec<u64>, f64, f64, Vec<f64>
     let horizon = SimTime::from_ms(total_ms);
     let converge_from = SimTime::from_ms(total_ms * 3 / 4);
     sim.run_until(converge_from);
-    let tx0 = {
-        let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
-        q.sync_clock(converge_from);
-        q.telem.tx_bytes
-    };
+    let tx0 = sim
+        .core_mut()
+        .synced_queue_telem(sw, PortId(15), PRIO_RDMA)
+        .tx_bytes;
     let mut histogram = vec![0u64; 10];
     let port = PortId(15);
     while sim.now() < horizon {
@@ -96,12 +95,10 @@ fn run_one(penalty: QueuePenalty, scale: Scale) -> (Vec<u64>, f64, f64, Vec<f64>
             .collect::<Vec<f64>>()
     });
     let _ = &fct;
-    let tx1 = {
-        let now = sim.now();
-        let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
-        q.sync_clock(now);
-        q.telem.tx_bytes
-    };
+    let tx1 = sim
+        .core_mut()
+        .synced_queue_telem(sw, PortId(15), PRIO_RDMA)
+        .tx_bytes;
     let window = horizon - converge_from;
     let goodput_gbps = (tx1 - tx0) as f64 * 8.0 / window.as_secs_f64() / 1e9;
     // Time-average queue over the converged window only.

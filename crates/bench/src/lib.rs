@@ -38,6 +38,7 @@ pub mod perf_rl;
 pub mod profile;
 pub mod report;
 pub mod resources;
+pub mod shard_run;
 pub mod soak;
 
 pub use common::Scale;

@@ -12,10 +12,16 @@
 //! * `--profile <file>` — switch on the engine's self-profiler for every
 //!   scenario and write one Chrome-trace-compatible profile artifact
 //!   (`acc-profile/v1`) at exit; inspect it with `acc-bench report <file>`
-//!   or load it in `about://tracing` / Perfetto.
+//!   or load it in `about://tracing` / Perfetto;
+//! * `--shards <n>` — run partition-invariant experiments through the
+//!   sharded conservative-lookahead engine on `n` shards (including
+//!   `--shards 1`, so shard-count comparisons diff the same code path);
+//! * `--soak-plan <file>` / `--fault-plan <file>` — `soak` only: replace
+//!   the built-in datacenter-day schedule / fault script with JSON plans.
 //!
-//! Unknown flags and duplicate experiment ids are rejected with exit code 2
-//! rather than silently ignored.
+//! Unknown flags, unreadable or invalid plan files, and duplicate
+//! experiment ids are rejected with exit code 2 rather than silently
+//! ignored.
 
 use acc_bench::{experiments, Scale};
 use netsim::prelude::SimTime;
@@ -95,7 +101,7 @@ fn train(scale: Scale, out: &str) {
 
 fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     println!(
-        "usage: acc-bench <id>... [--quick] [--jobs <n>] [--metrics-dir <dir>] \
+        "usage: acc-bench <id>... [--quick] [--jobs <n>] [--shards <n>] [--metrics-dir <dir>] \
          [--metrics-interval-us <n>] [--profile <file>]"
     );
     println!("       acc-bench all [--quick] [--jobs <n>]");
@@ -109,7 +115,10 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
         "       acc-bench perf --scenario rl [out.json] # RL kernel benchmark -> BENCH_rl.json"
     );
     println!(
-        "       acc-bench soak [out.json] [--quick]    # fleet soak 'datacenter day' -> SOAK_SLO.json\n"
+        "       acc-bench soak [out.json] [--quick] [--soak-plan <file>] [--fault-plan <file>]"
+    );
+    println!(
+        "                                              # fleet soak 'datacenter day' -> SOAK_SLO.json\n"
     );
     println!("flags: --quick|-q                 smoke scale");
     println!("       --scenario <family>        perf only: 'netsim' (default), 'rl',");
@@ -118,6 +127,13 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     );
     println!("       --jobs|-j <n>              run-matrix worker threads (default: all cores;");
     println!("                                  1 = serial, output is identical either way)");
+    println!("       --shards <n>               run experiments on <n> simulation shards under");
+    println!("                                  the conservative-lookahead engine (recorded");
+    println!("                                  output is identical for any shard count)");
+    println!("       --soak-plan <file>         soak only: JSON day schedule replacing the");
+    println!("                                  built-in datacenter-day rotation");
+    println!("       --fault-plan <file>        soak only: JSON fault script replacing the");
+    println!("                                  built-in one");
     println!("       --metrics-dir <dir>        record queue/agent JSONL + manifests");
     println!("       --metrics-interval-us <n>  queue sampling cadence (default 100)");
     println!("       --profile <file>           self-profile every run into one Chrome-trace");
@@ -145,6 +161,9 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut scenario: Option<String> = None;
     let mut profile: Option<String> = None;
+    let mut shards: Option<u32> = None;
+    let mut soak_plan_path: Option<String> = None;
+    let mut fault_plan_path: Option<String> = None;
     let mut which: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -170,6 +189,18 @@ fn main() {
                 Some(p) => profile = Some(p.clone()),
                 None => bad_flag("flag '--profile' needs a file argument"),
             },
+            "--shards" => match it.next().map(|n| n.parse::<u32>()) {
+                Some(Ok(n)) if n > 0 => shards = Some(n),
+                _ => bad_flag("flag '--shards' needs a positive integer"),
+            },
+            "--soak-plan" => match it.next() {
+                Some(p) => soak_plan_path = Some(p.clone()),
+                None => bad_flag("flag '--soak-plan' needs a file argument"),
+            },
+            "--fault-plan" => match it.next() {
+                Some(p) => fault_plan_path = Some(p.clone()),
+                None => bad_flag("flag '--fault-plan' needs a file argument"),
+            },
             flag if flag.starts_with('-') => {
                 if let Some(s) = flag.strip_prefix("--scenario=") {
                     scenario = Some(s.to_string());
@@ -187,6 +218,15 @@ fn main() {
                         Ok(n) if n > 0 => jobs = Some(n),
                         _ => bad_flag("flag '--jobs' needs a positive integer"),
                     }
+                } else if let Some(n) = flag.strip_prefix("--shards=") {
+                    match n.parse::<u32>() {
+                        Ok(n) if n > 0 => shards = Some(n),
+                        _ => bad_flag("flag '--shards' needs a positive integer"),
+                    }
+                } else if let Some(p) = flag.strip_prefix("--soak-plan=") {
+                    soak_plan_path = Some(p.to_string());
+                } else if let Some(p) = flag.strip_prefix("--fault-plan=") {
+                    fault_plan_path = Some(p.to_string());
                 } else {
                     bad_flag(&format!("unknown flag '{flag}'"));
                 }
@@ -208,6 +248,26 @@ fn main() {
             }
             _ => {}
         }
+    }
+    if shards.is_some() {
+        match which.first().map(String::as_str) {
+            None | Some("list") | Some("train") | Some("report") | Some("soak") | Some("perf") => {
+                bad_flag("flag '--shards' only applies to experiment runs")
+            }
+            _ => {}
+        }
+        if profile.is_some() {
+            bad_flag("flag '--profile' is not supported with '--shards'");
+        }
+    }
+    if (soak_plan_path.is_some() || fault_plan_path.is_some())
+        && which.first().map(String::as_str) != Some("soak")
+    {
+        bad_flag("flags '--soak-plan'/'--fault-plan' only apply to the 'soak' subcommand");
+    }
+    if let Some(n) = shards {
+        acc_bench::common::set_shards(n);
+        eprintln!("[shards] running sharded experiments on {n} shard(s)");
     }
 
     let all = experiments();
@@ -285,12 +345,47 @@ fn main() {
             eprintln!("[metrics] recording runs under {dir} (queue sample every {interval_us} us)");
             ckpt_dir = Some(std::path::Path::new(dir).join("soak_checkpoints"));
         }
+        // User-supplied plans are fully vetted here — unreadable files,
+        // malformed JSON, structural violations and unknown workload names
+        // all exit 2 before any simulation work starts.
+        let plan = soak_plan_path.as_deref().map(|p| {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => bad_flag(&format!("cannot read soak plan {p}: {e}")),
+            };
+            let parsed: acc_core::SoakPlan = match serde_json::from_str(&text) {
+                Ok(v) => v,
+                Err(e) => bad_flag(&format!("invalid soak plan {p}: {e}")),
+            };
+            if let Err(e) = parsed.validate() {
+                bad_flag(&format!("invalid soak plan {p}: {e}"));
+            }
+            if let Err(e) = acc_bench::soak::resolve_generators(&parsed, scale, parsed.seed) {
+                bad_flag(&format!("invalid soak plan {p}: {e}"));
+            }
+            parsed
+        });
+        let faults = fault_plan_path.as_deref().map(|p| {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => bad_flag(&format!("cannot read fault plan {p}: {e}")),
+            };
+            // `FaultPlan`'s deserializer validates structurally; topology
+            // checks happen when the simulator installs the plan.
+            let parsed: netsim::prelude::FaultPlan = match serde_json::from_str(&text) {
+                Ok(v) => v,
+                Err(e) => bad_flag(&format!("invalid fault plan {p}: {e}")),
+            };
+            parsed
+        });
         let out = which.get(1).map(|s| s.as_str()).unwrap_or("SOAK_SLO.json");
         if let Err(e) = acc_bench::soak::run(
             scale,
             acc_bench::soak::SOAK_SEED,
             std::path::Path::new(out),
             ckpt_dir.as_deref(),
+            plan,
+            faults,
         ) {
             eprintln!("soak run failed: {e}");
             std::process::exit(1);

@@ -2,7 +2,9 @@
 //!
 //! Runs an in-process microbench of the future-event queue (timing wheel
 //! vs the reference `BinaryHeap`) plus representative end-to-end scenarios
-//! (incast-heavy, websearch-load, fault-plan), and writes the numbers to
+//! (incast-heavy, websearch-load, fault-plan, and the 1024-host
+//! `paper_xl_clos` fabric on the sharded engine at 1 and 4 shards), and
+//! writes the numbers to
 //! `BENCH_netsim.json`: events/sec, wall-clock, peak event-queue depth and
 //! an allocations-per-event estimate. CI runs `perf --quick` and archives
 //! the file as an artifact (no threshold gating on shared runners); numbers
@@ -30,7 +32,12 @@ use workloads::SizeDist;
 /// event-queue slots, flow tables reaching high-water capacity) and a
 /// steady-state measured window; `events_per_sec` and the allocation
 /// columns describe the measured window only.
-pub const SCHEMA: &str = "acc-bench-perf/v2";
+/// v3: every scenario row carries a `shards` column, the document carries
+/// `host_cores`, and two sharded rows run the 1024-host `paper_xl_clos`
+/// fabric through the conservative-lookahead engine at 1 and 4 shards
+/// (extra columns: `host_cores`, `stalls`, `remote_events`; the allocation
+/// columns there cover the steady window read at quiescent phase barriers).
+pub const SCHEMA: &str = "acc-bench-perf/v3";
 
 /// Fraction of the horizon burned as warmup before measurement starts (the
 /// denominator: warmup runs to `horizon / WARMUP_DENOM`).
@@ -229,6 +236,7 @@ fn measure(name: &str, mut sc: Scenario, horizon: SimTime) -> Value {
     );
     json!({
         "name": name,
+        "shards": 1,
         "events_processed": events,
         "wall_s": wall,
         "events_per_sec": eps,
@@ -240,6 +248,101 @@ fn measure(name: &str, mut sc: Scenario, horizon: SimTime) -> Value {
         "allocations_per_event": allocs_per_event,
         "alloc_bytes_per_event": bytes_per_event,
     })
+}
+
+/// The sharded flagship: WebSearch load on the 1024-host three-tier Clos
+/// (`paper_xl_clos`), run through the conservative-lookahead engine.
+///
+/// The run is split into two phases at the warmup boundary. Between phases
+/// every shard worker parks on a barrier and the coordinator reads the
+/// process-wide allocation counter — a quiescent point, so the steady
+/// window's allocation columns are exact even though shards run
+/// concurrently. Steady-state events come from each shard's
+/// `phase_events` deltas. `events_per_sec` is the *aggregate* rate over
+/// all shards; `host_cores` records how much hardware parallelism the
+/// machine actually had, so trajectory tooling can interpret the
+/// 1-vs-4-shard ratio honestly (4 shards on 2 cores cannot reach 4x).
+fn xl_clos_sharded(scale: Scale, n_shards: u32) -> Value {
+    let spec = TopologySpec::paper_xl_clos();
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    let horizon = scale.pick(SimTime::from_ms(3), SimTime::from_us(600));
+    let load = scale.pick(0.5, 0.3);
+    let g = PoissonGen::new(SizeDist::web_search(), load, CcKind::Dcqcn, 41);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, horizon);
+    let warmup_until = SimTime::from_ps(horizon.as_ps() / WARMUP_DENOM);
+
+    // Pre-sized: the first push happens *after* the warmup counter read,
+    // so letting it allocate would charge the harness's own vector to the
+    // steady-state window.
+    let mut marks: Vec<(f64, Option<(u64, u64)>)> = Vec::with_capacity(2);
+    let t0 = Instant::now();
+    let report = crate::shard_run::run_scenario_sharded_phased(
+        &spec,
+        Policy::Secn1,
+        scale,
+        7,
+        &arrivals,
+        None,
+        n_shards,
+        &[warmup_until, horizon],
+        |_| marks.push((t0.elapsed().as_secs_f64(), alloc_counts())),
+    );
+
+    let warmup_events: u64 = report.shard_stats.iter().map(|s| s.phase_events[0]).sum();
+    let steady_events: u64 = report
+        .shard_stats
+        .iter()
+        .map(|s| s.phase_events[1] - s.phase_events[0])
+        .sum();
+    let (warmup_wall, warmup_allocs) = (marks[0].0, marks[0].1);
+    let steady_wall = marks[1].0 - marks[0].0;
+    let eps = steady_events as f64 / steady_wall.max(1e-9);
+    let (allocs_per_event, bytes_per_event) = match (marks[0].1, marks[1].1) {
+        (Some((a0, b0)), Some((a1, b1))) if steady_events > 0 => (
+            Some((a1 - a0) as f64 / steady_events as f64),
+            Some((b1 - b0) as f64 / steady_events as f64),
+        ),
+        _ => (None, None),
+    };
+    let name = format!("xl-clos-1024/{n_shards}shard");
+    println!(
+        "{:<18} {:>10} events {:>7.2}s wall {:>12.0} ev/s  peak q {:>7}  allocs/ev {}  stalls {}",
+        name,
+        steady_events,
+        steady_wall,
+        eps,
+        report.peak_event_queue,
+        allocs_per_event
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into()),
+        report.stalls(),
+    );
+    json!({
+        "name": name,
+        "shards": n_shards,
+        "host_cores": host_cores(),
+        "events_processed": steady_events,
+        "wall_s": steady_wall,
+        "events_per_sec": eps,
+        "warmup_events": warmup_events,
+        "warmup_wall_s": warmup_wall,
+        "warmup_allocations": warmup_allocs.map(|(a, _)| a),
+        "peak_event_queue": report.peak_event_queue,
+        "sim_time_us": horizon.as_us_f64(),
+        "allocations_per_event": allocs_per_event,
+        "alloc_bytes_per_event": bytes_per_event,
+        "stalls": report.stalls(),
+        "remote_events": report.remote_events(),
+        "shard_events": report.shard_stats.iter().map(|s| s.events_processed).collect::<Vec<_>>(),
+        "shard_wall_s": report.shard_stats.iter().map(|s| s.wall_s).collect::<Vec<_>>(),
+    })
+}
+
+/// Hardware threads available to this process.
+fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 /// Incast-heavy: repeated N-to-1 waves through one switch — the queue-depth
@@ -321,11 +424,14 @@ pub fn run(scale: Scale, out: &Path) -> io::Result<Value> {
         incast_heavy(scale),
         websearch_load(scale),
         fault_plan_load(scale),
+        xl_clos_sharded(scale, 1),
+        xl_clos_sharded(scale, 4),
     ];
     let doc = json!({
         "schema": SCHEMA,
         "scale": if scale.quick { "quick" } else { "full" },
         "alloc_probe": alloc_counts().is_some(),
+        "host_cores": host_cores(),
         "queue_microbench": micro,
         "scenarios": scenarios,
     });
@@ -360,6 +466,12 @@ pub fn validate(doc: &Value) -> Vec<String> {
     let probe = doc.get("alloc_probe").and_then(Value::as_bool);
     need(probe.is_some(), "alloc_probe must be a bool");
     let probe = probe.unwrap_or(false);
+    need(
+        doc.get("host_cores")
+            .and_then(Value::as_u64)
+            .is_some_and(|v| v >= 1),
+        "host_cores missing or zero",
+    );
     let micro = doc.get("queue_microbench");
     for k in ["wheel_ops_per_sec", "heap_ops_per_sec", "speedup"] {
         need(
@@ -409,6 +521,27 @@ pub fn validate(doc: &Value) -> Vec<String> {
                         .is_some_and(|v| v.is_finite() && v >= 0.0),
                     &format!("scenario {name}: warmup_wall_s missing or negative"),
                 );
+                let shards = row.get("shards").and_then(Value::as_u64);
+                need(
+                    shards.is_some_and(|v| v >= 1),
+                    &format!("scenario {name}: shards missing or zero"),
+                );
+                // Sharded rows (run through the lookahead engine) must carry
+                // the columns the ratio/gate tooling reads.
+                if row.get("stalls").is_some() || shards.is_some_and(|v| v > 1) {
+                    for k in ["stalls", "remote_events"] {
+                        need(
+                            row.get(k).and_then(Value::as_u64).is_some(),
+                            &format!("scenario {name}: {k} missing on sharded row"),
+                        );
+                    }
+                    need(
+                        row.get("host_cores")
+                            .and_then(Value::as_u64)
+                            .is_some_and(|v| v >= 1),
+                        &format!("scenario {name}: host_cores missing on sharded row"),
+                    );
+                }
                 // With the allocator probe registered the allocation columns
                 // must be real measurements — a null here means the probe
                 // wiring regressed.
@@ -449,15 +582,26 @@ mod tests {
             "schema": schema,
             "scale": "quick",
             "alloc_probe": probe,
+            "host_cores": 2u64,
             "queue_microbench": {
                 "wheel_ops_per_sec": 2.0e7, "heap_ops_per_sec": 1.0e7, "speedup": 2.0,
             },
             "scenarios": [{
-                "name": "incast-heavy", "events_processed": 10u64, "wall_s": 0.1,
+                "name": "incast-heavy", "shards": 1u64,
+                "events_processed": 10u64, "wall_s": 0.1,
                 "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
                 "warmup_events": 3u64, "warmup_wall_s": 0.02,
                 "warmup_allocations": 100u64,
                 "sim_time_us": 8000.0,
+                "allocations_per_event": alloc.clone(), "alloc_bytes_per_event": alloc,
+            }, {
+                "name": "xl-clos-1024/4shard", "shards": 4u64, "host_cores": 2u64,
+                "events_processed": 10u64, "wall_s": 0.1,
+                "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
+                "warmup_events": 3u64, "warmup_wall_s": 0.02,
+                "warmup_allocations": 100u64,
+                "sim_time_us": 8000.0,
+                "stalls": 4u64, "remote_events": 900u64,
                 "allocations_per_event": alloc.clone(), "alloc_bytes_per_event": alloc,
             }],
         })
@@ -474,6 +618,44 @@ mod tests {
         assert!(!validate(&doc(SCHEMA, 0.0)).is_empty());
         assert!(!validate(&doc("something-else", 100.0)).is_empty());
         assert!(!validate(&json!({"schema": SCHEMA})).is_empty());
+    }
+
+    /// A fixture document whose single scenario row is built from `row`.
+    fn doc_with_row(row: Value) -> Value {
+        json!({
+            "schema": SCHEMA,
+            "scale": "quick",
+            "alloc_probe": false,
+            "host_cores": 2u64,
+            "queue_microbench": {
+                "wheel_ops_per_sec": 2.0e7, "heap_ops_per_sec": 1.0e7, "speedup": 2.0,
+            },
+            "scenarios": [row],
+        })
+    }
+
+    #[test]
+    fn validate_requires_sharded_columns() {
+        // A multi-shard row without the lookahead columns must fail.
+        let d = doc_with_row(json!({
+            "name": "xl-clos-1024/4shard", "shards": 4u64,
+            "events_processed": 10u64, "wall_s": 0.1,
+            "events_per_sec": 100.0, "peak_event_queue": 5u64,
+            "warmup_events": 3u64, "warmup_wall_s": 0.02,
+            "sim_time_us": 8000.0,
+            "allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null,
+        }));
+        assert!(!validate(&d).is_empty());
+        // Rows without a shards column predate v3 and must fail too.
+        let d = doc_with_row(json!({
+            "name": "incast-heavy",
+            "events_processed": 10u64, "wall_s": 0.1,
+            "events_per_sec": 100.0, "peak_event_queue": 5u64,
+            "warmup_events": 3u64, "warmup_wall_s": 0.02,
+            "sim_time_us": 8000.0,
+            "allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null,
+        }));
+        assert!(!validate(&d).is_empty());
     }
 
     #[test]

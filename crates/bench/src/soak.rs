@@ -19,6 +19,11 @@
 //! `invalid_final_configs` gate (must be zero). With `--metrics-dir` armed
 //! the recorded JSONL is byte-identical across same-seed reruns; wall-clock
 //! lives only in the report and the manifest.
+//!
+//! Both the day schedule and the fault script can be replaced wholesale
+//! from JSON (`acc-bench soak --soak-plan day.json --fault-plan
+//! faults.json`); see [`run_soak_with`]. Bad plans are rejected before any
+//! simulation work starts.
 
 use crate::common::{self, Policy, Scale};
 use crate::fault::invalid_final_configs;
@@ -166,9 +171,30 @@ pub fn run_soak(
     seed: u64,
     checkpoint_dir: Option<&Path>,
 ) -> Result<SoakSloReport, String> {
+    run_soak_with(scale, seed, checkpoint_dir, None, None)
+}
+
+/// [`run_soak`] with user-supplied overrides: `plan_override` replaces the
+/// canonical datacenter-day schedule and `fault_override` replaces the
+/// built-in fault script (the CLI loads both from `--soak-plan` /
+/// `--fault-plan` JSON). Overrides are validated the same way the defaults
+/// are — structural checks here, topology checks when the plan installs.
+pub fn run_soak_with(
+    scale: Scale,
+    seed: u64,
+    checkpoint_dir: Option<&Path>,
+    plan_override: Option<SoakPlan>,
+    fault_override: Option<FaultPlan>,
+) -> Result<SoakSloReport, String> {
     let phase_dur = scale.pick(SimTime::from_ms(10), SimTime::from_ms(2));
-    let plan = SoakPlan::datacenter_day(seed, phase_dur);
+    let plan = match plan_override {
+        Some(p) => p,
+        None => SoakPlan::datacenter_day(seed, phase_dur),
+    };
     plan.validate()?;
+    // The plan's embedded master seed wins (a no-op for the built-in day,
+    // which is constructed from `seed` above).
+    let seed = plan.seed;
 
     resolve_generators(&plan, scale, seed)?;
     if let Some(dir) = checkpoint_dir {
@@ -215,7 +241,10 @@ pub fn run_soak(
     .map_err(|e| format!("initial bundle rejected: {e}"))?;
     fleet.deploy(&mut sc.sim);
 
-    let fault_plan = soak_fault_plan(&topo, day, seed);
+    let fault_plan = match fault_override {
+        Some(p) => p,
+        None => soak_fault_plan(&topo, day, seed),
+    };
     let faults_scheduled = fault_plan.len();
     sc.sim
         .install_fault_plan(&fault_plan)
@@ -430,12 +459,24 @@ pub fn run(
     seed: u64,
     out: &Path,
     checkpoint_dir: Option<&Path>,
+    plan: Option<SoakPlan>,
+    faults: Option<FaultPlan>,
 ) -> Result<(), String> {
     common::banner(
         "soak",
         "datacenter day: rotating workloads + faults + checkpoint hot-swap/rollback",
     );
-    let report = run_soak(scale, seed, checkpoint_dir)?;
+    if let Some(p) = &plan {
+        println!(
+            "custom soak plan: {} phases, seed {}",
+            p.phases.len(),
+            p.seed
+        );
+    }
+    if let Some(f) = &faults {
+        println!("custom fault plan: {} events, seed {}", f.len(), f.seed);
+    }
+    let report = run_soak_with(scale, seed, checkpoint_dir, plan, faults)?;
     println!(
         "\n{:<22} {:<10} {:>12} {:>12} app metric",
         "phase", "kind", "start_us", "end_us"

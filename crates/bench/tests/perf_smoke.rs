@@ -59,14 +59,24 @@ fn perf_writes_schema_valid_bench_file() {
     let speedup = reloaded["queue_microbench"]["speedup"].as_f64().unwrap();
     assert!(speedup >= 1.3, "measured only {speedup:.2}x over the heap");
 
-    // All three representative scenarios are present.
+    // All five representative scenarios are present, including the
+    // 1024-host xl-clos fabric on the sharded engine at both shard counts.
     let names: Vec<&str> = reloaded["scenarios"]
         .as_array()
         .unwrap()
         .iter()
         .map(|r| r["name"].as_str().unwrap())
         .collect();
-    assert_eq!(names, ["incast-heavy", "websearch-load", "fault-plan"]);
+    assert_eq!(
+        names,
+        [
+            "incast-heavy",
+            "websearch-load",
+            "fault-plan",
+            "xl-clos-1024/1shard",
+            "xl-clos-1024/4shard"
+        ]
+    );
 }
 
 /// Record one websearch-under-faults run (fresh online agent, no model

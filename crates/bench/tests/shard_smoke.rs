@@ -1,0 +1,226 @@
+//! Sharded-execution smoke tests: the determinism contract of the
+//! conservative-lookahead engine, observed end to end through the bench
+//! harness. A fig12-style WebSearch scenario and the fault-plan scenario
+//! must produce byte-identical merged telemetry JSONL — and identical FCT
+//! statistics — when run on 1 shard and on 4 shards (the `diff -r`
+//! pattern of the run-matrix `--jobs` test, with `manifest.json` excluded
+//! because it carries wall-clock fields).
+//!
+//! CI runs this as part of the test suite alongside the CLI-level
+//! `acc-bench fig12 --quick --shards 1/4 --metrics-dir` diff.
+
+use acc_bench::common::{self, Policy, Scale};
+use acc_bench::shard_run::{run_scenario_sharded, ShardedReport};
+use netsim::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+use transport::CcKind;
+use workloads::gen::{Arrival, PoissonGen};
+use workloads::SizeDist;
+
+/// The recording registry is process-wide; runs that arm it serialise on
+/// this lock (same contract as the fault smoke tests).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = Path::new("target").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run one recorded sharded scenario, returning the report and the
+/// numbered run directory the merge wrote.
+#[allow(clippy::too_many_arguments)]
+fn recorded_sharded(
+    root: &Path,
+    spec: &TopologySpec,
+    policy: Policy,
+    seed: u64,
+    arrivals: &[Arrival],
+    fault_plan: Option<&FaultPlan>,
+    n_shards: u32,
+    horizon: SimTime,
+) -> (ShardedReport, PathBuf) {
+    common::enable_metrics(root, SimTime::from_us(100));
+    common::set_metrics_experiment("shard-smoke");
+    let report = run_scenario_sharded(
+        spec,
+        policy,
+        Scale::QUICK,
+        seed,
+        arrivals,
+        fault_plan,
+        n_shards,
+        horizon,
+    );
+    common::disable_metrics();
+    let dir = report
+        .metrics_dir
+        .clone()
+        .expect("armed sharded run records a run dir");
+    (report, dir)
+}
+
+/// `diff -r a b` with `manifest.json` excluded: the same file names on both
+/// sides, every shared file byte-identical.
+fn assert_dirs_identical(a: &Path, b: &Path) {
+    let names = |d: &Path| -> Vec<String> {
+        let mut v: Vec<String> = std::fs::read_dir(d)
+            .expect("run dir exists")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        v.sort();
+        v
+    };
+    let (na, nb) = (names(a), names(b));
+    assert_eq!(na, nb, "shard counts recorded different file sets");
+    for f in &na {
+        if f == "manifest.json" {
+            continue; // wall-clock fields live here by design
+        }
+        let x = std::fs::read(a.join(f)).unwrap();
+        let y = std::fs::read(b.join(f)).unwrap();
+        assert_eq!(x, y, "{f} differs between --shards 1 and --shards 4");
+    }
+}
+
+/// FCT statistics that must match exactly across shard counts (merged
+/// records are identical, so every derived f64 must be too).
+fn assert_fct_identical(a: &ShardedReport, b: &ShardedReport) {
+    let (sa, sb) = (a.fct.summary(), b.fct.summary());
+    assert_eq!(sa.total, sb.total);
+    assert_eq!(sa.completed, sb.completed);
+    let (ta, tb) = (a.fct.stats(|_| true), b.fct.stats(|_| true));
+    assert_eq!(ta.count, tb.count);
+    assert_eq!(ta.avg_us, tb.avg_us);
+    assert_eq!(ta.p99_us, tb.p99_us);
+    assert_eq!(ta.p999_us, tb.p999_us);
+}
+
+/// The fig12 determinism scenario: WebSearch on the 96-host quick fabric
+/// under online-tuning ACC (the partition-invariant installer), a shorter
+/// slice of the real `fig12 --quick` cell so the debug-build test stays
+/// fast. Telemetry, agent samples and FCT must not depend on the shard
+/// count.
+#[test]
+fn fig12_scenario_identical_across_shard_counts() {
+    let _g = lock();
+    let root = fresh_dir("shard-smoke-fig12");
+    let spec = TopologySpec::paper_cacc_sim();
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    let dur = SimTime::from_ms(2);
+    let g = PoissonGen::new(SizeDist::web_search(), 0.6, CcKind::Dcqcn, 41);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
+    let horizon = dur + SimTime::from_ms(4);
+
+    let (r1, d1) = recorded_sharded(
+        &root.join("s1"),
+        &spec,
+        Policy::Acc,
+        9,
+        &arrivals,
+        None,
+        1,
+        horizon,
+    );
+    let (r4, d4) = recorded_sharded(
+        &root.join("s4"),
+        &spec,
+        Policy::Acc,
+        9,
+        &arrivals,
+        None,
+        4,
+        horizon,
+    );
+
+    assert_fct_identical(&r1, &r4);
+    assert_dirs_identical(&d1, &d4);
+    assert_eq!(r4.shard_stats.len(), 4);
+    assert!(
+        r4.remote_events() > 0,
+        "4-shard run exchanged no cross-shard events — the partition is trivial"
+    );
+    let agents = std::fs::read(d1.join("agents.jsonl")).unwrap();
+    assert!(!agents.is_empty(), "ACC arm recorded no agent samples");
+    let queues = std::fs::read(d1.join("queues.jsonl")).unwrap();
+    assert!(!queues.is_empty(), "no queue samples recorded");
+}
+
+/// The fault-plan determinism scenario: the testbed fabric under the
+/// seeded fault schedule (link flaps, telemetry faults, a reboot) with a
+/// fresh online-tuning agent per switch. Fault logs are owner-emitted and
+/// merge into an identical event stream at any shard count.
+#[test]
+fn fault_scenario_identical_across_shard_counts() {
+    let _g = lock();
+    let root = fresh_dir("shard-smoke-fault");
+    let spec = TopologySpec::paper_testbed();
+    let topo = spec.build();
+    let hosts: Vec<NodeId> = topo.hosts().to_vec();
+    let dur = SimTime::from_ms(8);
+    let g = PoissonGen::new(SizeDist::web_search(), 0.5, CcKind::Dcqcn, 300);
+    let arrivals = g.generate(&hosts, 25_000_000_000, SimTime::ZERO, dur);
+    let plan = acc_bench::fault::fault_plan(&topo, dur, acc_bench::fault::FAULT_SEED);
+    let horizon = dur + SimTime::from_ms(3);
+
+    let (r1, d1) = recorded_sharded(
+        &root.join("s1"),
+        &spec,
+        Policy::AccFresh,
+        acc_bench::fault::FAULT_SEED,
+        &arrivals,
+        Some(&plan),
+        1,
+        horizon,
+    );
+    let (r4, d4) = recorded_sharded(
+        &root.join("s4"),
+        &spec,
+        Policy::AccFresh,
+        acc_bench::fault::FAULT_SEED,
+        &arrivals,
+        Some(&plan),
+        4,
+        horizon,
+    );
+
+    assert_fct_identical(&r1, &r4);
+    assert_eq!(r1.fault_drops, r4.fault_drops);
+    assert_eq!(r1.invalid_final_configs, r4.invalid_final_configs);
+    assert_dirs_identical(&d1, &d4);
+
+    // Every injected fault reached the merged event stream exactly once.
+    let events = std::fs::read_to_string(d1.join("events.jsonl")).unwrap();
+    for kind in ["link_down", "link_up", "telem_freeze", "switch_reboot"] {
+        assert!(events.contains(kind), "events.jsonl missing fault '{kind}'");
+    }
+    assert!(
+        r1.fault_drops > 0,
+        "the fault schedule dropped no packets — it lost its teeth"
+    );
+}
+
+/// Guarded arms are not partition-invariant; the sharded installer must
+/// refuse them loudly instead of silently diverging from the unsharded
+/// trajectory.
+#[test]
+fn guarded_policies_are_rejected_sharded() {
+    let result = std::panic::catch_unwind(|| {
+        let spec = TopologySpec::paper_testbed();
+        let topo = spec.build();
+        let plan = ShardPlan::build(&topo, 2);
+        let mut sim = Simulator::new_sharded(topo, SimConfig::default(), &plan, 0);
+        common::install_policy_sharded(&mut sim, Policy::AccGuarded, Scale::QUICK);
+    });
+    let err = result.expect_err("guarded install must panic in a sharded sim");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("not partition-invariant"),
+        "panic names the contract: {msg}"
+    );
+}

@@ -558,6 +558,38 @@ pub fn attach_recorder(sim: &mut Simulator, rec: &telemetry::SharedRecorder) {
     }
 }
 
+/// Install fully independent ACC controllers — no shared replay memory.
+///
+/// Each switch gets its own agent with its own private replay buffer,
+/// seeded by the switch's *global* index in `topo.switches()` order. That
+/// makes per-switch behaviour a function of the switch alone, not of which
+/// other switches happen to share its process — exactly the property a
+/// sharded run needs: shard `k` installs controllers only on the switches
+/// it owns, yet every switch computes the same decisions it would in a
+/// single-shard run, so merged telemetry is byte-identical across shard
+/// counts. (The paper's shared-replay multi-agent design is inherently
+/// order-dependent across switches; use [`install_acc`] for faithful
+/// single-process training runs.)
+pub fn install_acc_independent(
+    sim: &mut Simulator,
+    cfg: &AccConfig,
+    space: &ActionSpace,
+    model: Option<&rl::Mlp>,
+) {
+    let switches: Vec<NodeId> = sim.core().topo.switches().to_vec();
+    for (i, sw) in switches.into_iter().enumerate() {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(i as u64);
+        let ctl = match model {
+            Some(m) => AccController::from_model(c, space.clone(), m),
+            None => AccController::new(c, space.clone()),
+        };
+        // `set_controller` drops the install on foreign switches in sharded
+        // mode; the seed above stays the *global* index either way.
+        sim.set_controller(sw, Box::new(ctl));
+    }
+}
+
 /// Install ACC controllers that all start from `model`.
 pub fn install_acc_with_model(
     sim: &mut Simulator,

@@ -94,14 +94,13 @@ impl SwitchView<'_> {
     /// config and the link rate stay truthful — the agent wrote the config
     /// itself and safe-mode logic must see what is really installed.
     pub fn snapshot(&mut self, port: PortId, prio: Prio) -> QueueSnapshot {
-        let now = self.core.now;
         let link_bps = self.port_rate_bps(port);
         let faulted = self.core.faulted_reading(self.node, port, prio);
-        let q = self.core.queue_mut(self.node, port, prio);
-        q.sync_clock(now);
+        let live = self.core.synced_queue_telem(self.node, port, prio);
+        let q = self.core.queue(self.node, port, prio);
         let (qlen_bytes, telem) = match faulted {
             Some(v) => v,
-            None => (q.bytes(), q.telem),
+            None => (q.bytes(), live),
         };
         QueueSnapshot {
             port,

@@ -209,10 +209,49 @@ impl EventQueue {
         Self::default()
     }
 
+    /// An empty queue pre-sized for a fabric of `n_nodes` nodes: wheel
+    /// slots and heaps scale with the node count so the first congestion
+    /// burst on a large topology (same-bucket packet events scale with
+    /// ports, i.e. with nodes) doesn't double a slot vector mid-run —
+    /// growth after warmup would break the zero-alloc steady-state gate.
+    /// The [`Default`] capacities remain the floor for small fabrics.
+    pub fn sized_for(n_nodes: usize) -> Self {
+        let slot = 512usize.max(n_nodes.next_power_of_two());
+        let heap = 1024usize.max((2 * n_nodes).next_power_of_two());
+        EventQueue {
+            near: BinaryHeap::with_capacity(heap),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::with_capacity(slot)).collect(),
+            occupied: 0,
+            overflow: BinaryHeap::with_capacity(heap),
+            cur_bucket: 0,
+            next_seq: 0,
+            len: 0,
+            peak_len: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
     /// Schedule `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_with_seq(time, seq, event);
+    }
+
+    /// Schedule `event` at `time` under a caller-supplied ordering key in
+    /// place of the insertion sequence number. Pops stay exact `(time, key)`
+    /// order. The sharded engine uses this with canonical keys that are pure
+    /// functions of the event's content, so the pop order at equal
+    /// timestamps is identical no matter which shard inserted the event or
+    /// in what order — the property that makes recorded output byte-stable
+    /// across `--shards 1/2/4/8`. Keys must be unique per timestamp;
+    /// duplicate `(time, key)` pairs fall back to unspecified heap order.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: Event) {
+        self.push_with_seq(time, key, event);
+    }
+
+    #[inline]
+    fn push_with_seq(&mut self, time: SimTime, seq: u64, event: Event) {
         self.len += 1;
         if self.len > self.peak_len {
             self.peak_len = self.len;
@@ -496,6 +535,44 @@ mod tests {
         let s = q.stats();
         assert_eq!(s.overflow_migrations, 1);
         assert!(s.advances >= 2);
+    }
+
+    /// Keyed pushes pop in `(time, key)` order regardless of insertion
+    /// order — the invariant the sharded engine's canonical keys rely on.
+    #[test]
+    fn keyed_pushes_pop_by_key_not_insertion_order() {
+        let t = SimTime::from_us(5);
+        let far = SimTime::from_ms(7); // overflow tier
+        let mut orders: Vec<Vec<u64>> = Vec::new();
+        for perm in [[3u64, 1, 2], [2, 3, 1], [1, 2, 3]] {
+            let mut q = EventQueue::new();
+            for k in perm {
+                q.push_keyed(
+                    t,
+                    k,
+                    Event::HostTimer {
+                        host: NodeId(0),
+                        token: k,
+                    },
+                );
+                q.push_keyed(
+                    far,
+                    k,
+                    Event::HostTimer {
+                        host: NodeId(1),
+                        token: k,
+                    },
+                );
+            }
+            let mut got = Vec::new();
+            while let Some(s) = q.pop() {
+                got.push(s.seq);
+            }
+            orders.push(got);
+        }
+        for got in &orders {
+            assert_eq!(got, &vec![1, 2, 3, 1, 2, 3]);
+        }
     }
 
     /// Interleaved pushes and pops, with pushes landing in the current

@@ -124,6 +124,84 @@ pub struct QueueTelemetry {
     pub max_qlen_bytes: u64,
 }
 
+/// Maximum traffic classes per port (PFC pause state is a `u8` bitmask
+/// throughout the engine).
+pub const MAX_PRIOS: usize = 8;
+
+/// Cache-line-aligned structure-of-arrays telemetry block for all traffic
+/// classes of one port.
+///
+/// Counters that used to live inline in each [`EgressQueue`]
+/// (array-of-structs) are packed here as one array per counter, indexed by
+/// class. Two wins for the sharded engine:
+///
+/// * **No false sharing between shard threads.** Each port belongs to
+///   exactly one shard; `#[repr(align(64))]` keeps every port's hot
+///   counters on cache lines no other port (hence no other thread) writes.
+/// * **Dense control-plane reads.** A controller or sampler sweeping one
+///   counter across classes walks one 64-byte line instead of striding
+///   through whole queue structs.
+///
+/// [`PortTelemetry::queue`] assembles the classic per-queue
+/// [`QueueTelemetry`] view, which stays the interchange type everywhere
+/// outside the packet path.
+#[repr(align(64))]
+#[derive(Clone, Debug)]
+pub struct PortTelemetry {
+    /// Time integral of queue length in byte-picoseconds, per class.
+    pub qlen_integral_byte_ps: [u128; MAX_PRIOS],
+    /// Bytes handed to the serializer, per class.
+    pub tx_bytes: [u64; MAX_PRIOS],
+    /// Packets handed to the serializer, per class.
+    pub tx_pkts: [u64; MAX_PRIOS],
+    /// Transmitted packets carrying CE, per class.
+    pub tx_marked_pkts: [u64; MAX_PRIOS],
+    /// Transmitted bytes carrying CE, per class.
+    pub tx_marked_bytes: [u64; MAX_PRIOS],
+    /// Packets dropped, per class.
+    pub drops: [u64; MAX_PRIOS],
+    /// Packets enqueued, per class.
+    pub enq_pkts: [u64; MAX_PRIOS],
+    /// Largest instantaneous queue length observed in bytes, per class.
+    pub max_qlen_bytes: [u64; MAX_PRIOS],
+}
+
+impl Default for PortTelemetry {
+    fn default() -> Self {
+        PortTelemetry {
+            qlen_integral_byte_ps: [0; MAX_PRIOS],
+            tx_bytes: [0; MAX_PRIOS],
+            tx_pkts: [0; MAX_PRIOS],
+            tx_marked_pkts: [0; MAX_PRIOS],
+            tx_marked_bytes: [0; MAX_PRIOS],
+            drops: [0; MAX_PRIOS],
+            enq_pkts: [0; MAX_PRIOS],
+            max_qlen_bytes: [0; MAX_PRIOS],
+        }
+    }
+}
+
+impl PortTelemetry {
+    /// Fresh all-zero block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assemble the per-queue view of class `prio`.
+    pub fn queue(&self, prio: usize) -> QueueTelemetry {
+        QueueTelemetry {
+            tx_bytes: self.tx_bytes[prio],
+            tx_pkts: self.tx_pkts[prio],
+            tx_marked_pkts: self.tx_marked_pkts[prio],
+            tx_marked_bytes: self.tx_marked_bytes[prio],
+            drops: self.drops[prio],
+            enq_pkts: self.enq_pkts[prio],
+            qlen_integral_byte_ps: self.qlen_integral_byte_ps[prio],
+            max_qlen_bytes: self.max_qlen_bytes[prio],
+        }
+    }
+}
+
 /// One entry waiting in an egress queue.
 #[derive(Clone, Copy, Debug)]
 pub struct QItem {
@@ -207,15 +285,18 @@ impl QueueArena {
 
 /// A single egress FIFO for one traffic class of one port.
 ///
-/// Packet storage lives in the port's shared [`QueueArena`]; the queue only
-/// holds the intrusive list's head/tail indices, so every mutating method
-/// takes the arena explicitly.
+/// Packet storage lives in the port's shared [`QueueArena`] and cumulative
+/// counters live in the port's shared [`PortTelemetry`] SoA block; the queue
+/// only holds the intrusive list's head/tail indices and its class index, so
+/// every mutating method takes the arena and telemetry block explicitly.
 #[derive(Debug)]
 pub struct EgressQueue {
     /// Arena index of the head item (`NIL` = empty).
     head: u32,
     /// Arena index of the tail item (`NIL` = empty).
     tail: u32,
+    /// This queue's class index into the port's [`PortTelemetry`] arrays.
+    prio: usize,
     /// Number of queued packets.
     count: usize,
     /// Current depth in bytes.
@@ -226,23 +307,23 @@ pub struct EgressQueue {
     pub max_bytes: u64,
     /// Active marking configuration (`None` = no marking).
     pub ecn: Option<EcnConfig>,
-    /// Cumulative counters.
-    pub telem: QueueTelemetry,
     last_update: SimTime,
 }
 
 impl EgressQueue {
-    /// New empty queue with the given drop-tail bound and marking config.
-    pub fn new(max_bytes: u64, ecn: Option<EcnConfig>) -> Self {
+    /// New empty queue for class `prio` with the given drop-tail bound and
+    /// marking config.
+    pub fn new(prio: usize, max_bytes: u64, ecn: Option<EcnConfig>) -> Self {
+        assert!(prio < MAX_PRIOS, "at most {MAX_PRIOS} traffic classes");
         EgressQueue {
             head: NIL,
             tail: NIL,
+            prio,
             count: 0,
             bytes: 0,
             avg_bytes: 0.0,
             max_bytes,
             ecn,
-            telem: QueueTelemetry::default(),
             last_update: SimTime::ZERO,
         }
     }
@@ -275,9 +356,9 @@ impl EgressQueue {
         }
     }
 
-    fn advance_clock(&mut self, now: SimTime) {
+    fn advance_clock(&mut self, telem: &mut PortTelemetry, now: SimTime) {
         let dt = now.saturating_sub(self.last_update);
-        self.telem.qlen_integral_byte_ps += self.bytes as u128 * dt.as_ps() as u128;
+        telem.qlen_integral_byte_ps[self.prio] += self.bytes as u128 * dt.as_ps() as u128;
         self.last_update = now;
     }
 
@@ -298,15 +379,21 @@ impl EgressQueue {
 
     /// Enqueue an item. The caller has already performed admission control
     /// and ECN marking; this only does bookkeeping.
-    pub fn push(&mut self, arena: &mut QueueArena, item: QItem, now: SimTime) {
-        self.advance_clock(now);
+    pub fn push(
+        &mut self,
+        arena: &mut QueueArena,
+        telem: &mut PortTelemetry,
+        item: QItem,
+        now: SimTime,
+    ) {
+        self.advance_clock(telem, now);
         if let Some(w) = self.ecn.and_then(|e| e.ewma_weight) {
             self.avg_bytes = (1.0 - w) * self.avg_bytes + w * self.bytes as f64;
         }
         self.bytes += item.pkt.size as u64;
-        self.telem.enq_pkts += 1;
-        if self.bytes > self.telem.max_qlen_bytes {
-            self.telem.max_qlen_bytes = self.bytes;
+        telem.enq_pkts[self.prio] += 1;
+        if self.bytes > telem.max_qlen_bytes[self.prio] {
+            telem.max_qlen_bytes[self.prio] = self.bytes;
         }
         let idx = arena.alloc(item);
         if self.tail == NIL {
@@ -319,13 +406,18 @@ impl EgressQueue {
     }
 
     /// Record a drop at this queue.
-    pub fn record_drop(&mut self) {
-        self.telem.drops += 1;
+    pub fn record_drop(&self, telem: &mut PortTelemetry) {
+        telem.drops[self.prio] += 1;
     }
 
     /// Dequeue the head packet into the serializer, updating tx counters.
-    pub fn pop(&mut self, arena: &mut QueueArena, now: SimTime) -> Option<QItem> {
-        self.advance_clock(now);
+    pub fn pop(
+        &mut self,
+        arena: &mut QueueArena,
+        telem: &mut PortTelemetry,
+        now: SimTime,
+    ) -> Option<QItem> {
+        self.advance_clock(telem, now);
         if self.head == NIL {
             return None;
         }
@@ -340,18 +432,18 @@ impl EgressQueue {
         let item = slot.item;
         let sz = item.pkt.size as u64;
         self.bytes -= sz;
-        self.telem.tx_bytes += sz;
-        self.telem.tx_pkts += 1;
+        telem.tx_bytes[self.prio] += sz;
+        telem.tx_pkts[self.prio] += 1;
         if item.pkt.ecn == crate::packet::Ecn::Ce {
-            self.telem.tx_marked_pkts += 1;
-            self.telem.tx_marked_bytes += sz;
+            telem.tx_marked_pkts[self.prio] += 1;
+            telem.tx_marked_bytes[self.prio] += sz;
         }
         Some(item)
     }
 
     /// Bring the time-integral up to `now` (call before reading telemetry).
-    pub fn sync_clock(&mut self, now: SimTime) {
-        self.advance_clock(now);
+    pub fn sync_clock(&mut self, telem: &mut PortTelemetry, now: SimTime) {
+        self.advance_clock(telem, now);
     }
 
     /// Discard every queued packet (switch reboot / power loss), counting
@@ -359,8 +451,14 @@ impl EgressQueue {
     /// first) so the caller can release their shared-buffer accounting. The
     /// reboot path passes one reused scratch buffer, so flushes stop
     /// allocating once the buffer has grown to the deepest queue seen.
-    pub fn flush_into(&mut self, arena: &mut QueueArena, now: SimTime, out: &mut Vec<QItem>) {
-        self.advance_clock(now);
+    pub fn flush_into(
+        &mut self,
+        arena: &mut QueueArena,
+        telem: &mut PortTelemetry,
+        now: SimTime,
+        out: &mut Vec<QItem>,
+    ) {
+        self.advance_clock(telem, now);
         out.clear();
         let mut idx = self.head;
         while idx != NIL {
@@ -374,7 +472,7 @@ impl EgressQueue {
         self.count = 0;
         self.bytes = 0;
         self.avg_bytes = 0.0;
-        self.telem.drops += out.len() as u64;
+        telem.drops[self.prio] += out.len() as u64;
     }
 }
 
@@ -554,12 +652,14 @@ mod tests {
     #[test]
     fn queue_accounting_and_time_average() {
         let mut a = QueueArena::new();
-        let mut q = EgressQueue::new(1 << 20, None);
+        let mut pt = PortTelemetry::new();
+        let mut q = EgressQueue::new(0, 1 << 20, None);
         let t0 = SimTime::ZERO;
         let t1 = SimTime::from_us(10);
         let t2 = SimTime::from_us(20);
         q.push(
             &mut a,
+            &mut pt,
             QItem {
                 pkt: pkt(952), // 1000B on wire
                 ingress: None,
@@ -567,34 +667,68 @@ mod tests {
             t0,
         );
         assert_eq!(q.bytes(), 1000);
-        q.pop(&mut a, t1).unwrap();
+        q.pop(&mut a, &mut pt, t1).unwrap();
         assert_eq!(q.bytes(), 0);
-        q.sync_clock(t2);
+        q.sync_clock(&mut pt, t2);
+        let telem = pt.queue(0);
         // 1000 bytes held for 10 us then 0 for 10 us -> avg 500 bytes over 20us.
-        let avg = q.telem.qlen_integral_byte_ps as f64 / SimTime::from_us(20).as_ps() as f64;
+        let avg = telem.qlen_integral_byte_ps as f64 / SimTime::from_us(20).as_ps() as f64;
         assert!((avg - 500.0).abs() < 1e-9);
-        assert_eq!(q.telem.tx_bytes, 1000);
-        assert_eq!(q.telem.tx_pkts, 1);
-        assert_eq!(q.telem.max_qlen_bytes, 1000);
+        assert_eq!(telem.tx_bytes, 1000);
+        assert_eq!(telem.tx_pkts, 1);
+        assert_eq!(telem.max_qlen_bytes, 1000);
     }
 
     #[test]
     fn marked_packets_counted() {
         let mut a = QueueArena::new();
-        let mut q = EgressQueue::new(1 << 20, None);
+        let mut pt = PortTelemetry::new();
+        let mut q = EgressQueue::new(0, 1 << 20, None);
         let mut p = pkt(952);
         p.ecn = Ecn::Ce;
         q.push(
             &mut a,
+            &mut pt,
             QItem {
                 pkt: p,
                 ingress: None,
             },
             SimTime::ZERO,
         );
-        q.pop(&mut a, SimTime::from_ns(1)).unwrap();
-        assert_eq!(q.telem.tx_marked_pkts, 1);
-        assert_eq!(q.telem.tx_marked_bytes, 1000);
+        q.pop(&mut a, &mut pt, SimTime::from_ns(1)).unwrap();
+        assert_eq!(pt.queue(0).tx_marked_pkts, 1);
+        assert_eq!(pt.queue(0).tx_marked_bytes, 1000);
+    }
+
+    /// The SoA block is cache-line-aligned and classes never alias: counters
+    /// bumped through one queue land only in that class's lanes.
+    #[test]
+    fn port_telemetry_soa_layout_and_isolation() {
+        assert_eq!(std::mem::align_of::<PortTelemetry>(), 64);
+        let mut a = QueueArena::new();
+        let mut pt = PortTelemetry::new();
+        let mut q2 = EgressQueue::new(2, 1 << 20, None);
+        q2.push(
+            &mut a,
+            &mut pt,
+            QItem {
+                pkt: pkt(952),
+                ingress: None,
+            },
+            SimTime::ZERO,
+        );
+        q2.record_drop(&mut pt);
+        q2.pop(&mut a, &mut pt, SimTime::from_us(3)).unwrap();
+        for prio in 0..MAX_PRIOS {
+            if prio == 2 {
+                assert_eq!(pt.queue(prio).tx_pkts, 1);
+                assert_eq!(pt.queue(prio).drops, 1);
+                assert_eq!(pt.queue(prio).enq_pkts, 1);
+                assert!(pt.queue(prio).qlen_integral_byte_ps > 0);
+            } else {
+                assert_eq!(pt.queue(prio), QueueTelemetry::default(), "class {prio}");
+            }
+        }
     }
 
     #[test]
@@ -615,12 +749,14 @@ mod tests {
         // length; without averaging it jumps immediately.
         let cfg = EcnConfig::new(1_000, 2_000, 1.0).with_ewma(0.05);
         let mut a = QueueArena::new();
-        let mut q = EgressQueue::new(1 << 20, Some(cfg));
-        let mut inst = EgressQueue::new(1 << 20, Some(EcnConfig::new(1_000, 2_000, 1.0)));
+        let mut pt = PortTelemetry::new();
+        let mut q = EgressQueue::new(0, 1 << 20, Some(cfg));
+        let mut inst = EgressQueue::new(1, 1 << 20, Some(EcnConfig::new(1_000, 2_000, 1.0)));
         for i in 0..20 {
             let t = SimTime::from_us(i);
             q.push(
                 &mut a,
+                &mut pt,
                 QItem {
                     pkt: pkt(952),
                     ingress: None,
@@ -629,6 +765,7 @@ mod tests {
             );
             inst.push(
                 &mut a,
+                &mut pt,
                 QItem {
                     pkt: pkt(952),
                     ingress: None,
@@ -646,13 +783,14 @@ mod tests {
         for i in 20..400 {
             q.push(
                 &mut a,
+                &mut pt,
                 QItem {
                     pkt: pkt(952),
                     ingress: None,
                 },
                 SimTime::from_us(i),
             );
-            q.pop(&mut a, SimTime::from_us(i)).unwrap();
+            q.pop(&mut a, &mut pt, SimTime::from_us(i)).unwrap();
         }
         assert!(
             q.marking_qlen() > 15_000,
@@ -706,14 +844,16 @@ mod tests {
         // Two FIFOs interleaved in one arena keep per-queue FIFO order, and
         // slots freed by pops are reused instead of growing the slab.
         let mut a = QueueArena::new();
-        let mut q0 = EgressQueue::new(1 << 20, None);
-        let mut q1 = EgressQueue::new(1 << 20, None);
+        let mut pt = PortTelemetry::new();
+        let mut q0 = EgressQueue::new(0, 1 << 20, None);
+        let mut q1 = EgressQueue::new(1, 1 << 20, None);
         let t = SimTime::ZERO;
         for i in 0..4u64 {
             let mut p = pkt(952);
             p.flow = FlowId(i);
             q0.push(
                 &mut a,
+                &mut pt,
                 QItem {
                     pkt: p,
                     ingress: None,
@@ -724,6 +864,7 @@ mod tests {
             p.flow = FlowId(100 + i);
             q1.push(
                 &mut a,
+                &mut pt,
                 QItem {
                     pkt: p,
                     ingress: None,
@@ -733,14 +874,18 @@ mod tests {
         }
         assert_eq!(a.slot_count(), 8);
         for i in 0..4u64 {
-            assert_eq!(q0.pop(&mut a, t).unwrap().pkt.flow, FlowId(i));
-            assert_eq!(q1.pop(&mut a, t).unwrap().pkt.flow, FlowId(100 + i));
+            assert_eq!(q0.pop(&mut a, &mut pt, t).unwrap().pkt.flow, FlowId(i));
+            assert_eq!(
+                q1.pop(&mut a, &mut pt, t).unwrap().pkt.flow,
+                FlowId(100 + i)
+            );
         }
         assert!(q0.is_empty() && q1.is_empty());
         // Refill: the freelist supplies every slot, the slab must not grow.
         for _ in 0..8 {
             q0.push(
                 &mut a,
+                &mut pt,
                 QItem {
                     pkt: pkt(952),
                     ingress: None,
@@ -754,13 +899,15 @@ mod tests {
     #[test]
     fn flush_into_reuses_scratch_and_counts_drops() {
         let mut a = QueueArena::new();
-        let mut q = EgressQueue::new(1 << 20, None);
+        let mut pt = PortTelemetry::new();
+        let mut q = EgressQueue::new(0, 1 << 20, None);
         let t = SimTime::ZERO;
         let mut scratch = Vec::new();
         for round in 1..=3usize {
             for _ in 0..round * 2 {
                 q.push(
                     &mut a,
+                    &mut pt,
                     QItem {
                         pkt: pkt(952),
                         ingress: None,
@@ -768,12 +915,12 @@ mod tests {
                     t,
                 );
             }
-            q.flush_into(&mut a, t, &mut scratch);
+            q.flush_into(&mut a, &mut pt, t, &mut scratch);
             assert_eq!(scratch.len(), round * 2);
             assert!(q.is_empty());
             assert_eq!(q.bytes(), 0);
         }
-        assert_eq!(q.telem.drops, 2 + 4 + 6);
+        assert_eq!(pt.queue(0).drops, 2 + 4 + 6);
         // Slab never exceeded the deepest flush; scratch kept its capacity.
         assert_eq!(a.slot_count(), 6);
         assert!(scratch.capacity() >= 6);

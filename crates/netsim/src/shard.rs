@@ -1,0 +1,718 @@
+//! Sharded execution: conservative-lookahead parallel simulation.
+//!
+//! The fabric is partitioned into **shards** — disjoint sets of nodes, one
+//! worker thread each. Every shard runs a full [`Simulator`] restricted to
+//! its own nodes: events for foreign nodes are intercepted at the single
+//! scheduling point and forwarded through bounded inter-shard mailboxes as
+//! timestamped [`RemoteEvent`]s.
+//!
+//! ## Synchronization model
+//!
+//! The protocol is classic conservative (null-message-free) lookahead. Each
+//! shard publishes a monotone **clock** — a promise that every event it will
+//! ever send cross-shard from now on carries a timestamp `>= clock +
+//! lookahead`, where the lookahead `L` is the minimum propagation delay over
+//! all cross-shard links (packets cannot cross a link faster than the link's
+//! delay). A worker iteration is:
+//!
+//! 1. snapshot every peer's published clock (`Acquire`),
+//! 2. compute `bound = min(min_peer_clock + L, end + 1)`,
+//! 3. drain the inbound mailboxes into the local event queue,
+//! 4. process every local event with `time < bound`,
+//! 5. flush outbound mailboxes, **then** publish `clock = bound` (`Release`).
+//!
+//! The snapshot-before-drain and flush-before-publish orderings are
+//! load-bearing: together they guarantee that when a shard reads peer clock
+//! `C`, every message that peer sent with a timestamp below `C + L` is
+//! already visible in the mailbox, so processing strictly below `bound` can
+//! never violate causality. Published clocks double as the termination
+//! signal: a shard exits its run loop once its bound reaches `end + 1`.
+//!
+//! ## Determinism contract
+//!
+//! Runs are reproducible **across shard counts**: the merged recorded output
+//! of `--shards 1/2/4/8` is byte-identical. Three mechanisms deliver this:
+//!
+//! * **Partition-invariant event keys.** In sharded mode every event is
+//!   inserted with a canonical 64-bit key derived from its content (node,
+//!   port, class, …) instead of an arrival-order sequence number, so
+//!   simultaneous events pop in the same relative order no matter which
+//!   shard's queue they sit in (see [`event_key`]'s encoding notes).
+//! * **Per-node RNG streams.** ECN marking draws, host driver randomness and
+//!   probabilistic fault draws come from per-node `SmallRng`s seeded from
+//!   `(seed, node)`, so a node's stream does not depend on which other nodes
+//!   share its thread.
+//! * **Owner gating.** Faults replicate into every shard (so routing tables
+//!   and link state stay globally consistent) but traces, fault logs and
+//!   telemetry are emitted only by the shard that owns the node involved;
+//!   the per-shard streams are disjoint and merge deterministically.
+//!
+//! Shard boundaries follow the racks: each host-facing switch forms a group
+//! with its attached hosts (so host↔ToR links never cross shards), groups
+//! are dealt to shards in contiguous runs, and fabric-only switches (aggs,
+//! spines, cores) are distributed round-robin.
+
+use crate::event::Event;
+use crate::ids::NodeId;
+use crate::sim::Simulator;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Event classes occupying the top two bits of a canonical event key.
+/// Faults sort before packet events at equal timestamps (they reconfigure
+/// the world the packets then see); control and telemetry ticks sort after.
+const CLASS_FAULT: u64 = 0;
+const CLASS_NODE: u64 = 1;
+const CLASS_TICK: u64 = 2;
+const CLASS_SAMPLE: u64 = 3;
+
+/// Within-node event ranks (bits 41..39 of a class-1 key).
+pub(crate) const RANK_ARRIVE: u64 = 0;
+pub(crate) const RANK_TXDONE: u64 = 1;
+pub(crate) const RANK_PFC: u64 = 2;
+pub(crate) const RANK_TIMER: u64 = 3;
+
+/// Mask for the per-event auxiliary discriminant (bits 38..0).
+pub(crate) const AUX_MASK: u64 = (1 << 39) - 1;
+
+/// Canonical key of a node-addressed event: class 1, then node id (20 bits),
+/// then rank, then an aux discriminant. Keys are unique among simultaneous
+/// events — link serialization separates same-port arrivals, a port has one
+/// in-flight packet, PFC pause/resume alternates per (port, prio) under the
+/// Xoff/Xon hysteresis, and host timers carry a per-host sequence number —
+/// so `(time, key)` is a total order independent of the partition.
+#[inline]
+pub(crate) fn node_event_key(node: NodeId, rank: u64, aux: u64) -> u64 {
+    debug_assert!(node.0 < (1 << 20), "node id exceeds key width");
+    (CLASS_NODE << 62) | ((node.0 as u64) << 42) | (rank << 39) | (aux & AUX_MASK)
+}
+
+/// Canonical key of a scheduled fault: class 0, ordered by plan index.
+#[inline]
+pub(crate) fn fault_event_key(index: u64) -> u64 {
+    (CLASS_FAULT << 62) | (index & ((1 << 62) - 1))
+}
+
+/// Canonical key of the (shard-local) control tick.
+#[inline]
+pub(crate) fn control_tick_key() -> u64 {
+    CLASS_TICK << 62
+}
+
+/// Canonical key of the (shard-local) telemetry sampling tick.
+#[inline]
+pub(crate) fn telemetry_sample_key() -> u64 {
+    CLASS_SAMPLE << 62
+}
+
+/// Initial capacity for the cross-shard staging buffers (per-destination
+/// outboxes, mailboxes, and the flush scratch vector). Scaled with fabric
+/// size: a steady-state congestion burst on a large topology can stage
+/// hundreds of remote events in one slice, and letting those vectors double
+/// mid-run would break the zero-alloc steady-state property the perf
+/// harness asserts.
+#[inline]
+pub(crate) fn remote_buf_capacity(n_nodes: usize) -> usize {
+    1024usize.max(n_nodes.next_power_of_two())
+}
+
+/// SplitMix64 finalizer — decorrelates per-node RNG seeds.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An event in flight between shards: its activation time, canonical key,
+/// and payload. Plain data — this is the only thing that crosses threads.
+#[derive(Clone, Debug)]
+pub struct RemoteEvent {
+    /// Activation time at the destination.
+    pub at: SimTime,
+    /// Canonical partition-invariant key (see [`node_event_key`]).
+    pub key: u64,
+    /// The event payload (only `Arrive` and `PfcUpdate` cross shards).
+    pub event: Event,
+}
+
+/// A partition of the topology into `n_shards` node sets plus the derived
+/// conservative lookahead.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Number of shards (worker threads).
+    pub n_shards: u32,
+    /// Owning shard of every node, indexed by `NodeId::idx()`.
+    pub owner_of: Vec<u32>,
+    /// Minimum propagation delay over cross-shard links — the lookahead `L`.
+    /// [`SimTime::MAX`] when no link crosses shards (e.g. one shard).
+    pub lookahead: SimTime,
+}
+
+impl ShardPlan {
+    /// Partition `topo` into `n_shards` shards along rack boundaries.
+    ///
+    /// Every switch with at least one host-facing port anchors a group
+    /// containing it and its attached hosts; groups are assigned to shards
+    /// in contiguous runs (pods stay together), and fabric-only switches
+    /// are dealt round-robin. Host↔ToR links therefore never cross shards;
+    /// only switch↔switch fabric links do, and those carry the fabric
+    /// propagation delay that becomes the lookahead.
+    pub fn build(topo: &Topology, n_shards: u32) -> ShardPlan {
+        assert!(n_shards >= 1, "need at least one shard");
+        let mut owner_of = vec![u32::MAX; topo.nodes.len()];
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        let mut fabric: Vec<NodeId> = Vec::new();
+        for &sw in topo.switches() {
+            let mut group = vec![sw];
+            for p in &topo.node(sw).ports {
+                if topo.is_host(p.peer_node) {
+                    group.push(p.peer_node);
+                }
+            }
+            if group.len() > 1 {
+                groups.push(group);
+            } else {
+                fabric.push(sw);
+            }
+        }
+        let g = groups.len().max(1);
+        for (gi, group) in groups.iter().enumerate() {
+            let shard = (gi * n_shards as usize / g) as u32;
+            for &n in group {
+                owner_of[n.idx()] = shard;
+            }
+        }
+        for (fi, &sw) in fabric.iter().enumerate() {
+            owner_of[sw.idx()] = (fi % n_shards as usize) as u32;
+        }
+        // Anything unreached (isolated hosts) defaults to shard 0.
+        for o in owner_of.iter_mut() {
+            if *o == u32::MAX {
+                *o = 0;
+            }
+        }
+        let mut la = u64::MAX;
+        for (ni, n) in topo.nodes.iter().enumerate() {
+            for p in &n.ports {
+                if owner_of[ni] != owner_of[p.peer_node.idx()] {
+                    la = la.min(p.delay.as_ps());
+                }
+            }
+        }
+        assert!(
+            la > 0,
+            "a zero-delay link crosses shards: conservative lookahead would be zero"
+        );
+        ShardPlan {
+            n_shards,
+            owner_of,
+            lookahead: SimTime::from_ps(la),
+        }
+    }
+
+    /// The shard that owns `node`.
+    #[inline]
+    pub fn owner(&self, node: NodeId) -> u32 {
+        self.owner_of[node.idx()]
+    }
+
+    /// Number of nodes owned by `shard`.
+    pub fn nodes_of(&self, shard: u32) -> usize {
+        self.owner_of.iter().filter(|&&o| o == shard).count()
+    }
+}
+
+/// Per-shard execution counters reported by [`run_sharded`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Events processed by this shard's event loop.
+    pub events_processed: u64,
+    /// Iterations of the synchronization loop that made no progress
+    /// (no events processed, no messages received, bound unchanged) —
+    /// the lookahead stall counter.
+    pub stalls: u64,
+    /// Cross-shard events this shard sent.
+    pub remote_sent: u64,
+    /// Cross-shard events this shard received.
+    pub remote_received: u64,
+    /// Wall-clock seconds this shard's worker spent in its run loop.
+    pub wall_s: f64,
+    /// Events processed as of each phase boundary ([`run_sharded_phased`]):
+    /// `phase_events[i]` is the cumulative count when phase `i` ended. One
+    /// entry per phase; a plain [`run_sharded`] call has exactly one.
+    pub phase_events: Vec<u64>,
+}
+
+/// Run one sharded simulation to `end` (inclusive, like
+/// [`Simulator::run_until`]).
+///
+/// `build` is called on each worker thread with the shard index and must
+/// return a simulator created with [`Simulator::new_sharded`] for the same
+/// plan and shard (asserted), fully equipped with drivers, controllers and
+/// samplers for its **owned** nodes, plus any shard-local state `S` the
+/// caller wants back (per-shard recorders, FCT collectors, ...). `finish`
+/// runs on the same worker after the horizon is reached and turns
+/// `(Simulator, S)` into a `Send` result; the simulator and `S` themselves
+/// never cross threads (they may hold `Rc`s).
+///
+/// Results are returned in shard order.
+pub fn run_sharded<S, R, B, F>(
+    plan: &ShardPlan,
+    end: SimTime,
+    build: B,
+    finish: F,
+) -> Vec<(ShardStats, R)>
+where
+    B: Fn(u32) -> (Simulator, S) + Sync,
+    F: Fn(u32, Simulator, S) -> R + Sync,
+    R: Send,
+{
+    run_sharded_phased(plan, &[end], build, |_| {}, finish)
+}
+
+/// [`run_sharded`] with barrier-separated phases: after all shards reach
+/// `phase_ends[i]`, every worker parks on a barrier and `between(i)` runs on
+/// the calling thread before the next phase starts. `acc-bench perf` uses
+/// this to read the global allocation counter at the warmup/steady boundary
+/// while no shard is mid-flight.
+pub fn run_sharded_phased<S, R, B, P, F>(
+    plan: &ShardPlan,
+    phase_ends: &[SimTime],
+    build: B,
+    mut between: P,
+    finish: F,
+) -> Vec<(ShardStats, R)>
+where
+    B: Fn(u32) -> (Simulator, S) + Sync,
+    P: FnMut(usize),
+    F: Fn(u32, Simulator, S) -> R + Sync,
+    R: Send,
+{
+    assert!(!phase_ends.is_empty(), "need at least one phase");
+    assert!(
+        phase_ends.windows(2).all(|w| w[0] <= w[1]),
+        "phase ends must be non-decreasing"
+    );
+    let n = plan.n_shards as usize;
+    let la_ps = plan.lookahead.as_ps();
+    // Published clocks: clock[s] is shard s's promise that all its future
+    // cross-shard sends have timestamps >= clock[s] + lookahead.
+    let clocks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    // Mailboxes: inbox[dst][src] holds events from src awaiting dst.
+    let remote_cap = remote_buf_capacity(plan.owner_of.len());
+    let inboxes: Vec<Vec<Mutex<Vec<RemoteEvent>>>> = (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| Mutex::new(Vec::with_capacity(remote_cap)))
+                .collect()
+        })
+        .collect();
+    // Workers + the coordinating thread meet here between phases.
+    let barrier = Barrier::new(n + 1);
+    let results: Vec<Mutex<Option<(ShardStats, R)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..n {
+            let clocks = &clocks;
+            let inboxes = &inboxes;
+            let barrier = &barrier;
+            let results = &results;
+            let build = &build;
+            let finish = &finish;
+            scope.spawn(move || {
+                let t0 = std::time::Instant::now();
+                let (mut sim, state) = build(me as u32);
+                sim.assert_shard(plan.n_shards, me as u32);
+                let mut stats = ShardStats {
+                    shard: me as u32,
+                    ..ShardStats::default()
+                };
+                // Outbox flushes stage through this scratch vector so the
+                // mailbox lock is held only for the append.
+                let mut scratch: Vec<RemoteEvent> = Vec::with_capacity(remote_cap);
+                let mut published: u64 = 0;
+                for (pi, &end) in phase_ends.iter().enumerate() {
+                    let bound_max = end.as_ps() + 1;
+                    loop {
+                        // (1) Snapshot peer clocks *before* draining: any
+                        // message flushed before a peer published clock C is
+                        // then guaranteed visible in the drain below.
+                        let mut min_peer = u64::MAX;
+                        for (s, c) in clocks.iter().enumerate() {
+                            if s != me {
+                                min_peer = min_peer.min(c.load(Ordering::Acquire));
+                            }
+                        }
+                        // (2) Conservative bound: nothing below it can still
+                        // arrive. Monotone so a lagging snapshot never
+                        // retracts a published promise.
+                        let bound = min_peer.saturating_add(la_ps).min(bound_max).max(published);
+                        // (3) Drain inbound mailboxes.
+                        let mut received = 0u64;
+                        for (s, boxes) in inboxes[me].iter().enumerate() {
+                            if s == me {
+                                continue;
+                            }
+                            let mut inb = boxes.lock().unwrap();
+                            received += inb.len() as u64;
+                            for ev in inb.drain(..) {
+                                sim.core_mut().inject_remote(ev);
+                            }
+                        }
+                        stats.remote_received += received;
+                        // (4) Process everything strictly below the bound.
+                        let processed = sim.run_events_before(SimTime::from_ps(bound));
+                        // (5) Flush outboxes, then publish the new clock.
+                        for (s, boxes) in inboxes.iter().enumerate() {
+                            if s == me {
+                                continue;
+                            }
+                            sim.core_mut().drain_outbox_into(s as u32, &mut scratch);
+                            if !scratch.is_empty() {
+                                stats.remote_sent += scratch.len() as u64;
+                                boxes[me].lock().unwrap().append(&mut scratch);
+                            }
+                        }
+                        if bound > published {
+                            clocks[me].store(bound, Ordering::Release);
+                            published = bound;
+                        } else if processed == 0 && received == 0 {
+                            stats.stalls += 1;
+                            std::thread::yield_now();
+                        }
+                        if published >= bound_max {
+                            break;
+                        }
+                    }
+                    sim.advance_now_to(end);
+                    stats.phase_events.push(sim.core().events_processed);
+                    // Phase done: wait for every shard, let the coordinator
+                    // run `between`, then resume together.
+                    barrier.wait();
+                    barrier.wait();
+                    let _ = pi;
+                }
+                stats.events_processed = sim.core().events_processed;
+                let (sent, recv) = sim.core().shard_comm_counters();
+                // Interception counts sends at the scheduling point; the
+                // mailbox count above tallies flushes. They agree unless the
+                // run ended with unflushed events past the horizon.
+                stats.remote_sent = sent;
+                stats.remote_received = recv;
+                stats.wall_s = t0.elapsed().as_secs_f64();
+                let r = finish(me as u32, sim, state);
+                *results[me].lock().unwrap() = Some((stats, r));
+            });
+        }
+        for pi in 0..phase_ends.len() {
+            barrier.wait();
+            between(pi);
+            barrier.wait();
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("shard worker panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::driver::{HostCtx, NicDriver};
+    use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+    use crate::ids::{FlowId, PortId, PRIO_RDMA};
+    use crate::packet::{Ecn, Packet};
+    use crate::topology::TopologySpec;
+    use crate::trace::{TraceFilter, Tracer};
+    use rand::Rng;
+    use std::any::Any;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn remote_events_cross_threads() {
+        assert_send::<RemoteEvent>();
+        assert_send::<ShardStats>();
+    }
+
+    fn leaf_spine() -> TopologySpec {
+        TopologySpec::LeafSpine {
+            n_leaf: 4,
+            n_spine: 2,
+            hosts_per_leaf: 4,
+            host_bps: 25_000_000_000,
+            fabric_bps: 100_000_000_000,
+            host_delay: SimTime::from_ns(500),
+            fabric_delay: SimTime::from_ns(500),
+        }
+    }
+
+    #[test]
+    fn plan_keeps_racks_whole_and_derives_lookahead() {
+        let topo = leaf_spine().build();
+        let plan = ShardPlan::build(&topo, 4);
+        // Hosts share their ToR's shard.
+        for &h in topo.hosts() {
+            let tor = topo.port(h, PortId(0)).peer_node;
+            assert_eq!(plan.owner(h), plan.owner(tor));
+        }
+        // Four leaf groups over four shards: everyone owns a rack.
+        for s in 0..4 {
+            assert!(plan.nodes_of(s) >= 4, "shard {s} owns too little");
+        }
+        // Only fabric links cross, so the lookahead is the fabric delay.
+        assert_eq!(plan.lookahead, SimTime::from_ns(500));
+        // One shard: nothing crosses.
+        let p1 = ShardPlan::build(&topo, 1);
+        assert_eq!(p1.lookahead, SimTime::MAX);
+        assert!(p1.owner_of.iter().all(|&o| o == 0));
+    }
+
+    /// Sends `count` packets to `dst`, spaced by a per-host random jitter
+    /// (exercises the per-node RNG streams), then goes quiet.
+    struct JitterSender {
+        dst: NodeId,
+        count: u32,
+        sent: u32,
+        flow: FlowId,
+    }
+
+    impl NicDriver for JitterSender {
+        fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut HostCtx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut HostCtx<'_>) {
+            if self.sent >= self.count {
+                return;
+            }
+            self.sent += 1;
+            let pkt = Packet::data(
+                self.flow,
+                ctx.host(),
+                self.dst,
+                PRIO_RDMA,
+                (self.sent as u64 - 1) * 1000,
+                1000,
+                self.sent == self.count,
+                Ecn::Ect,
+            );
+            ctx.send(pkt);
+            let jitter = ctx.rng().gen_range(0..5_000u64);
+            ctx.set_timer_after(SimTime::from_ns(1_000 + jitter), 0);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self.as_any_mut_impl()
+        }
+    }
+    impl JitterSender {
+        fn as_any_mut_impl(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Canonical sort key for merged trace comparison.
+    fn trace_key(e: &crate::trace::TraceEvent) -> (u64, u32, u16, u8, u64, u8) {
+        (
+            e.at.as_ps(),
+            e.node.0,
+            e.port.0,
+            e.prio,
+            e.flow.0,
+            e.kind as u8,
+        )
+    }
+
+    /// Run the cross-rack traffic scenario on `n_shards` shards and return
+    /// (merged sorted traces, per-queue telemetry of every switch queue,
+    /// global drop/pfc counters).
+    fn run_scenario(n_shards: u32) -> (Vec<String>, Vec<String>, (u64, u64, u64)) {
+        let topo = leaf_spine().build();
+        let plan = ShardPlan::build(&topo, n_shards);
+        let end = SimTime::from_ms(2);
+        let hosts = topo.hosts().to_vec();
+        let nh = hosts.len();
+        let plan_ref = &plan;
+        let topo_ref = &topo;
+        let hosts_ref = &hosts;
+        let results = run_sharded(
+            plan_ref,
+            end,
+            |shard| {
+                let mut cfg = SimConfig::default();
+                cfg.seed = 7;
+                let mut sim = Simulator::new_sharded(topo_ref.clone(), cfg, plan_ref, shard);
+                sim.set_tracer(Tracer::new(TraceFilter::default(), 1 << 20));
+                // A fault plan exercises replicated faults + owner-gated logs.
+                let leaf0 = topo_ref.switches()[0];
+                let fp = FaultPlan {
+                    seed: 3,
+                    events: vec![
+                        FaultEvent {
+                            at: SimTime::from_us(400),
+                            kind: FaultKind::LinkDown {
+                                node: leaf0,
+                                port: PortId(4),
+                            },
+                        },
+                        FaultEvent {
+                            at: SimTime::from_us(900),
+                            kind: FaultKind::LinkUp {
+                                node: leaf0,
+                                port: PortId(4),
+                            },
+                        },
+                    ],
+                };
+                sim.install_fault_plan(&fp).unwrap();
+                // Every host blasts a fixed cross-rack peer; drivers only on
+                // owned hosts.
+                for (i, &h) in hosts_ref.iter().enumerate() {
+                    if plan_ref.owner(h) != shard {
+                        continue;
+                    }
+                    let dst = hosts_ref[(i + nh / 2) % nh];
+                    sim.set_driver(
+                        h,
+                        Box::new(JitterSender {
+                            dst,
+                            count: 60,
+                            sent: 0,
+                            flow: FlowId((h.0 as u64) << 32),
+                        }),
+                    );
+                    sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+                }
+                (sim, ())
+            },
+            |shard, mut sim, ()| {
+                let traces = sim.tracer_mut().map(|t| t.take()).unwrap_or_default();
+                let mut telem = Vec::new();
+                let switches = sim.core().topo.switches().to_vec();
+                for sw in switches {
+                    if plan_ref.owner(sw) != shard {
+                        continue;
+                    }
+                    let np = sim.core().topo.node(sw).ports.len();
+                    for p in 0..np {
+                        for prio in 0..sim.core().cfg.port.num_prios {
+                            let t =
+                                sim.core_mut()
+                                    .synced_queue_telem(sw, PortId(p as u16), prio as u8);
+                            telem.push(format!(
+                                "{} {} {} {} {} {} {}",
+                                sw.0, p, prio, t.tx_pkts, t.tx_bytes, t.tx_marked_pkts, t.drops
+                            ));
+                        }
+                    }
+                }
+                let c = sim.core();
+                (
+                    traces,
+                    telem,
+                    c.total_drops,
+                    c.total_pfc_pauses,
+                    c.faults_executed,
+                )
+            },
+        );
+        let mut traces = Vec::new();
+        let mut telem = Vec::new();
+        let (mut drops, mut pauses, mut faults) = (0, 0, 0);
+        for (_stats, (tr, te, d, p, f)) in results {
+            traces.extend(tr);
+            telem.extend(te);
+            drops += d;
+            pauses += p;
+            faults += f;
+        }
+        traces.sort_by_key(trace_key);
+        let traces = traces
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} {:?} {} {} {} {} {}",
+                    e.at.as_ps(),
+                    e.kind,
+                    e.node.0,
+                    e.port.0,
+                    e.prio,
+                    e.flow.0,
+                    e.qlen_bytes
+                )
+            })
+            .collect::<Vec<_>>();
+        telem.sort();
+        (traces, telem, (drops, pauses, faults))
+    }
+
+    #[test]
+    fn shard_counts_agree_bit_for_bit() {
+        let (t1, q1, c1) = run_scenario(1);
+        assert!(!t1.is_empty(), "scenario produced no traces");
+        assert!(
+            t1.iter().any(|l| l.contains("LinkDown")),
+            "fault plan did not fire"
+        );
+        for n in [2u32, 4] {
+            let (tn, qn, cn) = run_scenario(n);
+            assert_eq!(c1, cn, "global counters differ at {n} shards");
+            assert_eq!(q1, qn, "queue telemetry differs at {n} shards");
+            assert_eq!(t1.len(), tn.len(), "trace count differs at {n} shards");
+            for (a, b) in t1.iter().zip(tn.iter()) {
+                assert_eq!(a, b, "trace record differs at {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_reports_comm_stats() {
+        let topo = leaf_spine().build();
+        let plan = ShardPlan::build(&topo, 2);
+        let hosts = topo.hosts().to_vec();
+        let nh = hosts.len();
+        let plan_ref = &plan;
+        let topo_ref = &topo;
+        let hosts_ref = &hosts;
+        let results = run_sharded(
+            plan_ref,
+            SimTime::from_us(200),
+            |shard| {
+                let mut cfg = SimConfig::default();
+                cfg.seed = 11;
+                let mut sim = Simulator::new_sharded(topo_ref.clone(), cfg, plan_ref, shard);
+                for (i, &h) in hosts_ref.iter().enumerate() {
+                    if plan_ref.owner(h) != shard {
+                        continue;
+                    }
+                    let dst = hosts_ref[(i + nh / 2) % nh];
+                    sim.set_driver(
+                        h,
+                        Box::new(JitterSender {
+                            dst,
+                            count: 10,
+                            sent: 0,
+                            flow: FlowId((h.0 as u64) << 32),
+                        }),
+                    );
+                    sim.with_driver(h, |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
+                }
+                (sim, ())
+            },
+            |_, sim, ()| sim.core().events_processed,
+        );
+        let sent: u64 = results.iter().map(|(s, _)| s.remote_sent).sum();
+        let recv: u64 = results.iter().map(|(s, _)| s.remote_received).sum();
+        assert!(sent > 0, "cross-rack traffic must cross shards");
+        assert_eq!(sent, recv, "every sent remote event must be received");
+        for (s, ev) in &results {
+            assert!(*ev > 0, "shard {} processed nothing", s.shard);
+        }
+    }
+}

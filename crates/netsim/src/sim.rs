@@ -10,8 +10,12 @@ use crate::fault::{FaultDetail, FaultKind, FaultLogEntry, FaultPlan, FaultPlanEr
 use crate::ids::{NodeId, PortId, Prio};
 use crate::packet::Packet;
 use crate::profile::{event_kind, SimProfiler};
-use crate::queues::{Dwrr, EgressQueue, QItem, QueueArena, QueueTelemetry};
+use crate::queues::{Dwrr, EgressQueue, PortTelemetry, QItem, QueueArena, QueueTelemetry};
 use crate::routing::RouteTable;
+use crate::shard::{
+    control_tick_key, fault_event_key, mix64, node_event_key, telemetry_sample_key, RemoteEvent,
+    ShardPlan, RANK_ARRIVE, RANK_PFC, RANK_TIMER, RANK_TXDONE,
+};
 use crate::time::{tx_time, SimTime};
 use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
@@ -51,6 +55,10 @@ pub(crate) struct PortState {
     ingress_bytes: Vec<u64>,
     /// Egress FIFOs, one per class.
     queues: Vec<EgressQueue>,
+    /// Cache-line-aligned SoA telemetry counters for every class of this
+    /// port (see [`PortTelemetry`]): one block per port means shard threads
+    /// never write counters on a cache line another shard reads.
+    telem: PortTelemetry,
     /// Slab backing every class's FIFO on this port (intrusive links; see
     /// [`QueueArena`]) — enqueue/dequeue never allocates at steady state.
     arena: QueueArena,
@@ -75,10 +83,10 @@ pub(crate) struct PortState {
 }
 
 impl PortState {
-    fn new(cfg: &SimConfig) -> Self {
+    fn new(cfg: &SimConfig, arena_slots: usize) -> Self {
         let pc = &cfg.port;
         let queues = (0..pc.num_prios)
-            .map(|p| EgressQueue::new(pc.max_queue_bytes[p], pc.ecn[p]))
+            .map(|p| EgressQueue::new(p, pc.max_queue_bytes[p], pc.ecn[p]))
             .collect();
         PortState {
             tx_busy: false,
@@ -86,7 +94,8 @@ impl PortState {
             pfc_sent: 0,
             ingress_bytes: vec![0; pc.num_prios],
             queues,
-            arena: QueueArena::with_capacity(pc.arena_slots),
+            telem: PortTelemetry::new(),
+            arena: QueueArena::with_capacity(arena_slots),
             dwrr: Dwrr::new(pc.weights.clone()),
             in_flight: None,
             pfc_pause_events: 0,
@@ -106,6 +115,37 @@ pub(crate) struct NodeState {
     buffer: Option<SharedBuffer>,
     /// Active telemetry-read distortion (fault injection).
     telem_fault: Option<TelemFault>,
+}
+
+/// Sharded-mode state attached to a [`SimCore`] (see [`crate::shard`]):
+/// ownership map, staged cross-shard events, and the per-node RNG streams
+/// that make a node's random draws independent of its thread placement.
+pub(crate) struct ShardCtx {
+    my_shard: u32,
+    n_shards: u32,
+    owner_of: Vec<u32>,
+    /// Outbound cross-shard events staged per destination shard; drained by
+    /// the run loop after each processing slice ([`SimCore::drain_outbox_into`]).
+    outboxes: Vec<Vec<RemoteEvent>>,
+    /// Per-host sequence numbers disambiguating simultaneous host timers in
+    /// the canonical event key (two timers may share (host, token, time)).
+    timer_seq: Vec<u64>,
+    /// Per-node engine RNG streams (ECN marking draws, driver randomness).
+    node_rngs: Vec<SmallRng>,
+    /// Per-node fault RNG streams (probabilistic packet-loss draws).
+    node_fault_rngs: Vec<SmallRng>,
+    /// Monotone index over scheduled faults — identical in every shard
+    /// because fault plans install in the same order everywhere.
+    next_fault_key: u64,
+    sent: u64,
+    received: u64,
+}
+
+impl ShardCtx {
+    #[inline]
+    fn owns(&self, node: NodeId) -> bool {
+        self.owner_of[node.idx()] == self.my_shard
+    }
 }
 
 /// Everything the engine owns except the pluggable drivers/controllers.
@@ -164,20 +204,64 @@ pub struct SimCore {
     /// Recycled telemetry-freeze snapshot storage: when a freeze ends, its
     /// buffer parks here so the next freeze reuses the capacity.
     telem_snap_pool: Vec<(u64, QueueTelemetry)>,
+    /// Sharded-mode context; `None` on the classic single-threaded path,
+    /// which keeps its original shared-RNG, sequence-numbered behaviour
+    /// (existing seeded baselines stay byte-stable).
+    pub(crate) shard: Option<Box<ShardCtx>>,
 }
 
 impl SimCore {
     fn new(topo: Topology, cfg: SimConfig) -> Self {
+        Self::new_inner(topo, cfg, None)
+    }
+
+    fn new_inner(topo: Topology, cfg: SimConfig, shard_init: Option<(&ShardPlan, u32)>) -> Self {
         cfg.validate();
         assert!(
             cfg.port.num_prios <= 8,
             "at most 8 traffic classes (PFC bitmask)"
         );
+        let shard = shard_init.map(|(plan, me)| {
+            let n_nodes = topo.nodes.len();
+            Box::new(ShardCtx {
+                my_shard: me,
+                n_shards: plan.n_shards,
+                owner_of: plan.owner_of.clone(),
+                outboxes: (0..plan.n_shards)
+                    .map(|_| Vec::with_capacity(crate::shard::remote_buf_capacity(n_nodes)))
+                    .collect(),
+                timer_seq: vec![0; n_nodes],
+                node_rngs: (0..n_nodes)
+                    .map(|i| SmallRng::seed_from_u64(mix64(cfg.seed) ^ mix64(i as u64)))
+                    .collect(),
+                node_fault_rngs: (0..n_nodes)
+                    .map(|i| {
+                        SmallRng::seed_from_u64(mix64(cfg.seed ^ FAULT_SEED_SALT) ^ mix64(i as u64))
+                    })
+                    .collect(),
+                next_fault_key: 0,
+                sent: 0,
+                received: 0,
+            })
+        });
         let nodes = topo
             .nodes
             .iter()
-            .map(|n| {
-                let ports = n.ports.iter().map(|_| PortState::new(&cfg)).collect();
+            .enumerate()
+            .map(|(ni, n)| {
+                // Foreign nodes never enqueue packets in this shard (their
+                // events route to their owner), so their packet arenas get
+                // zero capacity — at 1024 hosts the replicated topology
+                // would otherwise cost hundreds of MB per shard.
+                let arena_slots = match shard.as_ref() {
+                    Some(sc) if !sc.owns(NodeId(ni as u32)) => 0,
+                    _ => cfg.port.arena_slots,
+                };
+                let ports = n
+                    .ports
+                    .iter()
+                    .map(|_| PortState::new(&cfg, arena_slots))
+                    .collect();
                 let buffer = match n.kind {
                     crate::topology::NodeKind::Switch => Some(SharedBuffer::new(
                         cfg.buffer_bytes,
@@ -205,7 +289,9 @@ impl SimCore {
         SimCore {
             cfg,
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            // Like the scratch buffers above, the event queue is pre-sized
+            // from the topology: per-bucket burst size scales with ports.
+            events: EventQueue::sized_for(topo.nodes.len()),
             topo,
             nodes,
             routes,
@@ -225,6 +311,7 @@ impl SimCore {
             flush_scratch: Vec::with_capacity(flush_cap),
             resume_scratch: Vec::with_capacity(snap_cap),
             telem_snap_pool: Vec::with_capacity(snap_cap),
+            shard,
         }
     }
 
@@ -239,6 +326,14 @@ impl SimCore {
         qlen: u64,
     ) {
         if let Some(t) = self.tracer.as_mut() {
+            // Sharded runs replicate fault events into every shard; only the
+            // owner of the node involved records the trace, so the merged
+            // per-shard streams are disjoint and partition-invariant.
+            if let Some(sc) = self.shard.as_ref() {
+                if !sc.owns(node) {
+                    return;
+                }
+            }
             t.record(TraceEvent {
                 at: self.now,
                 kind,
@@ -259,7 +354,109 @@ impl SimCore {
 
     pub(crate) fn schedule(&mut self, at: SimTime, ev: Event) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.events.push(at, ev);
+        let Some(sc) = self.shard.as_mut() else {
+            self.events.push(at, ev);
+            return;
+        };
+        // Sharded mode: every event gets a canonical content-derived key so
+        // simultaneous events pop in a partition-invariant order, and events
+        // addressed to foreign nodes divert to the owner's mailbox. Only
+        // `Arrive` and `PfcUpdate` can target foreign nodes — `TxDone` is
+        // scheduled by the owner of the transmitting port and `HostTimer`
+        // by the owner of the host.
+        let (key, target) = match &ev {
+            Event::Arrive { node, port, .. } => (
+                node_event_key(*node, RANK_ARRIVE, port.0 as u64),
+                Some(*node),
+            ),
+            Event::PfcUpdate {
+                node,
+                port,
+                prio,
+                pause,
+            } => (
+                node_event_key(
+                    *node,
+                    RANK_PFC,
+                    ((port.0 as u64) << 9) | ((*prio as u64) << 1) | *pause as u64,
+                ),
+                Some(*node),
+            ),
+            Event::TxDone { node, port } => {
+                debug_assert!(sc.owns(*node), "TxDone scheduled for a foreign node");
+                (node_event_key(*node, RANK_TXDONE, port.0 as u64), None)
+            }
+            Event::HostTimer { host, .. } => {
+                debug_assert!(sc.owns(*host), "HostTimer scheduled for a foreign host");
+                let seq = sc.timer_seq[host.idx()];
+                sc.timer_seq[host.idx()] = seq.wrapping_add(1);
+                (node_event_key(*host, RANK_TIMER, seq), None)
+            }
+            Event::ControlTick => (control_tick_key(), None),
+            Event::TelemetrySample => (telemetry_sample_key(), None),
+            Event::Fault(_) => {
+                let k = fault_event_key(sc.next_fault_key);
+                sc.next_fault_key += 1;
+                (k, None)
+            }
+        };
+        if let Some(node) = target {
+            let owner = sc.owner_of[node.idx()];
+            if owner != sc.my_shard {
+                sc.sent += 1;
+                sc.outboxes[owner as usize].push(RemoteEvent { at, key, event: ev });
+                return;
+            }
+        }
+        self.events.push_keyed(at, key, ev);
+    }
+
+    /// Insert a cross-shard event received from a peer shard (the conservative
+    /// bound in [`crate::shard::run_sharded`] guarantees it is not in this
+    /// shard's past).
+    pub fn inject_remote(&mut self, ev: RemoteEvent) {
+        debug_assert!(
+            ev.at >= self.now,
+            "remote event arrived in this shard's past"
+        );
+        if let Some(sc) = self.shard.as_mut() {
+            sc.received += 1;
+        }
+        self.events.push_keyed(ev.at, ev.key, ev.event);
+    }
+
+    /// Move every staged outbound event for `shard` into `out` (appends;
+    /// both vectors keep their capacity, so a steady-state exchange does not
+    /// allocate). No-op on an unsharded core.
+    pub fn drain_outbox_into(&mut self, shard: u32, out: &mut Vec<RemoteEvent>) {
+        if let Some(sc) = self.shard.as_mut() {
+            out.append(&mut sc.outboxes[shard as usize]);
+        }
+    }
+
+    /// Cross-shard (sent, received) event counts of this shard; (0, 0) on an
+    /// unsharded core.
+    pub fn shard_comm_counters(&self) -> (u64, u64) {
+        self.shard
+            .as_ref()
+            .map(|sc| (sc.sent, sc.received))
+            .unwrap_or((0, 0))
+    }
+
+    /// Whether this core owns `node` (always true on an unsharded core).
+    /// Telemetry samplers and harness readbacks use this to emit each node's
+    /// data from exactly one shard.
+    pub fn owns_node(&self, node: NodeId) -> bool {
+        self.shard.as_ref().map(|sc| sc.owns(node)).unwrap_or(true)
+    }
+
+    /// The RNG a node's driver draws from: the node's own stream in sharded
+    /// mode (placement-independent), the shared engine RNG otherwise.
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut SmallRng {
+        match self.shard.as_mut() {
+            Some(sc) => &mut sc.node_rngs[node.idx()],
+            None => &mut self.rng,
+        }
     }
 
     pub(crate) fn schedule_host_timer(&mut self, at: SimTime, host: NodeId, token: u64) {
@@ -305,6 +502,29 @@ impl SimCore {
         &self.nodes[node.idx()].ports[port.idx()].queues[prio as usize]
     }
 
+    /// The SoA telemetry block of one port (see [`PortTelemetry`]).
+    pub fn port_telemetry(&self, node: NodeId, port: PortId) -> &PortTelemetry {
+        &self.nodes[node.idx()].ports[port.idx()].telem
+    }
+
+    /// Assembled per-queue telemetry view of (`node`, `port`, `prio`).
+    /// The queue-length time integral is only current up to the queue's
+    /// last push/pop; use [`Self::synced_queue_telem`] when reading it.
+    pub fn queue_telem(&self, node: NodeId, port: PortId, prio: Prio) -> QueueTelemetry {
+        self.nodes[node.idx()].ports[port.idx()]
+            .telem
+            .queue(prio as usize)
+    }
+
+    /// Bring one queue's time-integral up to the current simulated time and
+    /// return the assembled telemetry view.
+    pub fn synced_queue_telem(&mut self, node: NodeId, port: PortId, prio: Prio) -> QueueTelemetry {
+        let now = self.now;
+        let ps = &mut self.nodes[node.idx()].ports[port.idx()];
+        ps.queues[prio as usize].sync_clock(&mut ps.telem, now);
+        ps.telem.queue(prio as usize)
+    }
+
     pub(crate) fn pfc_pauses_of(&self, node: NodeId) -> u64 {
         self.nodes[node.idx()]
             .ports
@@ -343,7 +563,12 @@ impl SimCore {
         let ps = &mut self.nodes[host.idx()].ports[0];
         // Host NICs have effectively unbounded send memory (the transport's
         // windows/rate limits bound it in practice); no drop here.
-        ps.queues[pkt.prio as usize].push(&mut ps.arena, QItem { pkt, ingress: None }, now);
+        ps.queues[pkt.prio as usize].push(
+            &mut ps.arena,
+            &mut ps.telem,
+            QItem { pkt, ingress: None },
+            now,
+        );
         self.try_send(host, PortId(0));
     }
 
@@ -364,7 +589,7 @@ impl SimCore {
         };
         let now = self.now;
         let item = ps.queues[prio]
-            .pop(&mut ps.arena, now)
+            .pop(&mut ps.arena, &mut ps.telem, now)
             .expect("dwrr picked an empty queue");
         ps.in_flight = Some(InFlight {
             size: item.pkt.size,
@@ -514,7 +739,10 @@ impl SimCore {
                 self.lossless_drops += 1;
             }
             let qlen = q.bytes();
-            self.queue_mut(node, out_port, pkt.prio).record_drop();
+            {
+                let ps = &mut self.nodes[node.idx()].ports[out_port.idx()];
+                ps.queues[prio].record_drop(&mut ps.telem);
+            }
             self.trace(TraceKind::Drop, node, out_port, pkt.prio, pkt.flow, qlen);
             if let Some(p) = self.prof.as_mut() {
                 p.drop_at(qlen);
@@ -525,10 +753,18 @@ impl SimCore {
         // RED/ECN marking against the instantaneous egress queue depth.
         if pkt.ecn.markable() {
             let q = &self.nodes[node.idx()].ports[out_port.idx()].queues[prio];
-            if let Some(cfg) = q.ecn {
-                let qlen = q.marking_qlen();
+            let ecn_at = q.ecn.map(|cfg| (cfg, q.marking_qlen()));
+            if let Some((cfg, qlen)) = ecn_at {
                 let p = cfg.mark_probability(qlen);
-                if p >= 1.0 || (p > 0.0 && self.rng.gen::<f64>() < p) {
+                // Sharded runs draw from the switch's own RNG stream so the
+                // marking trajectory is independent of thread placement.
+                let marked = p >= 1.0
+                    || (p > 0.0
+                        && match self.shard.as_mut() {
+                            Some(sc) => sc.node_rngs[node.idx()].gen::<f64>() < p,
+                            None => self.rng.gen::<f64>() < p,
+                        });
+                if marked {
                     pkt.ecn = crate::packet::Ecn::Ce;
                     self.trace(TraceKind::CeMark, node, out_port, pkt.prio, pkt.flow, qlen);
                     if let Some(prof) = self.prof.as_mut() {
@@ -563,6 +799,7 @@ impl SimCore {
         let q = &mut ps.queues[prio];
         q.push(
             &mut ps.arena,
+            &mut ps.telem,
             QItem {
                 pkt,
                 ingress: Some(in_port),
@@ -679,6 +916,14 @@ impl SimCore {
 
     /// Append one executed fault to the in-core fault log.
     fn log_fault(&mut self, kind: &'static str, node: NodeId, port: PortId, detail: FaultDetail) {
+        // Faults replicate into every shard (link state and routing must stay
+        // globally consistent) but only the owner logs and counts them, so
+        // merged fault streams carry each fault exactly once.
+        if let Some(sc) = self.shard.as_ref() {
+            if !sc.owns(node) {
+                return;
+            }
+        }
         self.faults_executed += 1;
         if self.fault_log.len() >= FAULT_LOG_CAP {
             self.fault_log_dropped += 1;
@@ -709,7 +954,14 @@ impl SimCore {
             true
         } else {
             let frac = ps.loss_frac;
-            frac > 0.0 && (frac >= 1.0 || self.fault_rng.gen::<f64>() < frac)
+            frac > 0.0
+                && (frac >= 1.0 || {
+                    let r: f64 = match self.shard.as_mut() {
+                        Some(sc) => sc.node_fault_rngs[node.idx()].gen(),
+                        None => self.fault_rng.gen(),
+                    };
+                    r < frac
+                })
         };
         if lost {
             self.total_drops += 1;
@@ -788,9 +1040,9 @@ impl SimCore {
                 snap.clear();
                 let st = &mut self.nodes[node.idx()];
                 for p in st.ports.iter_mut() {
-                    for q in p.queues.iter_mut() {
-                        q.sync_clock(now);
-                        snap.push((q.bytes(), q.telem));
+                    for (prio, q) in p.queues.iter_mut().enumerate() {
+                        q.sync_clock(&mut p.telem, now);
+                        snap.push((q.bytes(), p.telem.queue(prio)));
                     }
                 }
                 self.recycle_telem_fault(node);
@@ -858,7 +1110,7 @@ impl SimCore {
             for prio in 0..nq {
                 let st = &mut self.nodes[node.idx()];
                 let ps = &mut st.ports[pi];
-                ps.queues[prio].flush_into(&mut ps.arena, now, &mut items);
+                ps.queues[prio].flush_into(&mut ps.arena, &mut ps.telem, now, &mut items);
                 flushed += items.len() as u64;
                 for item in &items {
                     if let Some(buf) = st.buffer.as_mut() {
@@ -984,8 +1236,25 @@ impl Simulator {
     /// are counted and discarded); switches start without controllers (the
     /// initial ECN configuration stays in force — i.e. a static-ECN network).
     pub fn new(topo: Topology, cfg: SimConfig) -> Self {
-        let n = topo.nodes.len();
-        let mut core = SimCore::new(topo, cfg);
+        Self::from_core(SimCore::new(topo, cfg))
+    }
+
+    /// Build one shard's simulator for a sharded run (see [`crate::shard`]):
+    /// the full topology with this shard's nodes live and foreign nodes as
+    /// zero-capacity stand-ins, canonical event keys, per-node RNG streams,
+    /// and cross-shard mailboxes for `plan.n_shards` peers.
+    pub fn new_sharded(topo: Topology, cfg: SimConfig, plan: &ShardPlan, shard: u32) -> Self {
+        assert!(shard < plan.n_shards, "shard index out of range");
+        assert_eq!(
+            plan.owner_of.len(),
+            topo.nodes.len(),
+            "shard plan was built for a different topology"
+        );
+        Self::from_core(SimCore::new_inner(topo, cfg, Some((plan, shard))))
+    }
+
+    fn from_core(mut core: SimCore) -> Self {
+        let n = core.topo.nodes.len();
         if let Some(dt) = core.cfg.control_interval {
             core.schedule(dt, Event::ControlTick);
         }
@@ -997,6 +1266,19 @@ impl Simulator {
             sampler: None,
             switch_cache,
         }
+    }
+
+    /// Panic unless this simulator was built with [`Simulator::new_sharded`]
+    /// for exactly (`n_shards`, `shard`) — the sharded runner's guard against
+    /// a builder closure wiring up the wrong shard.
+    pub(crate) fn assert_shard(&self, n_shards: u32, shard: u32) {
+        let sc = self
+            .core
+            .shard
+            .as_ref()
+            .expect("sharded run requires Simulator::new_sharded");
+        assert_eq!(sc.n_shards, n_shards, "simulator built for another plan");
+        assert_eq!(sc.my_shard, shard, "simulator built for another shard");
     }
 
     /// Install a periodic telemetry sampler: `hook` runs against the core
@@ -1031,6 +1313,11 @@ impl Simulator {
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultPlanError> {
         plan.validate()?;
         self.core.fault_rng = SmallRng::seed_from_u64(plan.seed ^ FAULT_SEED_SALT);
+        if let Some(sc) = self.core.shard.as_mut() {
+            for (i, r) in sc.node_fault_rngs.iter_mut().enumerate() {
+                *r = SmallRng::seed_from_u64(mix64(plan.seed ^ FAULT_SEED_SALT) ^ mix64(i as u64));
+            }
+        }
         // Every scheduled fault appends at most one log entry; reserving up
         // front keeps the steady-state loop free of fault-log growth.
         self.core
@@ -1090,8 +1377,16 @@ impl Simulator {
     }
 
     /// Install the NIC driver for `host`.
+    ///
+    /// In a sharded simulator, installing onto a host owned by another shard
+    /// is a silent no-op: full-topology installers (`install_stacks`, the
+    /// bench harness) run unchanged in every shard, and each host's driver
+    /// ends up alive only in the shard that owns it.
     pub fn set_driver(&mut self, host: NodeId, driver: Box<dyn NicDriver>) {
         assert!(self.core.topo.is_host(host), "drivers attach to hosts");
+        if !self.core.owns_node(host) {
+            return;
+        }
         self.drivers[host.idx()] = Some(driver);
     }
 
@@ -1101,11 +1396,19 @@ impl Simulator {
     }
 
     /// Install the control-plane logic for `switch`.
+    ///
+    /// In a sharded simulator, installing onto a switch owned by another
+    /// shard is a silent no-op (see [`Simulator::set_driver`]): a foreign
+    /// controller would tick against queues that never carry traffic in this
+    /// shard and duplicate the owner's telemetry.
     pub fn set_controller(&mut self, switch: NodeId, ctl: Box<dyn QueueController>) {
         assert!(
             !self.core.topo.is_host(switch),
             "controllers attach to switches"
         );
+        if !self.core.owns_node(switch) {
+            return;
+        }
         self.controllers[switch.idx()] = Some(ctl);
     }
 
@@ -1287,6 +1590,31 @@ impl Simulator {
         let t = self.core.now + d;
         self.run_until(t);
     }
+
+    /// Process every pending event with activation time strictly below
+    /// `bound`, returning how many were processed. Unlike
+    /// [`Simulator::run_until`] this never advances `now` past the last
+    /// processed event — the sharded run loop owns time advancement.
+    pub fn run_events_before(&mut self, bound: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(next) = self.core.events.peek_time() {
+            if next >= bound {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Advance `now` to `t` if it is behind (no events are processed) — the
+    /// end-of-horizon counterpart of [`Simulator::run_until`] for sharded
+    /// runs, so post-run telemetry syncs see the full horizon.
+    pub fn advance_now_to(&mut self, t: SimTime) {
+        if self.core.now < t {
+            self.core.now = t;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1417,12 +1745,12 @@ mod tests {
         sim.run_until(SimTime::from_ms(5));
         let sw = sim.core().topo.switches()[0];
         // The egress queue towards host 2 is port index 2.
-        let q = sim.core().queue(sw, PortId(2), PRIO_RDMA);
-        assert_eq!(q.telem.tx_pkts, 400);
+        let t = sim.core().queue_telem(sw, PortId(2), PRIO_RDMA);
+        assert_eq!(t.tx_pkts, 400);
         assert!(
-            q.telem.tx_marked_pkts > 300,
+            t.tx_marked_pkts > 300,
             "most packets should be CE-marked, got {}",
-            q.telem.tx_marked_pkts
+            t.tx_marked_pkts
         );
         assert_eq!(sim.core().total_drops, 0);
     }
@@ -1448,8 +1776,8 @@ mod tests {
         sim.with_driver(hosts[0], |_, ctx| ctx.set_timer_at(SimTime::ZERO, 0));
         sim.run_until(SimTime::from_ms(5));
         let sw = sim.core().topo.switches()[0];
-        let q = sim.core().queue(sw, PortId(2), PRIO_RDMA);
-        assert_eq!(q.telem.tx_marked_pkts, 0);
+        let t = sim.core().queue_telem(sw, PortId(2), PRIO_RDMA);
+        assert_eq!(t.tx_marked_pkts, 0);
     }
 
     #[test]
@@ -1849,7 +2177,7 @@ mod tests {
         let (mut sim, _got) = two_host_sim(10_000_000_000);
         let sw = sim.core().topo.switches()[0];
         sim.run_until(SimTime::from_us(50));
-        let live = sim.core().queue(sw, PortId(1), PRIO_RDMA).telem;
+        let live = sim.core().queue_telem(sw, PortId(1), PRIO_RDMA);
         assert!(live.enq_pkts > 0, "traffic flowed");
         assert!(
             sim.core()
@@ -1869,7 +2197,7 @@ mod tests {
             .faulted_reading(sw, PortId(1), PRIO_RDMA)
             .unwrap();
         assert_eq!((q0, t0), (q1, t1), "frozen reads never move");
-        let truth = sim.core().queue(sw, PortId(1), PRIO_RDMA).telem;
+        let truth = sim.core().queue_telem(sw, PortId(1), PRIO_RDMA);
         assert!(truth.enq_pkts > t1.enq_pkts, "ground truth kept advancing");
         sim.core_mut()
             .apply_fault(FaultKind::TelemetryBlank { node: sw });

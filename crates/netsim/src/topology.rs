@@ -194,6 +194,29 @@ pub enum TopologySpec {
         /// Leaf–spine propagation delay.
         fabric_delay: SimTime,
     },
+    /// Three-tier Clos: `n_pods` pods of `tors_per_pod` ToRs and
+    /// `aggs_per_pod` aggregation switches (full bipartite mesh inside the
+    /// pod), with every aggregation switch uplinked to every core switch.
+    ThreeTierClos {
+        /// Number of pods.
+        n_pods: usize,
+        /// Top-of-rack switches per pod.
+        tors_per_pod: usize,
+        /// Aggregation switches per pod.
+        aggs_per_pod: usize,
+        /// Core switches (each connects to every agg in every pod).
+        n_cores: usize,
+        /// Hosts attached to each ToR.
+        hosts_per_tor: usize,
+        /// Host link rate, bits/s.
+        host_bps: u64,
+        /// Fabric (ToR–agg and agg–core) link rate, bits/s.
+        fabric_bps: u64,
+        /// Host link propagation delay.
+        host_delay: SimTime,
+        /// Fabric link propagation delay.
+        fabric_delay: SimTime,
+    },
 }
 
 impl TopologySpec {
@@ -248,6 +271,28 @@ impl TopologySpec {
         }
     }
 
+    /// The sharded-engine flagship fabric: a 1024-host, 1:1-subscribed
+    /// three-tier Clos. 16 pods × 4 ToRs × 16 hosts at 25 Gbps; 4 aggs per
+    /// pod and 4 cores at 100 Gbps. Every tier's up-capacity equals its
+    /// down-capacity (ToR: 16×25G = 4×100G; agg: 4×100G both ways; pod:
+    /// 1.6 Tbps host, ToR-uplink and core-uplink capacity), so no tier is
+    /// oversubscribed. Pods are the natural shard boundary: only agg–core
+    /// links cross pods, and their 500 ns propagation delay is the
+    /// conservative lookahead bound.
+    pub fn paper_xl_clos() -> Self {
+        TopologySpec::ThreeTierClos {
+            n_pods: 16,
+            tors_per_pod: 4,
+            aggs_per_pod: 4,
+            n_cores: 4,
+            hosts_per_tor: 16,
+            host_bps: 25_000_000_000,
+            fabric_bps: 100_000_000_000,
+            host_delay: SimTime::from_ns(500),
+            fabric_delay: SimTime::from_ns(500),
+        }
+    }
+
     /// Materialize the spec into a [`Topology`].
     pub fn build(&self) -> Topology {
         let mut b = TopologyBuilder::new();
@@ -289,6 +334,53 @@ impl TopologySpec {
                 for &leaf in &leaves {
                     for &spine in &spines {
                         b.link(leaf, spine, fabric_bps, fabric_delay);
+                    }
+                }
+            }
+            TopologySpec::ThreeTierClos {
+                n_pods,
+                tors_per_pod,
+                aggs_per_pod,
+                n_cores,
+                hosts_per_tor,
+                host_bps,
+                fabric_bps,
+                host_delay,
+                fabric_delay,
+            } => {
+                assert!(
+                    n_pods >= 1
+                        && tors_per_pod >= 1
+                        && aggs_per_pod >= 1
+                        && n_cores >= 1
+                        && hosts_per_tor >= 1
+                );
+                let cores: Vec<_> = (0..n_cores)
+                    .map(|i| b.add_switch(format!("core{i}")))
+                    .collect();
+                for p in 0..n_pods {
+                    let aggs: Vec<_> = (0..aggs_per_pod)
+                        .map(|a| b.add_switch(format!("pod{p}-agg{a}")))
+                        .collect();
+                    let tors: Vec<_> = (0..tors_per_pod)
+                        .map(|t| b.add_switch(format!("pod{p}-tor{t}")))
+                        .collect();
+                    for (ti, &tor) in tors.iter().enumerate() {
+                        for h in 0..hosts_per_tor {
+                            let idx = (p * tors_per_pod + ti) * hosts_per_tor + h;
+                            let host = b.add_host(format!("host{idx}"));
+                            b.link(host, tor, host_bps, host_delay);
+                        }
+                    }
+                    for &tor in &tors {
+                        for &agg in &aggs {
+                            b.link(tor, agg, fabric_bps, fabric_delay);
+                        }
+                    }
+                    for &agg in &aggs {
+                        for &core in &cores {
+                            b.link(agg, core, fabric_bps, fabric_delay);
+                        }
                     }
                 }
             }
@@ -337,6 +429,87 @@ mod tests {
                 assert_eq!(back.peer_node, NodeId(ni as u32));
                 assert_eq!(back.peer_port, PortId(pi as u16));
                 assert_eq!(back.rate_bps, p.rate_bps);
+            }
+        }
+    }
+
+    /// Structural validation of the 1024-host `paper_xl_clos` preset: node
+    /// and link counts, per-tier port counts, and a 1:1 subscription ratio
+    /// at every tier.
+    #[test]
+    fn xl_clos_shape_and_subscription() {
+        let t = TopologySpec::paper_xl_clos().build();
+        assert_eq!(t.host_count(), 1024);
+        // 4 cores + 16 pods × (4 aggs + 4 ToRs).
+        assert_eq!(t.switch_count(), 132);
+        // Total full-duplex links: 1024 host–ToR + 16×4×4 ToR–agg +
+        // 16×4×4 agg–core. Every link is two ports.
+        let total_ports: usize = t.nodes.iter().map(|n| n.ports.len()).sum();
+        assert_eq!(total_ports, 2 * (1024 + 256 + 256));
+        for &sw in t.switches() {
+            let n = t.node(sw);
+            let (host_ports, fabric_ports): (Vec<&PortInfo>, Vec<&PortInfo>) =
+                n.ports.iter().partition(|p| t.is_host(p.peer_node));
+            if n.name.starts_with("core") {
+                // Each core sees every agg in every pod.
+                assert_eq!(
+                    (host_ports.len(), fabric_ports.len()),
+                    (0, 64),
+                    "{}",
+                    n.name
+                );
+            } else if n.name.contains("agg") {
+                assert_eq!((host_ports.len(), fabric_ports.len()), (0, 8), "{}", n.name);
+            } else {
+                // ToR: 16 host ports down, 4 agg uplinks.
+                assert_eq!(
+                    (host_ports.len(), fabric_ports.len()),
+                    (16, 4),
+                    "{}",
+                    n.name
+                );
+                let down: u64 = host_ports.iter().map(|p| p.rate_bps).sum();
+                let up: u64 = fabric_ports.iter().map(|p| p.rate_bps).sum();
+                assert_eq!(down, up, "ToR {} oversubscribed", n.name);
+            }
+        }
+        // Pod-level 1:1: host capacity == agg-to-core uplink capacity.
+        let host_cap: u64 = t.hosts().iter().map(|&h| t.host_rate_bps(h)).sum();
+        let core_up: u64 = t
+            .switches()
+            .iter()
+            .filter(|&&s| t.node(s).name.contains("agg"))
+            .flat_map(|&s| t.node(s).ports.iter())
+            .filter(|p| t.node(p.peer_node).name.starts_with("core"))
+            .map(|p| p.rate_bps)
+            .sum();
+        assert_eq!(host_cap, core_up);
+    }
+
+    /// Every host can reach every other host through the ECMP route table,
+    /// and cross-pod paths traverse the core tier.
+    #[test]
+    fn xl_clos_routes_reach_all_hosts() {
+        use crate::ids::FlowId;
+        use crate::routing::RouteTable;
+        let t = TopologySpec::paper_xl_clos().build();
+        let routes = RouteTable::build(&t);
+        let hosts = t.hosts();
+        // Exhaustive all-pairs is 1M pairs; a deterministic stride sample
+        // covering same-rack, same-pod and cross-pod pairs is enough.
+        for (i, &src) in hosts.iter().enumerate() {
+            for &off in &[1usize, 17, 64, 511] {
+                let dst = hosts[(i + off) % hosts.len()];
+                let mut at = src;
+                let mut hops = 0;
+                while at != dst {
+                    let port = routes
+                        .try_next_hop(at, dst, FlowId(i as u64))
+                        .unwrap_or_else(|| panic!("no route {at:?} -> {dst:?}"));
+                    at = t.port(at, port).peer_node;
+                    hops += 1;
+                    assert!(hops <= 6, "path {src:?} -> {dst:?} too long");
+                }
             }
         }
     }

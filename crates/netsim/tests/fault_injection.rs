@@ -88,10 +88,10 @@ fn traffic_steers_around_failed_uplink() {
     );
     assert_eq!(sim.core().unroutable_drops, 0);
     // The failed uplink carries nothing new while down.
-    let up6 = sim.core().queue(leaf0, PortId(6), PRIO_RDMA).telem.tx_pkts;
+    let up6 = sim.core().queue_telem(leaf0, PortId(6), PRIO_RDMA).tx_pkts;
     sim.run_until(SimTime::from_ms(7));
     assert_eq!(
-        sim.core().queue(leaf0, PortId(6), PRIO_RDMA).telem.tx_pkts,
+        sim.core().queue_telem(leaf0, PortId(6), PRIO_RDMA).tx_pkts,
         up6
     );
 }

@@ -91,8 +91,8 @@ fn dwrr_enforces_configured_split_under_saturation() {
     }
     sim.run_until(SimTime::from_ms(20));
     let sw = sim.core().topo.switches()[0];
-    let tcp = sim.core().queue(sw, PortId(2), PRIO_TCP).telem.tx_bytes as f64;
-    let rdma = sim.core().queue(sw, PortId(2), PRIO_RDMA).telem.tx_bytes as f64;
+    let tcp = sim.core().queue_telem(sw, PortId(2), PRIO_TCP).tx_bytes as f64;
+    let rdma = sim.core().queue_telem(sw, PortId(2), PRIO_RDMA).tx_bytes as f64;
     let rdma_share = rdma / (tcp + rdma);
     assert!(
         (rdma_share - 0.7).abs() < 0.03,
@@ -152,8 +152,8 @@ fn ecmp_spreads_flows_over_spines() {
     sim.run_until(SimTime::from_ms(20));
     // Leaf 0's two uplink ports are the last two ports (6 host + 2 spine).
     let leaf0 = sim.core().topo.switches()[0];
-    let up0 = sim.core().queue(leaf0, PortId(6), PRIO_RDMA).telem.tx_bytes as f64;
-    let up1 = sim.core().queue(leaf0, PortId(7), PRIO_RDMA).telem.tx_bytes as f64;
+    let up0 = sim.core().queue_telem(leaf0, PortId(6), PRIO_RDMA).tx_bytes as f64;
+    let up1 = sim.core().queue_telem(leaf0, PortId(7), PRIO_RDMA).tx_bytes as f64;
     let total = up0 + up1;
     assert!(total > 0.0);
     let frac = up0 / total;
@@ -214,8 +214,10 @@ fn pfc_pause_resume_cycles_and_buffer_returns_to_zero() {
         "all buffered bytes must be released after the burst drains"
     );
     // All 4000 packets eventually left the switch.
-    let q = sim.core().queue(sw, PortId(2), PRIO_RDMA);
-    assert_eq!(q.telem.tx_pkts, 4000);
+    assert_eq!(
+        sim.core().queue_telem(sw, PortId(2), PRIO_RDMA).tx_pkts,
+        4000
+    );
 }
 
 #[test]

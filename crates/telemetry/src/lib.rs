@@ -37,6 +37,7 @@
 pub use acc_metrics as metrics;
 
 pub mod manifest;
+pub mod merge;
 pub mod recorder;
 pub mod sampler;
 pub mod samples;
@@ -44,8 +45,9 @@ pub mod sink;
 pub mod slo;
 
 pub use manifest::RunManifest;
+pub use merge::merge_shards;
 pub use recorder::{RunRecorder, SharedRecorder};
 pub use sampler::install_queue_sampler;
 pub use samples::{AgentSample, EventSample, QueueSample};
-pub use sink::{JsonlSink, MemorySink, TelemetrySink};
+pub use sink::{JsonlSink, MemorySink, TelemetrySink, VecSink};
 pub use slo::{SoakSloReport, SOAK_SLO_SCHEMA};

@@ -28,6 +28,12 @@ struct PrevCounters {
 /// without the sampler produces the identical packet trajectory. Rows with
 /// no activity in the interval (empty queue, nothing transmitted, enqueued,
 /// dropped or paused) are elided to bound file size.
+///
+/// In a sharded run the sampler is installed in every shard (the sampling
+/// tick is replicated so shard clocks agree), but each shard samples only
+/// the switches it owns — the per-shard streams partition the full record
+/// set and merge losslessly ([`crate::merge::merge_shards`]). Unsharded,
+/// every node is owned and the filter is a no-op.
 pub fn install_queue_sampler(sim: &mut Simulator, interval: SimTime, recorder: SharedRecorder) {
     let switches: Vec<NodeId> = sim.core().topo.switches().to_vec();
     let mut prev: HashMap<(u32, u16, u8), PrevCounters> = HashMap::new();
@@ -38,6 +44,9 @@ pub fn install_queue_sampler(sim: &mut Simulator, interval: SimTime, recorder: S
             let num_prios = core.cfg.port.num_prios;
             let mut rec = recorder.borrow_mut();
             for &sw in &switches {
+                if !core.owns_node(sw) {
+                    continue;
+                }
                 let n_ports = core.topo.node(sw).ports.len();
                 let buffer_used_bytes = core.buffer_used(sw);
                 for p in 0..n_ports {
@@ -46,7 +55,7 @@ pub fn install_queue_sampler(sim: &mut Simulator, interval: SimTime, recorder: S
                     for prio in 0..num_prios as u8 {
                         let q = core.queue(sw, port, prio);
                         let qlen_bytes = q.bytes();
-                        let t = q.telem;
+                        let t = core.queue_telem(sw, port, prio);
                         let pause_ps = core.pfc_pause_time(sw, port, prio).as_ps();
                         let cur = PrevCounters {
                             tx_bytes: t.tx_bytes,

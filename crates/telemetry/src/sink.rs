@@ -112,6 +112,43 @@ impl TelemetrySink for MemorySink {
     }
 }
 
+/// An unbounded, lossless in-memory sink: retains every record in arrival
+/// order. This is the per-shard staging buffer of a sharded run — each
+/// shard records into its own `VecSink`, and after the run the buffers are
+/// merged deterministically into one output stream (see
+/// [`crate::merge::merge_shards`]). Unlike [`MemorySink`] nothing is ever
+/// evicted, so the merged output is independent of shard count.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Every queue sample, in the order this shard recorded it.
+    pub queues: Vec<QueueSample>,
+    /// Every agent sample, in the order this shard recorded it.
+    pub agents: Vec<AgentSample>,
+    /// Every event sample, in the order this shard recorded it.
+    pub events: Vec<EventSample>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+}
+
+impl TelemetrySink for VecSink {
+    fn on_queue(&mut self, s: &QueueSample) {
+        self.queues.push(s.clone());
+    }
+
+    fn on_agent(&mut self, s: &AgentSample) {
+        self.agents.push(s.clone());
+    }
+
+    fn on_event(&mut self, s: &EventSample) {
+        self.events.push(s.clone());
+    }
+}
+
 /// Streams records as JSON lines into `queues.jsonl`, `agents.jsonl` and
 /// `events.jsonl` inside a run directory. Serialization is deterministic
 /// (fixed field order, fixed number formatting), so identical runs produce

@@ -50,7 +50,7 @@ pub use app::{AppHook, CompletedMsg};
 pub use dcqcn::DcqcnConfig;
 pub use msg::{CcKind, Message};
 pub use stack::{HostStack, StackConfig};
-pub use stats::{FctCollector, FctStats, FctSummary, FlowRecord, SharedFct};
+pub use stats::{merge_shard_fct, FctCollector, FctStats, FctSummary, FlowRecord, SharedFct};
 pub use window::WindowConfig;
 
 use netsim::prelude::*;

@@ -163,6 +163,12 @@ impl HostStack {
         self.flows.len()
     }
 
+    /// The FCT collector this stack records into (sharded harnesses reach
+    /// through any owned host's stack to extract the shard's records).
+    pub fn fct(&self) -> SharedFct {
+        self.fct.clone()
+    }
+
     /// Current DCQCN rates (bits/s) of this stack's active RDMA flows —
     /// diagnostic/telemetry use.
     pub fn dcqcn_rates(&self) -> Vec<f64> {
@@ -519,9 +525,34 @@ impl HostStack {
         let now = ctx.now();
         let (tag, start) = {
             let mut fct = self.fct.borrow_mut();
-            fct.complete(pkt.flow, now);
-            let rec = fct.get(pkt.flow).expect("completed unknown flow");
-            (rec.tag, rec.start)
+            if fct.get(pkt.flow).is_some() {
+                fct.complete(pkt.flow, now);
+                let rec = fct.get(pkt.flow).expect("completed unknown flow");
+                (rec.tag, rec.start)
+            } else {
+                // Sharded run, cross-shard flow: the sender registered in
+                // its own shard's collector. Record the receiver half here
+                // (start/tag unknown on this side); the harness joins the
+                // two halves by flow id ([`crate::stats::merge_shard_fct`]).
+                // App hooks see a degenerate start==end for such flows, so
+                // closed-loop apps are unsupported in sharded runs.
+                debug_assert!(
+                    !ctx.owns_node(pkt.src),
+                    "flow {} completed but never registered",
+                    pkt.flow
+                );
+                fct.register(FlowRecord {
+                    flow: pkt.flow,
+                    src: pkt.src,
+                    dst: self.host,
+                    bytes: total_bytes,
+                    prio: pkt.prio,
+                    tag: 0,
+                    start: now,
+                    end: Some(now),
+                });
+                (0, now)
+            }
         };
         if let Some(app) = self.app.clone() {
             let done = CompletedMsg {
@@ -797,9 +828,8 @@ mod tests {
             let horizon = SimTime::from_ms(20);
             sim.run_until(horizon);
             let sw = sim.core().topo.switches()[0];
-            let q = sim.core_mut().queue_mut(sw, PortId(2), 0);
-            q.sync_clock(horizon);
-            q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64
+            let t = sim.core_mut().synced_queue_telem(sw, PortId(2), 0);
+            t.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64
         }
         let dctcp_q = run(CcKind::Dctcp);
         let reno_q = run(CcKind::Reno);

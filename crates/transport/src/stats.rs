@@ -143,6 +143,52 @@ impl FctCollector {
     }
 }
 
+/// Join the per-shard FCT records of one sharded run into a single
+/// collector, deterministically.
+///
+/// Each shard's collector holds the records of flows its own hosts touched.
+/// A same-shard flow contributes one complete record. A cross-shard flow
+/// contributes two halves: the sender's registration (true `start`, `tag`,
+/// `end: None` — the completion happened in the receiver's shard) and the
+/// receiver's completion stub (`end: Some`, degenerate start). The merge
+/// joins the halves by flow id — sender metadata, receiver end time — and
+/// registers the results in flow-id order, so the merged statistics are
+/// byte-identical for any shard count.
+pub fn merge_shard_fct(per_shard: Vec<Vec<FlowRecord>>) -> FctCollector {
+    use std::collections::hash_map::Entry;
+    let mut by_flow: HashMap<u64, FlowRecord> = HashMap::new();
+    for recs in per_shard {
+        for r in recs {
+            match by_flow.entry(r.flow.0) {
+                Entry::Vacant(v) => {
+                    v.insert(r);
+                }
+                Entry::Occupied(mut o) => {
+                    let cur = o.get_mut();
+                    if cur.end.is_none() {
+                        // `cur` is the sender half: take the receiver's end.
+                        cur.end = r.end;
+                    } else if r.end.is_none() {
+                        // `r` is the sender half: keep its metadata, graft
+                        // the receiver's end time on.
+                        let end = cur.end;
+                        *cur = r;
+                        cur.end = end;
+                    }
+                }
+            }
+        }
+    }
+    let mut all: Vec<FlowRecord> = by_flow.into_values().collect();
+    all.sort_by_key(|r| r.flow.0);
+    let mut merged = FctCollector::default();
+    merged.reserve(all.len());
+    for r in all {
+        merged.register(r);
+    }
+    merged
+}
+
 /// Whole-run FCT recap exported into run manifests.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FctSummary {

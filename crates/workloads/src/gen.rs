@@ -24,6 +24,11 @@ pub struct Arrival {
 /// ([`transport::reserve_stack`]); with that, running the scheduled workload
 /// performs no flow-table growth — part of the zero-allocation steady-state
 /// contract the perf gates assert.
+///
+/// In a sharded simulator only owned hosts carry stacks, so reservation and
+/// scheduling skip foreign hosts. Filtering whole hosts preserves each
+/// owned host's arrival order, which keeps per-host flow-id assignment (and
+/// therefore the merged record streams) identical across shard counts.
 pub fn apply_arrivals(sim: &mut Simulator, arrivals: &[Arrival]) {
     let mut counts: std::collections::HashMap<NodeId, (usize, usize)> = Default::default();
     for a in arrivals {
@@ -31,9 +36,15 @@ pub fn apply_arrivals(sim: &mut Simulator, arrivals: &[Arrival]) {
         counts.entry(a.msg.dst).or_default().1 += 1;
     }
     for (&host, &(n_send, n_recv)) in &counts {
+        if !sim.core().owns_node(host) {
+            continue;
+        }
         transport::reserve_stack(sim, host, n_send, n_recv);
     }
     for a in arrivals {
+        if !sim.core().owns_node(a.src) {
+            continue;
+        }
         transport::schedule_message(sim, a.src, a.at, a.msg);
     }
 }

@@ -63,9 +63,10 @@ fn run(which: &str) -> (f64, f64) {
         let ports = sim.core().topo.node(sw).ports.len();
         for p in 0..ports {
             let now = sim.now();
-            let q = sim.core_mut().queue_mut(sw, PortId(p as u16), PRIO_RDMA);
-            q.sync_clock(now);
-            total_avg += q.telem.qlen_integral_byte_ps as f64 / now.as_ps() as f64;
+            let t = sim
+                .core_mut()
+                .synced_queue_telem(sw, PortId(p as u16), PRIO_RDMA);
+            total_avg += t.qlen_integral_byte_ps as f64 / now.as_ps() as f64;
             n += 1;
         }
     }

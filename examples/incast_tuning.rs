@@ -61,9 +61,8 @@ fn run(n_senders: usize, flows: usize, policy: Option<EcnConfig>, acc: bool) -> 
     let delivered: u64 = fct.borrow().completed().map(|r| r.bytes).sum();
     let goodput_gbps = delivered as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
     let sw = sim.core().topo.switches()[0];
-    let q = sim.core_mut().queue_mut(sw, PortId(15), PRIO_RDMA);
-    q.sync_clock(horizon);
-    let avg_queue_kb = q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
+    let t = sim.core_mut().synced_queue_telem(sw, PortId(15), PRIO_RDMA);
+    let avg_queue_kb = t.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
     Outcome {
         goodput_gbps,
         avg_queue_kb,

@@ -57,9 +57,8 @@ fn run(policy: &str) -> (f64, f64, f64) {
     // Collect results: FCTs plus the hot egress queue's time average.
     let stats = fct.borrow().stats(|_| true);
     let sw = sim.core().topo.switches()[0];
-    let q = sim.core_mut().queue_mut(sw, PortId(8), PRIO_RDMA);
-    q.sync_clock(horizon);
-    let avg_q_kb = q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
+    let t = sim.core_mut().synced_queue_telem(sw, PortId(8), PRIO_RDMA);
+    let avg_q_kb = t.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64 / 1024.0;
     (stats.avg_us, stats.p99_us, avg_q_kb)
 }
 

@@ -57,13 +57,11 @@ fn run(n_senders: usize, use_acc: bool) -> (f64, f64) {
     let rx_port = PortId(7);
     let rdma = sim
         .core()
-        .queue(sw, rx_port, acc::netsim::ids::PRIO_RDMA)
-        .telem
+        .queue_telem(sw, rx_port, acc::netsim::ids::PRIO_RDMA)
         .tx_bytes;
     let tcp = sim
         .core()
-        .queue(sw, rx_port, acc::netsim::ids::PRIO_TCP)
-        .telem
+        .queue_telem(sw, rx_port, acc::netsim::ids::PRIO_TCP)
         .tx_bytes;
     let total = (rdma + tcp) as f64;
     (rdma as f64 / total, tcp as f64 / total)

@@ -143,10 +143,9 @@ fn acc_controller_improves_over_mismatched_static() {
         let horizon = SimTime::from_ms(40);
         sim.run_until(horizon);
         let sw = sim.core().topo.switches()[0];
-        let q = sim.core_mut().queue_mut(sw, PortId(8), PRIO_RDMA);
-        q.sync_clock(horizon);
-        let avg = q.telem.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64;
-        (avg, q.telem.tx_bytes)
+        let t = sim.core_mut().synced_queue_telem(sw, PortId(8), PRIO_RDMA);
+        let avg = t.qlen_integral_byte_ps as f64 / horizon.as_ps() as f64;
+        (avg, t.tx_bytes)
     }
     let (static_q, static_tx) = avg_queue(false);
     let (acc_q, acc_tx) = avg_queue(true);
