@@ -36,10 +36,19 @@ fn run_one(policy: Policy, dist: &SizeDist, seed: u64, scale: Scale) -> FctBucke
     let segments = scale.pick(4, 2);
     let seg_len = scale.pick(SimTime::from_ms(6), SimTime::from_ms(4));
     let arrivals = heterogeneous_arrivals(&hosts, dist, segments, seg_len, seed);
-    let mut sc = scenario(&spec, policy, scale, seed, &arrivals);
     let total = seg_len.mul(segments as u64);
-    sc.sim
-        .run_until(total + scale.pick(SimTime::from_ms(15), SimTime::from_ms(10)));
+    let horizon = total + scale.pick(SimTime::from_ms(15), SimTime::from_ms(10));
+    // With `--shards N` the run goes through the sharded engine (the fig12
+    // pattern — including N = 1, so shard-count comparisons diff the same
+    // code path).
+    if let Some(n) = common::shards() {
+        let report = crate::shard_run::run_scenario_sharded(
+            &spec, policy, scale, seed, &arrivals, None, n, horizon,
+        );
+        return common::buckets_of(&report.fct, SimTime::ZERO);
+    }
+    let mut sc = scenario(&spec, policy, scale, seed, &arrivals);
+    sc.sim.run_until(horizon);
     buckets(&sc.fct, SimTime::ZERO)
 }
 

@@ -16,6 +16,9 @@
 //! * `--shards <n>` — run partition-invariant experiments through the
 //!   sharded conservative-lookahead engine on `n` shards (including
 //!   `--shards 1`, so shard-count comparisons diff the same code path);
+//! * `--fidelity <mode>` — `perf --scenario xl-flows` only: pick the
+//!   flow-level backend (`hybrid`, the default, feeds analytic ECN
+//!   telemetry to the tuner; `flow` runs pure max-min rates);
 //! * `--soak-plan <file>` / `--fault-plan <file>` — `soak` only: replace
 //!   the built-in datacenter-day schedule / fault script with JSON plans.
 //!
@@ -114,6 +117,10 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     println!(
         "       acc-bench perf --scenario rl [out.json] # RL kernel benchmark -> BENCH_rl.json"
     );
+    println!("       acc-bench perf --scenario xl-flows [--fidelity hybrid|flow] [out.json]");
+    println!(
+        "                                              # flow-level backend -> BENCH_flows.json"
+    );
     println!(
         "       acc-bench soak [out.json] [--quick] [--soak-plan <file>] [--fault-plan <file>]"
     );
@@ -123,8 +130,14 @@ fn usage(all: &[(&str, &str, fn(Scale) -> serde_json::Value)]) {
     println!("flags: --quick|-q                 smoke scale");
     println!("       --scenario <family>        perf only: 'netsim' (default), 'rl',");
     println!(
-        "                                  'train-throughput'/'inference-tick' (aliases of 'rl')"
+        "                                  'train-throughput'/'inference-tick' (aliases of 'rl'),"
     );
+    println!(
+        "                                  'xl-flows' (flow-level backend at 100-1000x scale)"
+    );
+    println!("       --fidelity <mode>          perf only: simulation backend for 'xl-flows' —");
+    println!("                                  'hybrid' (analytic ECN feedback to the tuner,");
+    println!("                                  default) or 'flow' (pure max-min rates)");
     println!("       --jobs|-j <n>              run-matrix worker threads (default: all cores;");
     println!("                                  1 = serial, output is identical either way)");
     println!("       --shards <n>               run experiments on <n> simulation shards under");
@@ -160,6 +173,7 @@ fn main() {
     let mut interval_us: u64 = 100;
     let mut jobs: Option<usize> = None;
     let mut scenario: Option<String> = None;
+    let mut fidelity_arg: Option<String> = None;
     let mut profile: Option<String> = None;
     let mut shards: Option<u32> = None;
     let mut soak_plan_path: Option<String> = None;
@@ -172,6 +186,10 @@ fn main() {
             "--scenario" => match it.next() {
                 Some(s) => scenario = Some(s.clone()),
                 None => bad_flag("flag '--scenario' needs a family argument"),
+            },
+            "--fidelity" => match it.next() {
+                Some(f) => fidelity_arg = Some(f.clone()),
+                None => bad_flag("flag '--fidelity' needs a mode (packet|hybrid|flow)"),
             },
             "--jobs" | "-j" => match it.next().map(|n| n.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => jobs = Some(n),
@@ -204,6 +222,8 @@ fn main() {
             flag if flag.starts_with('-') => {
                 if let Some(s) = flag.strip_prefix("--scenario=") {
                     scenario = Some(s.to_string());
+                } else if let Some(f) = flag.strip_prefix("--fidelity=") {
+                    fidelity_arg = Some(f.to_string());
                 } else if let Some(d) = flag.strip_prefix("--metrics-dir=") {
                     metrics_dir = Some(d.to_string());
                 } else if let Some(n) = flag.strip_prefix("--metrics-interval-us=") {
@@ -240,6 +260,15 @@ fn main() {
     }
     if scenario.is_some() && which.first().map(String::as_str) != Some("perf") {
         bad_flag("flag '--scenario' only applies to the 'perf' subcommand");
+    }
+    // `--fidelity` selects the simulation backend of the xl-flows perf
+    // family; the value is vetted here so a typo fails before any work.
+    let fidelity = fidelity_arg.as_deref().map(|f| {
+        netsim::flowsim::Fidelity::parse(f)
+            .unwrap_or_else(|| bad_flag(&format!("unknown fidelity '{f}' (packet|hybrid|flow)")))
+    });
+    if fidelity.is_some() && which.first().map(String::as_str) != Some("perf") {
+        bad_flag("flag '--fidelity' only applies to the 'perf' subcommand");
     }
     if profile.is_some() {
         match which.first().map(String::as_str) {
@@ -297,6 +326,16 @@ fn main() {
         if let Some(p) = &profile {
             acc_bench::common::enable_profile(p);
         }
+        if fidelity.is_some_and(|f| f != netsim::flowsim::Fidelity::Packet) && family != "xl-flows"
+        {
+            bad_flag("non-packet '--fidelity' only applies to the 'xl-flows' perf family");
+        }
+        if fidelity == Some(netsim::flowsim::Fidelity::Packet) && family == "xl-flows" {
+            bad_flag(
+                "the 'xl-flows' family runs the flow-level backend; use --fidelity hybrid|flow \
+                 (its accuracy block already contains the packet reference runs)",
+            );
+        }
         let result = match family {
             "netsim" => {
                 let out = which
@@ -304,6 +343,18 @@ fn main() {
                     .map(|s| s.as_str())
                     .unwrap_or("BENCH_netsim.json");
                 acc_bench::perf::run(scale, std::path::Path::new(out))
+            }
+            // The flow-level backend family; `--fidelity` picks the backend
+            // (hybrid = analytic ECN feedback to the tuner, the default;
+            // flow = pure max-min rates; packet = the reference engine run
+            // over the same arrivals, for accuracy ground truth).
+            "xl-flows" => {
+                let out = which
+                    .get(1)
+                    .map(|s| s.as_str())
+                    .unwrap_or("BENCH_flows.json");
+                let fid = fidelity.unwrap_or(netsim::flowsim::Fidelity::Hybrid);
+                acc_bench::perf_flow::run(scale, fid, std::path::Path::new(out))
             }
             // The RL family always runs both kernels; the stage aliases
             // exist so docs can name the scenario being read about.

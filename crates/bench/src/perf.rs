@@ -37,11 +37,19 @@ use workloads::SizeDist;
 /// fabric through the conservative-lookahead engine at 1 and 4 shards
 /// (extra columns: `host_cores`, `stalls`, `remote_events`; the allocation
 /// columns there cover the steady window read at quiescent phase barriers).
-pub const SCHEMA: &str = "acc-bench-perf/v3";
+/// v4: every scenario row carries a `fidelity` column (`"packet"` for the
+/// engine rows here), sharded rows carry a `note` when the requested shard
+/// count exceeds `host_cores` (the 1-vs-N ratio is then bounded by the
+/// hardware, not the engine), and the `xl-flows` family
+/// ([`crate::perf_flow`]) writes flow-level rows (`flows_total`,
+/// `flows_per_sec`, `fast_path_flows`) plus a packet-vs-hybrid `accuracy`
+/// block under this same schema tag.
+pub const SCHEMA: &str = "acc-bench-perf/v4";
 
 /// Fraction of the horizon burned as warmup before measurement starts (the
-/// denominator: warmup runs to `horizon / WARMUP_DENOM`).
-const WARMUP_DENOM: u64 = 5;
+/// denominator: warmup runs to `horizon / WARMUP_DENOM`). Shared with the
+/// flow-level rows of [`crate::perf_flow`].
+pub(crate) const WARMUP_DENOM: u64 = 5;
 
 /// Probe returning process-wide `(allocation count, allocated bytes)`.
 ///
@@ -150,8 +158,10 @@ fn hold_throughput<Q>(
 
 /// Wheel-vs-heap push/pop throughput on the incast hold workload. Returns
 /// the JSON block recorded under `queue_microbench`. Best of three rounds
-/// per queue so a scheduler hiccup does not misreport the ratio.
-fn queue_microbench(scale: Scale) -> Value {
+/// per queue so a scheduler hiccup does not misreport the ratio. Shared
+/// with [`crate::perf_flow`] so its document validates under the same
+/// schema.
+pub(crate) fn queue_microbench(scale: Scale) -> Value {
     let ops: u64 = if scale.quick { 200_000 } else { 2_000_000 };
     let mut wheel_best = 0f64;
     let mut heap_best = 0f64;
@@ -236,6 +246,7 @@ fn measure(name: &str, mut sc: Scenario, horizon: SimTime) -> Value {
     );
     json!({
         "name": name,
+        "fidelity": "packet",
         "shards": 1,
         "events_processed": events,
         "wall_s": wall,
@@ -305,6 +316,18 @@ fn xl_clos_sharded(scale: Scale, n_shards: u32) -> Value {
         _ => (None, None),
     };
     let name = format!("xl-clos-1024/{n_shards}shard");
+    // Oversubscribed shard workers time-slice the same cores; say so in the
+    // row instead of letting the trajectory read a bounded ratio as a
+    // regression.
+    let cores = host_cores();
+    let note = (u64::from(n_shards) > cores).then(|| {
+        let n = format!(
+            "{n_shards} shards on {cores} hardware threads: workers time-slice, \
+             events_per_sec is bounded by the host, not the engine"
+        );
+        eprintln!("[perf] note: {n}");
+        n
+    });
     println!(
         "{:<18} {:>10} events {:>7.2}s wall {:>12.0} ev/s  peak q {:>7}  allocs/ev {}  stalls {}",
         name,
@@ -319,8 +342,10 @@ fn xl_clos_sharded(scale: Scale, n_shards: u32) -> Value {
     );
     json!({
         "name": name,
+        "fidelity": "packet",
         "shards": n_shards,
-        "host_cores": host_cores(),
+        "host_cores": cores,
+        "note": note,
         "events_processed": steady_events,
         "wall_s": steady_wall,
         "events_per_sec": eps,
@@ -338,8 +363,9 @@ fn xl_clos_sharded(scale: Scale, n_shards: u32) -> Value {
     })
 }
 
-/// Hardware threads available to this process.
-fn host_cores() -> u64 {
+/// Hardware threads available to this process (shared with
+/// [`crate::perf_flow`]).
+pub(crate) fn host_cores() -> u64 {
     std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(1)
@@ -526,6 +552,13 @@ pub fn validate(doc: &Value) -> Vec<String> {
                     shards.is_some_and(|v| v >= 1),
                     &format!("scenario {name}: shards missing or zero"),
                 );
+                need(
+                    matches!(
+                        row.get("fidelity").and_then(Value::as_str),
+                        Some("packet") | Some("hybrid") | Some("flow")
+                    ),
+                    &format!("scenario {name}: fidelity must be packet|hybrid|flow"),
+                );
                 // Sharded rows (run through the lookahead engine) must carry
                 // the columns the ratio/gate tooling reads.
                 if row.get("stalls").is_some() || shards.is_some_and(|v| v > 1) {
@@ -587,7 +620,7 @@ mod tests {
                 "wheel_ops_per_sec": 2.0e7, "heap_ops_per_sec": 1.0e7, "speedup": 2.0,
             },
             "scenarios": [{
-                "name": "incast-heavy", "shards": 1u64,
+                "name": "incast-heavy", "fidelity": "packet", "shards": 1u64,
                 "events_processed": 10u64, "wall_s": 0.1,
                 "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
                 "warmup_events": 3u64, "warmup_wall_s": 0.02,
@@ -595,7 +628,8 @@ mod tests {
                 "sim_time_us": 8000.0,
                 "allocations_per_event": alloc.clone(), "alloc_bytes_per_event": alloc,
             }, {
-                "name": "xl-clos-1024/4shard", "shards": 4u64, "host_cores": 2u64,
+                "name": "xl-clos-1024/4shard", "fidelity": "packet",
+                "shards": 4u64, "host_cores": 2u64,
                 "events_processed": 10u64, "wall_s": 0.1,
                 "events_per_sec": events_per_sec, "peak_event_queue": 5u64,
                 "warmup_events": 3u64, "warmup_wall_s": 0.02,
@@ -635,10 +669,34 @@ mod tests {
     }
 
     #[test]
+    fn validate_requires_fidelity_column() {
+        // Rows without a fidelity tag predate v4 and must fail.
+        let d = doc_with_row(json!({
+            "name": "incast-heavy", "shards": 1u64,
+            "events_processed": 10u64, "wall_s": 0.1,
+            "events_per_sec": 100.0, "peak_event_queue": 5u64,
+            "warmup_events": 3u64, "warmup_wall_s": 0.02,
+            "sim_time_us": 8000.0,
+            "allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null,
+        }));
+        assert!(!validate(&d).is_empty());
+        // Unknown fidelity names must fail too.
+        let d = doc_with_row(json!({
+            "name": "incast-heavy", "fidelity": "analog", "shards": 1u64,
+            "events_processed": 10u64, "wall_s": 0.1,
+            "events_per_sec": 100.0, "peak_event_queue": 5u64,
+            "warmup_events": 3u64, "warmup_wall_s": 0.02,
+            "sim_time_us": 8000.0,
+            "allocations_per_event": Value::Null, "alloc_bytes_per_event": Value::Null,
+        }));
+        assert!(!validate(&d).is_empty());
+    }
+
+    #[test]
     fn validate_requires_sharded_columns() {
         // A multi-shard row without the lookahead columns must fail.
         let d = doc_with_row(json!({
-            "name": "xl-clos-1024/4shard", "shards": 4u64,
+            "name": "xl-clos-1024/4shard", "fidelity": "packet", "shards": 4u64,
             "events_processed": 10u64, "wall_s": 0.1,
             "events_per_sec": 100.0, "peak_event_queue": 5u64,
             "warmup_events": 3u64, "warmup_wall_s": 0.02,

@@ -1,0 +1,112 @@
+//! The perf trend ledger: one `acc-trends/v1` JSON line per CI
+//! `hybrid-smoke` run, appended to `artifacts/TRENDS.jsonl` so events/sec,
+//! flows/sec and FCT p99 form a trajectory across commits (the file is
+//! archived as a CI artifact; the committed copy holds only the header
+//! line).
+
+use serde_json::{json, Value};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Schema tag of every trend line.
+pub const TRENDS_SCHEMA: &str = "acc-trends/v1";
+
+/// Where the ledger lives, relative to the repository root (appends are
+/// skipped when the directory is absent, e.g. when the binary runs from an
+/// install prefix).
+pub const TRENDS_PATH: &str = "artifacts/TRENDS.jsonl";
+
+/// Distil a `BENCH_flows.json` document (schema `acc-bench-perf/v4`, see
+/// [`crate::perf_flow`]) into one trend line.
+pub fn trend_line(doc: &Value) -> Value {
+    let row = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .and_then(|rows| rows.first())
+        .cloned()
+        .unwrap_or(Value::Null);
+    let acc = doc.get("accuracy").cloned().unwrap_or(Value::Null);
+    json!({
+        "schema": TRENDS_SCHEMA,
+        "scale": doc.get("scale").cloned().unwrap_or(Value::Null),
+        "fidelity": doc.get("fidelity").cloned().unwrap_or(Value::Null),
+        "events_per_sec": row.get("events_per_sec").cloned().unwrap_or(Value::Null),
+        "flows_per_sec": row.get("flows_per_sec").cloned().unwrap_or(Value::Null),
+        "flows_total": row.get("flows_total").cloned().unwrap_or(Value::Null),
+        "fct_p99_us": row.get("fct_p99_us").cloned().unwrap_or(Value::Null),
+        "max_p50_rel_err": acc.get("max_p50_rel_err").cloned().unwrap_or(Value::Null),
+        "max_p99_rel_err": acc.get("max_p99_rel_err").cloned().unwrap_or(Value::Null),
+        "cost_avoidance": acc.get("cost_avoidance").cloned().unwrap_or(Value::Null),
+    })
+}
+
+/// Append the trend line distilled from `doc` to `path`. Returns
+/// `Ok(false)` (no-op) when the parent directory does not exist — the
+/// ledger only grows when the binary runs at the repository root.
+pub fn append_trend(path: &Path, doc: &Value) -> io::Result<bool> {
+    match path.parent() {
+        Some(dir) if dir.is_dir() => {}
+        _ => return Ok(false),
+    }
+    let line = trend_line(doc);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Value {
+        json!({
+            "schema": crate::perf::SCHEMA,
+            "scale": "quick",
+            "fidelity": "hybrid",
+            "scenarios": [{
+                "name": "xl-flows/hybrid",
+                "events_per_sec": 1.0e6,
+                "flows_per_sec": 40_000.0,
+                "flows_total": 50_000u64,
+                "fct_p99_us": 812.5,
+            }],
+            "accuracy": {
+                "max_p50_rel_err": 0.01,
+                "max_p99_rel_err": 0.03,
+                "cost_avoidance": 55.0,
+            },
+        })
+    }
+
+    #[test]
+    fn trend_line_distils_the_gated_columns() {
+        let line = trend_line(&sample_doc());
+        assert_eq!(line["schema"].as_str(), Some(TRENDS_SCHEMA));
+        assert_eq!(line["fidelity"].as_str(), Some("hybrid"));
+        assert_eq!(line["flows_per_sec"].as_f64(), Some(40_000.0));
+        assert_eq!(line["fct_p99_us"].as_f64(), Some(812.5));
+        assert_eq!(line["cost_avoidance"].as_f64(), Some(55.0));
+    }
+
+    #[test]
+    fn append_is_one_line_per_run_and_skips_missing_dirs() {
+        let dir = Path::new("target").join("trends-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("TRENDS.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert!(append_trend(&path, &sample_doc()).unwrap());
+        assert!(append_trend(&path, &sample_doc()).unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            let v: Value = serde_json::from_str(l).unwrap();
+            assert_eq!(v["schema"].as_str(), Some(TRENDS_SCHEMA));
+        }
+        let missing = Path::new("target/trends-test-missing/TRENDS.jsonl");
+        assert!(!append_trend(missing, &sample_doc()).unwrap());
+    }
+}

@@ -205,6 +205,54 @@ fn fault_scenario_identical_across_shard_counts() {
     );
 }
 
+/// The fig13 heterogeneous-traffic scenario (per-segment loads drawn from
+/// a seeded RNG, the shape `fig13 --shards N` now routes through the
+/// sharded engine) must produce identical FCT statistics on 1 and 2
+/// shards.
+#[test]
+fn fig13_scenario_identical_across_shard_counts() {
+    let _g = lock();
+    let spec = TopologySpec::paper_cacc_sim();
+    let hosts: Vec<NodeId> = spec.build().hosts().to_vec();
+    // Two 1 ms segments at different loads — a short slice of the real
+    // fig13 --quick cell so the debug-build test stays fast.
+    let seg = SimTime::from_ms(1);
+    let mut arrivals = Vec::new();
+    for (i, load) in [0.6, 0.9].into_iter().enumerate() {
+        let g = PoissonGen::new(
+            SizeDist::web_search(),
+            load,
+            CcKind::Dcqcn,
+            100_000 + i as u64,
+        );
+        arrivals.extend(g.generate(&hosts, 25_000_000_000, seg.mul(i as u64), seg));
+    }
+    let horizon = seg.mul(2) + SimTime::from_ms(4);
+    let r1 = run_scenario_sharded(
+        &spec,
+        Policy::Secn1,
+        Scale::QUICK,
+        100,
+        &arrivals,
+        None,
+        1,
+        horizon,
+    );
+    let r2 = run_scenario_sharded(
+        &spec,
+        Policy::Secn1,
+        Scale::QUICK,
+        100,
+        &arrivals,
+        None,
+        2,
+        horizon,
+    );
+    assert_fct_identical(&r1, &r2);
+    assert_eq!(r2.shard_stats.len(), 2);
+    assert!(r1.fct.summary().completed > 0, "no flows completed");
+}
+
 /// Guarded arms are not partition-invariant; the sharded installer must
 /// refuse them loudly instead of silently diverging from the unsharded
 /// trajectory.

@@ -39,6 +39,7 @@ pub mod action;
 pub mod centralized;
 pub mod controller;
 pub mod deploy;
+pub mod fluid;
 pub mod guard;
 pub mod hybrid;
 pub mod reward;
@@ -53,6 +54,7 @@ pub use controller::{AccConfig, AccController};
 pub use deploy::{
     DeployBundle, DeployError, FleetConfig, FleetManager, FleetStats, ProbationOutcome, SwapOutcome,
 };
+pub use fluid::{FluidAcc, FluidStaticEcn};
 pub use guard::{
     GuardConfig, GuardDecision, GuardObs, GuardStats, GuardViolation, GuardedController, QueueGuard,
 };

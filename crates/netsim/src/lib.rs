@@ -49,6 +49,7 @@ pub mod control;
 pub mod driver;
 pub mod event;
 pub mod fault;
+pub mod flowsim;
 pub mod ids;
 pub mod packet;
 pub mod profile;
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use crate::control::{QueueController, QueueSnapshot, SwitchView};
     pub use crate::driver::{HostCtx, NicDriver};
     pub use crate::fault::{FaultEvent, FaultKind, FaultLogEntry, FaultPlan, FaultPlanError};
+    pub use crate::flowsim::{Fidelity, FlowSim, FlowSimConfig, FlowSpec};
     pub use crate::ids::{FlowId, NodeId, PortId, Prio};
     pub use crate::packet::{Ecn, Packet, PacketKind};
     pub use crate::queues::EcnConfig;

@@ -48,7 +48,7 @@ pub mod window;
 
 pub use app::{AppHook, CompletedMsg};
 pub use dcqcn::DcqcnConfig;
-pub use msg::{CcKind, Message};
+pub use msg::{wire_bytes, CcKind, Message};
 pub use stack::{HostStack, StackConfig};
 pub use stats::{merge_shard_fct, FctCollector, FctStats, FctSummary, FlowRecord, SharedFct};
 pub use window::WindowConfig;

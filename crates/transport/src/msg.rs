@@ -1,6 +1,7 @@
 //! Application-level messages handed to a [`crate::HostStack`].
 
 use netsim::ids::{PRIO_RDMA, PRIO_TCP};
+use netsim::packet::HEADER_BYTES;
 use netsim::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,20 @@ pub struct Message {
     pub tag: u64,
 }
 
+/// Total wire bytes a `bytes`-byte message occupies on the data path:
+/// full-MTU segments of `mtu_payload + HEADER_BYTES` plus one short final
+/// segment for the remainder. This is exactly the segmentation
+/// [`crate::HostStack`] performs (greedy full-MTU packets, sequence-number
+/// driven), and the flow-level backend prices source drains with it so its
+/// ideal-FCT fast path lands on the same picosecond the packet engine does.
+pub fn wire_bytes(bytes: u64, mtu_payload: u32) -> u64 {
+    let mtu = mtu_payload as u64;
+    let hdr = HEADER_BYTES as u64;
+    let full = bytes / mtu;
+    let rem = bytes % mtu;
+    full * (mtu + hdr) + if rem > 0 { rem + hdr } else { 0 }
+}
+
 impl Message {
     /// A message with tag 0.
     pub fn new(dst: NodeId, bytes: u64, cc: CcKind) -> Message {
@@ -70,6 +85,17 @@ mod tests {
         assert_eq!(CcKind::Dcqcn.prio(), PRIO_RDMA);
         assert_eq!(CcKind::Dctcp.prio(), PRIO_TCP);
         assert_eq!(CcKind::Reno.prio(), PRIO_TCP);
+    }
+
+    #[test]
+    fn wire_bytes_matches_stack_segmentation() {
+        // Greedy full-MTU segmentation at mtu_payload = 1000.
+        assert_eq!(wire_bytes(0, 1000), 0);
+        assert_eq!(wire_bytes(1, 1000), 49);
+        assert_eq!(wire_bytes(999, 1000), 999 + 48);
+        assert_eq!(wire_bytes(1000, 1000), 1048);
+        assert_eq!(wire_bytes(1001, 1000), 1048 + 49);
+        assert_eq!(wire_bytes(64 * 1024, 1000), 65 * 1048 + 536 + 48);
     }
 
     #[test]

@@ -75,6 +75,27 @@ impl FctCollector {
         self.order.push(rec.flow.0);
     }
 
+    /// Register a batch of flow-level backend completions
+    /// ([`netsim::flowsim::FlowDone`]) as already-finished records, so the
+    /// hybrid/flow fidelity modes feed the exact same FCT statistics
+    /// pipeline (percentiles, size buckets, JSONL reports) the packet
+    /// engine does.
+    pub fn register_flowsim(&mut self, done: &[netsim::flowsim::FlowDone]) {
+        self.reserve(done.len());
+        for d in done {
+            self.register(FlowRecord {
+                flow: d.flow,
+                src: d.src,
+                dst: d.dst,
+                bytes: d.bytes,
+                prio: d.prio,
+                tag: d.tag,
+                start: d.start,
+                end: Some(d.end),
+            });
+        }
+    }
+
     /// Mark `flow` complete at `now`.
     pub fn complete(&mut self, flow: FlowId, now: SimTime) {
         let rec = self

@@ -13,7 +13,9 @@
 //!   replication, measured in IOPS (§5.3.1);
 //! * [`training`] — a parameter-server distributed-training cluster
 //!   (gradient push / model pull per iteration) measured in iterations/s
-//!   (§5.3.2).
+//!   (§5.3.2);
+//! * [`xl`] — 100–1000×-scale scenarios for the flow-level backend
+//!   (`paper_xl_flows`) and the `Arrival` → `FlowSpec` bridge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,12 +26,14 @@ pub mod gen;
 pub mod replay;
 pub mod storage;
 pub mod training;
+pub mod xl;
 
 pub use dists::SizeDist;
 pub use gen::{apply_arrivals, incast_wave, Arrival, PoissonGen};
 pub use replay::WorkloadTrace;
 pub use storage::{StorageCluster, StorageConfig, StorageProfile};
 pub use training::{TrainingCluster, TrainingConfig};
+pub use xl::{to_flow_specs, XlFlowsSpec};
 
 // Send/Sync audit for the parallel run-matrix executor: workload specs and
 // generated arrival lists are captured by matrix cells and must cross
